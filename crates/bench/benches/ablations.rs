@@ -1,0 +1,43 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! Δt policy, delay slot, resource stretch, queue reordering/switching,
+//! and reservation trimming — each as a timed end-to-end run of the
+//! corresponding v-MLP variant. (The *quality* impact of the same
+//! variants is reported by the `ablations` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlp_bench::Scale;
+use mlp_core::organizer::DtPolicy;
+use mlp_core::VMlpConfig;
+use mlp_engine::runner::run_experiment;
+use mlp_engine::scheme::Scheme;
+
+/// The ablated configurations, labeled.
+pub fn variants() -> Vec<(&'static str, VMlpConfig)> {
+    let full = VMlpConfig::paper();
+    vec![
+        ("full", full),
+        ("no_healing", VMlpConfig::without_healing()),
+        ("no_delay_slot", VMlpConfig { delay_slot: false, ..full }),
+        ("no_stretch", VMlpConfig { resource_stretch: false, ..full }),
+        ("no_reorder", VMlpConfig { reorder: false, ..full }),
+        ("no_queue_switch", VMlpConfig { queue_switch: false, ..full }),
+        ("no_trim", VMlpConfig { trim_reservations: false, ..full }),
+        ("dt_always_mean", VMlpConfig { dt_policy: DtPolicy::AlwaysMean, ..full }),
+        ("dt_always_p99", VMlpConfig { dt_policy: DtPolicy::AlwaysP99, ..full }),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vmlp_ablations");
+    g.sample_size(10);
+    for (name, cfg) in variants() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
+            let ec = Scale::tiny().config(Scheme::VMlpCustom(cfg));
+            b.iter(|| run_experiment(&ec));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

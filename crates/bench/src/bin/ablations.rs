@@ -1,0 +1,58 @@
+//! Quality-impact ablation study of v-MLP's design choices (DESIGN.md §6):
+//! runs each ablated configuration on the L2 fluctuating workload and
+//! reports tails, violations, utilization, and healing activity.
+
+use mlp_bench::evalrun::{run_cells, Cell};
+use mlp_core::organizer::DtPolicy;
+use mlp_core::VMlpConfig;
+use mlp_engine::report;
+use mlp_engine::scheme::Scheme;
+use mlp_workload::WorkloadPattern;
+
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running v-MLP ablations at --scale={} …", scale.label);
+    let full = VMlpConfig::paper();
+    let variants: Vec<(&str, VMlpConfig)> = vec![
+        ("full v-MLP", full),
+        ("no healing", VMlpConfig::without_healing()),
+        ("no delay slot", VMlpConfig { delay_slot: false, ..full }),
+        ("no stretch", VMlpConfig { resource_stretch: false, ..full }),
+        ("no reorder (FCFS)", VMlpConfig { reorder: false, ..full }),
+        ("no queue switch", VMlpConfig { queue_switch: false, ..full }),
+        ("no reservation trim", VMlpConfig { trim_reservations: false, ..full }),
+        ("Δt = always mean", VMlpConfig { dt_policy: DtPolicy::AlwaysMean, ..full }),
+        ("Δt = always p99", VMlpConfig { dt_policy: DtPolicy::AlwaysP99, ..full }),
+    ];
+    let cells: Vec<Cell> = variants
+        .iter()
+        .map(|(_, cfg)| Cell {
+            scheme: Scheme::VMlpCustom(*cfg),
+            pattern: WorkloadPattern::L2Fluctuating,
+            ..Cell::new(Scheme::VMlp)
+        })
+        .collect();
+    let results = run_cells(scale, &cells, 2022);
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&results)
+        .map(|((name, _), r)| {
+            vec![
+                name.to_string(),
+                report::f(r.latency_ms[0]),
+                report::f(r.latency_ms[2]),
+                format!("{:.1}%", r.violation * 100.0),
+                report::f(r.utilization),
+                format!("{:.0}/{:.0}/{:.0}", r.healing.0, r.healing.1, r.healing.2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            "v-MLP design-choice ablations (L2 fluctuating workload)",
+            &["variant", "p50 ms", "p99 ms", "violations", "util", "slot/stretch/switch"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 2 (execution-time heterogeneity of TrainTicket services).
+fn main() {
+    print!("{}", mlp_bench::fig02_heterogeneity::report(2022));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 3a (exec/suspend resource-demand ratios).
+fn main() {
+    print!("{}", mlp_bench::fig03_resources::fig3a_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 3b (Alibaba-style container-utilization trace).
+fn main() {
+    print!("{}", mlp_bench::fig03_resources::fig3b_report(2022));
+}

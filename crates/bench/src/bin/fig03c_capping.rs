@@ -1,0 +1,4 @@
+//! Regenerates Fig 3c (execution time under resource capping).
+fn main() {
+    print!("{}", mlp_bench::fig03_resources::fig3c_report(2022));
+}

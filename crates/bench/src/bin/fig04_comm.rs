@@ -1,0 +1,4 @@
+//! Regenerates Fig 4 (communication-time distributions).
+fn main() {
+    print!("{}", mlp_bench::fig04_comm::report(2022));
+}

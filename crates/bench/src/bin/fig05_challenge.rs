@@ -1,0 +1,4 @@
+//! Regenerates Fig 5 (misprediction-driven contention scenario).
+fn main() {
+    print!("{}", mlp_bench::fig05_challenge::report(2022));
+}

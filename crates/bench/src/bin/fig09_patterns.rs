@@ -1,0 +1,5 @@
+//! Regenerates Fig 9 (workload patterns L1/L2/L3).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    print!("{}", mlp_bench::fig09_patterns::report(scale, 2022));
+}

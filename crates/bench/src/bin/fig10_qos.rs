@@ -1,0 +1,6 @@
+//! Regenerates Fig 10 (normalized QoS-violation rates).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running Fig 10 grid at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig10_qos::report(scale, 2022));
+}

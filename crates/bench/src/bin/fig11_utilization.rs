@@ -1,0 +1,6 @@
+//! Regenerates Fig 11 (cluster utilization around the workload peak).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running Fig 11 curves at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig11_utilization::report(scale, 2022));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig 12 (latency distribution vs workload level).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running Fig 12 sweep at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig12_latency::report(scale, 2022));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig 13 (normalized tail latency per volatility stream).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running Fig 13 grid at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig13_tail::report(scale, 2022));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig 14 (normalized throughput vs high-V_r ratio).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running Fig 14 sweep at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig14_throughput::report(scale, 2022));
+}

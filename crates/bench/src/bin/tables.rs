@@ -1,0 +1,4 @@
+//! Prints the paper's Tables I, II, III, V and VI.
+fn main() {
+    print!("{}", mlp_bench::tables::all());
+}

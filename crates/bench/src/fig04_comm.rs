@@ -1,0 +1,124 @@
+//! Fig 4 — highly uncertain communication overheads.
+//!
+//! The paper records caller→callee communication times for 10 callee
+//! microservices × 100 requests, once with everything on a single machine
+//! (docker-compose) and once across machines (docker swarm). Findings:
+//! single-machine times are lower and tighter; cross-machine times are
+//! higher, wider, and occasionally spike (congestion / rerouting).
+
+use mlp_engine::report;
+use mlp_model::RequestCatalog;
+use mlp_net::{fig4_samples, NetworkModel};
+use mlp_sim::SimRng;
+use mlp_stats::Summary;
+
+/// Requests per callee, matching the paper.
+pub const REQUESTS: usize = 100;
+
+/// One measured cell: a callee service's comm-time distribution at one
+/// locality.
+#[derive(Debug, Clone)]
+pub struct CommCell {
+    /// Callee service name.
+    pub callee: String,
+    /// Whether caller and callee share a machine.
+    pub same_machine: bool,
+    /// Comm-time summary (ms).
+    pub stats: Summary,
+    /// Spikes above 3× the mean (the paper's "green blocks").
+    pub spikes: usize,
+}
+
+/// Generates both panels' data: 10 callees × {single, cross} machine.
+pub fn data(seed: u64) -> Vec<CommCell> {
+    let catalog = RequestCatalog::paper();
+    let net = NetworkModel::paper_default();
+    let mut rng = SimRng::new(seed);
+    let callees: Vec<_> = catalog.services.services().iter().take(10).cloned().collect();
+    let mut out = Vec::new();
+    for same in [true, false] {
+        for svc in &callees {
+            let samples = fig4_samples(&net, same, svc.comm, REQUESTS, &mut rng);
+            let stats = Summary::from_slice(&samples);
+            let spikes = samples.iter().filter(|&&s| s > stats.mean() * 3.0).count();
+            out.push(CommCell { callee: svc.name.clone(), same_machine: same, stats, spikes });
+        }
+    }
+    out
+}
+
+/// Renders both panels.
+pub fn report(seed: u64) -> String {
+    let cells = data(seed);
+    let mut out = String::new();
+    for same in [true, false] {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .filter(|c| c.same_machine == same)
+            .map(|c| {
+                vec![
+                    c.callee.clone(),
+                    report::f(c.stats.mean()),
+                    report::f(c.stats.std_dev()),
+                    report::f(c.stats.max()),
+                    c.spikes.to_string(),
+                ]
+            })
+            .collect();
+        let title = if same {
+            "Fig 4a — communication time, single machine (ms, 100 requests/callee)"
+        } else {
+            "Fig 4b — communication time, across machines (ms, 100 requests/callee)"
+        };
+        out.push_str(&report::table(title, &["callee", "mean", "stddev", "max", "spikes>3x"], &rows));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pooled(cells: &[CommCell], same: bool) -> Summary {
+        let mut s = Summary::new();
+        for c in cells.iter().filter(|c| c.same_machine == same) {
+            s.merge(&c.stats);
+        }
+        s
+    }
+
+    #[test]
+    fn single_machine_is_faster_and_tighter() {
+        let cells = data(11);
+        let local = pooled(&cells, true);
+        let remote = pooled(&cells, false);
+        assert!(
+            local.mean() < remote.mean() / 2.0,
+            "local {} vs remote {}",
+            local.mean(),
+            remote.mean()
+        );
+        assert!(local.variance() < remote.variance());
+    }
+
+    #[test]
+    fn cross_machine_has_congestion_spikes() {
+        let cells = data(11);
+        let remote_spikes: usize =
+            cells.iter().filter(|c| !c.same_machine).map(|c| c.spikes).sum();
+        let local_spikes: usize =
+            cells.iter().filter(|c| c.same_machine).map(|c| c.spikes).sum();
+        assert!(remote_spikes > local_spikes, "{remote_spikes} vs {local_spikes}");
+        assert!(remote_spikes >= 10, "expected visible green blocks, got {remote_spikes}");
+    }
+
+    #[test]
+    fn ten_callees_both_panels() {
+        let cells = data(1);
+        assert_eq!(cells.len(), 20);
+        let r = report(1);
+        assert!(r.contains("Fig 4a"));
+        assert!(r.contains("Fig 4b"));
+    }
+}

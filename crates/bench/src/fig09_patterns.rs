@@ -1,0 +1,68 @@
+//! Fig 9 — workload patterns in realistic datacenters.
+//!
+//! L1: pulse-like peak; L2: fluctuating; L3: periodic with wide peaks.
+//! Maximum rate 1000 req/s (scaled at smaller scales).
+
+use crate::scale::Scale;
+use mlp_engine::report;
+use mlp_model::RequestCatalog;
+use mlp_sim::SimRng;
+use mlp_workload::{empirical_rate, generate_stream, WorkloadPattern};
+
+/// Renders the three rate curves plus an empirical arrival check.
+pub fn report(scale: Scale, seed: u64) -> String {
+    let catalog = RequestCatalog::paper();
+    let mix = catalog.balanced_mix();
+    let mut out = String::new();
+    for p in WorkloadPattern::PAPER {
+        let series = p.rate_series(scale.horizon_s, 1.0, scale.max_rate);
+        out.push_str(&report::series(
+            &format!("Fig 9 — {} target rate (req/s, max {})", p.label(), scale.max_rate),
+            1.0,
+            series.values(),
+        ));
+        let mut rng = SimRng::new(seed);
+        let arrivals = generate_stream(p, scale.max_rate, scale.horizon_s, &mix, &mut rng);
+        let emp = empirical_rate(&arrivals, scale.horizon_s, 5.0);
+        out.push_str(&format!(
+            "  generated {} arrivals; empirical mean {:.1} req/s vs target mean {:.1} req/s\n\n",
+            arrivals.len(),
+            emp.mean(),
+            series.mean(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_rates_track_targets() {
+        let catalog = RequestCatalog::paper();
+        let mix = catalog.balanced_mix();
+        let scale = Scale::small();
+        for p in WorkloadPattern::PAPER {
+            let series = p.rate_series(scale.horizon_s, 1.0, scale.max_rate);
+            let mut rng = SimRng::new(9);
+            let arrivals =
+                generate_stream(p, scale.max_rate, scale.horizon_s, &mix, &mut rng);
+            let achieved = arrivals.len() as f64 / scale.horizon_s;
+            let target = series.mean();
+            assert!(
+                (achieved - target).abs() / target < 0.1,
+                "{}: achieved {achieved:.1} vs target {target:.1}",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn report_covers_all_patterns() {
+        let r = report(Scale::tiny(), 1);
+        for l in ["L1", "L2", "L3"] {
+            assert!(r.contains(l), "missing {l}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # mlp-bench — figure/table regeneration harness
+//!
+//! One module per table and figure of the paper's evaluation. Each module
+//! exposes a `report(scale) -> String` function that regenerates the
+//! figure's rows/series as plain text; the `src/bin/*` binaries are thin
+//! wrappers. The Criterion benches under `benches/` measure the hot
+//! scheduling kernels and whole-simulation throughput.
+//!
+//! All experiments are seeded and deterministic. Absolute numbers differ
+//! from the paper (our substrate is a synthetic simulator, theirs was
+//! profiled on a physical testbed); the *shape* — which scheme wins, by
+//! roughly what factor, where the crossovers sit — is what each report is
+//! asserted against (see EXPERIMENTS.md).
+
+pub mod fig02_heterogeneity;
+pub mod fig03_resources;
+pub mod fig04_comm;
+pub mod fig05_challenge;
+pub mod fig09_patterns;
+pub mod fig10_qos;
+pub mod fig11_utilization;
+pub mod fig12_latency;
+pub mod fig13_tail;
+pub mod fig14_throughput;
+pub mod evalrun;
+pub mod loads;
+pub mod scale;
+pub mod tables;
+
+pub use scale::Scale;
+
+/// Parses `--scale=tiny|small|paper` from argv (default: small) for the
+/// figure binaries.
+pub fn scale_from_args() -> Scale {
+    for arg in std::env::args() {
+        if let Some(v) = arg.strip_prefix("--scale=") {
+            return match v {
+                "tiny" => Scale::tiny(),
+                "small" => Scale::small(),
+                "paper" => Scale::paper(),
+                other => {
+                    eprintln!("unknown scale '{other}', using small");
+                    Scale::small()
+                }
+            };
+        }
+    }
+    Scale::small()
+}

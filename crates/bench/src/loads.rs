@@ -1,0 +1,81 @@
+//! Offered-load normalization across request mixes.
+//!
+//! A "high-V_r only" stream carries far more work per request than a
+//! "low-V_r only" stream (compose-post invokes 11 services, timeline reads
+//! 3). Comparing streams at the same *request* rate would conflate
+//! volatility with load, so per-class experiments (Figs 13–14) scale each
+//! stream's rate to offer the same CPU-work as the balanced mix does.
+
+use mlp_engine::config::MixSpec;
+use mlp_model::{RequestCatalog, RequestTypeId};
+
+/// Expected CPU-work of one request in core-milliseconds: the sum over its
+/// DAG of `demand_cpu × nominal execution time`.
+pub fn cpu_work_core_ms(rt: RequestTypeId, catalog: &RequestCatalog) -> f64 {
+    let rt = catalog.request(rt);
+    rt.dag
+        .nodes()
+        .iter()
+        .map(|n| {
+            let svc = catalog.services.get(n.service);
+            svc.demand.cpu * svc.base_ms * n.work_factor
+        })
+        .sum()
+}
+
+/// Weighted mean CPU-work per request of a mix.
+pub fn mix_cpu_work_core_ms(mix: &[(RequestTypeId, f64)], catalog: &RequestCatalog) -> f64 {
+    let total_w: f64 = mix.iter().map(|(_, w)| w).sum();
+    mix.iter().map(|&(id, w)| w * cpu_work_core_ms(id, catalog)).sum::<f64>() / total_w.max(1e-12)
+}
+
+/// Rate multiplier that makes `mix` offer the same CPU-work per second as
+/// the balanced mix at the same nominal rate, clamped into `[0.25, 4]`:
+/// the timeline-read-only stream is ~13× lighter per request than the
+/// balanced mix, and a full work-equalizing rate would exceed the paper's
+/// 1000 req/s ceiling several times over (the experiment would measure
+/// admission plumbing, not scheduling).
+pub fn rate_factor(mix: MixSpec, catalog: &RequestCatalog) -> f64 {
+    let balanced = mix_cpu_work_core_ms(&MixSpec::Balanced.resolve(catalog), catalog);
+    let this = mix_cpu_work_core_ms(&mix.resolve(catalog), catalog);
+    (balanced / this.max(1e-12)).clamp(0.25, 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_model::VolatilityClass;
+
+    #[test]
+    fn high_requests_carry_more_work() {
+        let cat = RequestCatalog::paper();
+        let compose = cat.request_by_name("compose-post").unwrap().id;
+        let read = cat.request_by_name("read-user-timeline").unwrap().id;
+        let wc = cpu_work_core_ms(compose, &cat);
+        let wr = cpu_work_core_ms(read, &cat);
+        assert!(wc > 5.0 * wr, "compose {wc} vs read {wr}");
+    }
+
+    #[test]
+    fn rate_factors_equalize_work() {
+        let cat = RequestCatalog::paper();
+        for class in [VolatilityClass::Mid, VolatilityClass::High] {
+            let mix = MixSpec::SingleClass(class);
+            let f = rate_factor(mix, &cat);
+            let work = mix_cpu_work_core_ms(&mix.resolve(&cat), &cat);
+            let balanced = mix_cpu_work_core_ms(&MixSpec::Balanced.resolve(&cat), &cat);
+            assert!((work * f - balanced).abs() / balanced < 1e-9, "{class:?}");
+        }
+        // The low-only stream hits the clamp.
+        assert_eq!(rate_factor(MixSpec::SingleClass(VolatilityClass::Low), &cat), 4.0);
+        // Low-class streams run at a higher request rate, high at lower.
+        assert!(rate_factor(MixSpec::SingleClass(VolatilityClass::Low), &cat) > 1.0);
+        assert!(rate_factor(MixSpec::SingleClass(VolatilityClass::High), &cat) < 1.0);
+    }
+
+    #[test]
+    fn balanced_factor_is_one() {
+        let cat = RequestCatalog::paper();
+        assert!((rate_factor(MixSpec::Balanced, &cat) - 1.0).abs() < 1e-9);
+    }
+}

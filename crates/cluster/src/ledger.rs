@@ -1,0 +1,318 @@
+//! Future-resource reservation ledger.
+//!
+//! Algorithm 1 assigns a microservice to a machine only if, over the whole
+//! planned window `[t, t+Δt]`, the machine's remaining resources cover the
+//! service's demand (`l_res ≥ u_res`). That requires *looking into the
+//! planned future* of each machine, which this ledger provides: a timeline
+//! of reservation deltas supporting window-peak queries.
+
+use mlp_model::ResourceVector;
+use mlp_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// A per-machine timeline of planned resource occupancy.
+///
+/// Reservations are half-open intervals `[from, to)`. Queries report the
+/// component-wise *peak* usage over a window, so a fit check is exact
+/// regardless of how reservations overlap.
+#[derive(Debug, Clone)]
+pub struct ResourceLedger {
+    capacity: ResourceVector,
+    /// Net usage change at each instant (µs key).
+    deltas: BTreeMap<u64, ResourceVector>,
+    /// Usage level before the first retained delta (maintained by pruning).
+    base: ResourceVector,
+}
+
+impl ResourceLedger {
+    /// Creates an empty ledger for a machine with the given capacity.
+    pub fn new(capacity: ResourceVector) -> Self {
+        ResourceLedger { capacity, deltas: BTreeMap::new(), base: ResourceVector::ZERO }
+    }
+
+    /// Machine capacity.
+    pub fn capacity(&self) -> ResourceVector {
+        self.capacity
+    }
+
+    /// Adds a reservation of `amount` over `[from, to)`.
+    ///
+    /// # Panics
+    /// Panics if `from >= to` (empty or inverted window).
+    pub fn reserve(&mut self, from: SimTime, to: SimTime, amount: ResourceVector) {
+        assert!(from < to, "reservation window must be non-empty: {from} .. {to}");
+        *self.deltas.entry(from.as_micros()).or_insert(ResourceVector::ZERO) += amount;
+        *self.deltas.entry(to.as_micros()).or_insert(ResourceVector::ZERO) -= amount;
+    }
+
+    /// Removes a reservation previously added with identical arguments.
+    /// (Used when the self-healing module re-plans a late service.)
+    pub fn unreserve(&mut self, from: SimTime, to: SimTime, amount: ResourceVector) {
+        assert!(from < to, "reservation window must be non-empty");
+        *self.deltas.entry(from.as_micros()).or_insert(ResourceVector::ZERO) -= amount;
+        *self.deltas.entry(to.as_micros()).or_insert(ResourceVector::ZERO) += amount;
+    }
+
+    /// Planned usage at instant `t`.
+    pub fn usage_at(&self, t: SimTime) -> ResourceVector {
+        let mut usage = self.base;
+        for (_, d) in self.deltas.range(..=t.as_micros()) {
+            usage += *d;
+        }
+        usage
+    }
+
+    /// Component-wise peak planned usage over `[from, to)`.
+    pub fn peak_usage(&self, from: SimTime, to: SimTime) -> ResourceVector {
+        let mut usage = self.usage_at(from);
+        let mut peak = usage;
+        for (_, d) in self.deltas.range(from.as_micros() + 1..to.as_micros()) {
+            usage += *d;
+            peak = peak.max(&usage);
+        }
+        peak
+    }
+
+    /// Resources guaranteed free over the whole window `[from, to)`.
+    pub fn available(&self, from: SimTime, to: SimTime) -> ResourceVector {
+        (self.capacity - self.peak_usage(from, to)).clamp_non_negative()
+    }
+
+    /// Whether `amount` fits on top of existing plans over `[from, to)`.
+    pub fn fits(&self, from: SimTime, to: SimTime, amount: ResourceVector) -> bool {
+        amount.fits_within(&self.available(from, to))
+    }
+
+    /// Folds all deltas strictly before `t` into the base level, bounding
+    /// memory over long runs. Queries for instants `>= t` are unaffected.
+    pub fn prune_before(&mut self, t: SimTime) {
+        let cut = t.as_micros();
+        let keys: Vec<u64> = self.deltas.range(..cut).map(|(&k, _)| k).collect();
+        for k in keys {
+            let d = self.deltas.remove(&k).unwrap();
+            self.base += d;
+        }
+    }
+
+    /// Number of retained timeline points (diagnostics).
+    pub fn timeline_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Earliest instant within `[from, horizon)` at which `amount` fits for
+    /// a duration of `dur`. Returns `None` when no slot exists before
+    /// `horizon`. This powers the "best effort" machine traversal of
+    /// Algorithm 1 and the delay-slot search of the self-healing module.
+    ///
+    /// Single left-to-right sweep over the piecewise-constant usage
+    /// profile — O(timeline length) per call, which matters because
+    /// admission rounds under load call this for every (request node ×
+    /// machine) pair.
+    pub fn earliest_fit(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        dur: mlp_sim::SimDuration,
+        amount: ResourceVector,
+    ) -> Option<SimTime> {
+        if dur.as_micros() == 0 {
+            return Some(from);
+        }
+        if from >= horizon {
+            return None;
+        }
+        let free_needed = amount;
+        let fits_usage = |usage: &ResourceVector| {
+            (free_needed + *usage).fits_within(&self.capacity)
+        };
+
+        // Usage level entering `from`.
+        let mut usage = self.usage_at(from);
+        // `candidate` is the earliest start for which every segment since
+        // `candidate` fits.
+        let mut candidate = if fits_usage(&usage) { Some(from) } else { None };
+        for (&k, d) in self.deltas.range(from.as_micros() + 1..) {
+            let t = SimTime::from_micros(k);
+            // Did a candidate window complete before this breakpoint?
+            if let Some(c) = candidate {
+                if t >= c + dur {
+                    return Some(c);
+                }
+            }
+            if t >= horizon {
+                break;
+            }
+            usage += *d;
+            if fits_usage(&usage) {
+                candidate.get_or_insert(t);
+            } else {
+                candidate = None;
+            }
+        }
+        // Tail: usage is constant beyond the last breakpoint.
+        match candidate {
+            Some(c) if c < horizon => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_sim::SimDuration;
+
+    fn rv(c: f64) -> ResourceVector {
+        ResourceVector::new(c, c * 100.0, c * 10.0)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_ledger_is_fully_available() {
+        let l = ResourceLedger::new(rv(4.0));
+        assert_eq!(l.usage_at(t(0)), ResourceVector::ZERO);
+        assert_eq!(l.available(t(0), t(100)), rv(4.0));
+        assert!(l.fits(t(0), t(100), rv(4.0)));
+        assert!(!l.fits(t(0), t(100), rv(4.1)));
+    }
+
+    #[test]
+    fn reservation_blocks_window_only() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(10), t(20), rv(3.0));
+        assert!(l.fits(t(0), t(10), rv(4.0)), "before the window");
+        assert!(l.fits(t(20), t(30), rv(4.0)), "after the window (half-open)");
+        assert!(l.fits(t(10), t(20), rv(1.0)));
+        assert!(!l.fits(t(10), t(20), rv(1.1)));
+        assert!(!l.fits(t(5), t(15), rv(2.0)), "overlap at the front");
+        assert!(!l.fits(t(15), t(25), rv(2.0)), "overlap at the back");
+    }
+
+    #[test]
+    fn overlapping_reservations_accumulate() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(0), t(20), rv(1.5));
+        l.reserve(t(10), t(30), rv(1.5));
+        assert_eq!(l.usage_at(t(15)), rv(3.0));
+        assert_eq!(l.usage_at(t(5)), rv(1.5));
+        assert_eq!(l.usage_at(t(25)), rv(1.5));
+        assert!(!l.fits(t(12), t(18), rv(1.5)));
+        assert!(l.fits(t(12), t(18), rv(1.0)));
+    }
+
+    #[test]
+    fn unreserve_restores_availability() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(10), t(20), rv(3.0));
+        l.unreserve(t(10), t(20), rv(3.0));
+        assert!(l.fits(t(10), t(20), rv(4.0)));
+        assert_eq!(l.usage_at(t(15)), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn peak_usage_sees_interior_spikes() {
+        let mut l = ResourceLedger::new(rv(10.0));
+        l.reserve(t(10), t(12), rv(8.0)); // short spike inside the window
+        let peak = l.peak_usage(t(0), t(100));
+        assert_eq!(peak, rv(8.0));
+        assert!(!l.fits(t(0), t(100), rv(3.0)));
+    }
+
+    #[test]
+    fn prune_preserves_future_queries() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(0), t(50), rv(1.0));
+        l.reserve(t(10), t(60), rv(2.0));
+        let before = l.usage_at(t(40));
+        l.prune_before(t(30));
+        assert_eq!(l.usage_at(t(40)), before);
+        assert_eq!(l.usage_at(t(55)), rv(2.0));
+        assert!(l.timeline_len() <= 2);
+    }
+
+    #[test]
+    fn earliest_fit_finds_gap() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(0), t(30), rv(4.0)); // machine fully busy until 30ms
+        let dur = SimDuration::from_millis(10);
+        let slot = l.earliest_fit(t(0), t(1000), dur, rv(2.0));
+        assert_eq!(slot, Some(t(30)));
+        // A window that ends before the gap opens: no slot.
+        assert_eq!(l.earliest_fit(t(0), t(30), dur, rv(2.0)), None);
+    }
+
+    #[test]
+    fn earliest_fit_skips_partial_gaps() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(0), t(10), rv(4.0));
+        l.reserve(t(15), t(25), rv(4.0)); // 5ms gap at 10 is too short
+        let dur = SimDuration::from_millis(10);
+        assert_eq!(l.earliest_fit(t(0), t(1000), dur, rv(1.0)), Some(t(25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let mut l = ResourceLedger::new(rv(1.0));
+        l.reserve(t(5), t(5), rv(1.0));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use mlp_sim::SimDuration;
+    use proptest::prelude::*;
+
+    fn rv(c: f64) -> ResourceVector {
+        ResourceVector::new(c, c, c)
+    }
+
+    proptest! {
+        /// Admitting only what `fits` reports can never over-commit:
+        /// after any sequence of admission-checked reservations, planned
+        /// usage never exceeds capacity at any timeline point.
+        #[test]
+        fn never_over_commits(reqs in prop::collection::vec(
+            (0u64..100, 1u64..50, 0.1f64..3.0), 1..60)) {
+            let cap = rv(4.0);
+            let mut l = ResourceLedger::new(cap);
+            for (start, len, amt) in reqs {
+                let from = SimTime::from_millis(start);
+                let to = SimTime::from_millis(start + len);
+                let amount = rv(amt);
+                if l.fits(from, to, amount) {
+                    l.reserve(from, to, amount);
+                }
+            }
+            // Check usage at every breakpoint.
+            for instant in 0u64..200 {
+                let u = l.usage_at(SimTime::from_millis(instant));
+                prop_assert!(u.fits_within(&cap), "over-committed at {instant}ms: {u:?}");
+            }
+        }
+
+        /// earliest_fit's answer actually fits, and no timeline point
+        /// earlier than the answer fits.
+        #[test]
+        fn earliest_fit_is_sound_and_minimal(reqs in prop::collection::vec(
+            (0u64..50, 1u64..30, 0.5f64..4.0), 0..20), amt in 0.5f64..3.0, len in 1u64..20) {
+            let mut l = ResourceLedger::new(rv(4.0));
+            for (start, dur, a) in reqs {
+                let from = SimTime::from_millis(start);
+                let to = SimTime::from_millis(start + dur);
+                if l.fits(from, to, rv(a)) {
+                    l.reserve(from, to, rv(a));
+                }
+            }
+            let dur = SimDuration::from_millis(len);
+            let horizon = SimTime::from_millis(500);
+            if let Some(slot) = l.earliest_fit(SimTime::ZERO, horizon, dur, rv(amt)) {
+                prop_assert!(l.fits(slot, slot + dur, rv(amt)));
+            }
+        }
+    }
+}

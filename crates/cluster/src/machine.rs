@@ -1,0 +1,273 @@
+//! Machines and the simulated cluster.
+
+use crate::ledger::ResourceLedger;
+use mlp_model::{ResourceKind, ResourceVector};
+use mlp_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a machine in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MachineId(pub u32);
+
+/// One worker node: capacity, a future-reservation plan, and the actual
+/// instantaneous usage of services currently executing on it.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Machine id (dense, equals its index in the [`Cluster`]).
+    pub id: MachineId,
+    /// Total resources of this node.
+    pub capacity: ResourceVector,
+    /// Planned (future) occupancy — what schedulers consult.
+    pub ledger: ResourceLedger,
+    /// What is *actually* in use right now (running services).
+    pub actual_used: ResourceVector,
+    /// Number of services currently executing.
+    pub running: usize,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    pub fn new(id: MachineId, capacity: ResourceVector) -> Self {
+        Machine {
+            id,
+            capacity,
+            ledger: ResourceLedger::new(capacity),
+            actual_used: ResourceVector::ZERO,
+            running: 0,
+        }
+    }
+
+    /// Resources not actually in use right now.
+    pub fn actual_free(&self) -> ResourceVector {
+        (self.capacity - self.actual_used).clamp_non_negative()
+    }
+
+    /// Marks `demand` as actually occupied (service invocation).
+    pub fn occupy(&mut self, demand: ResourceVector) {
+        self.actual_used += demand;
+        self.running += 1;
+    }
+
+    /// Releases `demand` on service completion.
+    pub fn release(&mut self, demand: ResourceVector) {
+        self.actual_used = (self.actual_used - demand).clamp_non_negative();
+        self.running = self.running.saturating_sub(1);
+    }
+
+    /// Instantaneous utilization of this node:
+    /// `(u_cpu + u_mem + u_io) / 3` against capacity (Section V-B).
+    pub fn utilization(&self) -> f64 {
+        self.actual_used.utilization_against(&self.capacity)
+    }
+
+    /// Current load fraction of one resource kind.
+    pub fn load(&self, kind: ResourceKind) -> f64 {
+        let cap = self.capacity.get(kind);
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.actual_used.get(kind) / cap).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// The simulated cluster: a flat pool of machines (the paper's evaluation
+/// uses 100 nodes, Section V-B).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+}
+
+impl Cluster {
+    /// Builds `n` identical machines of the given capacity.
+    pub fn homogeneous(n: usize, capacity: ResourceVector) -> Self {
+        Cluster {
+            machines: (0..n).map(|i| Machine::new(MachineId(i as u32), capacity)).collect(),
+        }
+    }
+
+    /// The paper's simulated cluster: 100 nodes. Per-node capacity is a
+    /// simulation parameter the paper does not state; it is calibrated so
+    /// that the 1000 req/s peak of Fig 9 drives the cluster into the
+    /// 40–90 % utilization regime of Fig 11 (see EXPERIMENTS.md §calibration).
+    pub fn paper_default() -> Self {
+        Cluster::homogeneous(100, ResourceVector::new(2.4, 2_500.0, 350.0))
+    }
+
+    /// Builds a heterogeneous cluster from explicit per-machine
+    /// capacities (an extension beyond the paper's homogeneous setup —
+    /// real fleets mix generations; schedulers that reserve against
+    /// per-machine ledgers handle this transparently, while capacity-
+    /// oblivious ones like FairSched mis-size their slices).
+    pub fn heterogeneous(capacities: Vec<ResourceVector>) -> Self {
+        Cluster {
+            machines: capacities
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| Machine::new(MachineId(i as u32), c))
+                .collect(),
+        }
+    }
+
+    /// A two-tier fleet: `n_big` machines at `big` capacity and `n_small`
+    /// at `small` capacity (the common old-generation/new-generation mix).
+    pub fn two_tier(n_big: usize, big: ResourceVector, n_small: usize, small: ResourceVector) -> Self {
+        let mut caps = vec![big; n_big];
+        caps.extend(std::iter::repeat_n(small, n_small));
+        Cluster::heterogeneous(caps)
+    }
+
+    /// Total capacity across all machines.
+    pub fn total_capacity(&self) -> ResourceVector {
+        self.machines.iter().fold(ResourceVector::ZERO, |acc, m| acc + m.capacity)
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Machine by id.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.0 as usize]
+    }
+
+    /// Mutable machine by id.
+    pub fn machine_mut(&mut self, id: MachineId) -> &mut Machine {
+        &mut self.machines[id.0 as usize]
+    }
+
+    /// Iterates over all machines.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Mutable iteration.
+    pub fn machines_mut(&mut self) -> &mut [Machine] {
+        &mut self.machines
+    }
+
+    /// Cluster-wide utilization `U = Σ_nodes (u_cpu + u_mem + u_io) /
+    /// (#resource_types · #nodes)` — the efficiency metric of Fig 11.
+    pub fn utilization(&self) -> f64 {
+        if self.machines.is_empty() {
+            return 0.0;
+        }
+        self.machines.iter().map(Machine::utilization).sum::<f64>() / self.machines.len() as f64
+    }
+
+    /// Compacts every machine's ledger below `t`.
+    pub fn prune_ledgers_before(&mut self, t: SimTime) {
+        for m in &mut self.machines {
+            m.ledger.prune_before(t);
+        }
+    }
+
+    /// Id of the machine with the lowest instantaneous utilization
+    /// (CurSched's placement rule).
+    pub fn least_loaded(&self) -> Option<MachineId> {
+        self.machines
+            .iter()
+            .min_by(|a, b| a.utilization().partial_cmp(&b.utilization()).unwrap())
+            .map(|m| m.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(c: f64, m: f64, i: f64) -> ResourceVector {
+        ResourceVector::new(c, m, i)
+    }
+
+    #[test]
+    fn occupy_release_roundtrip() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        let d = rv(1.0, 250.0, 25.0);
+        m.occupy(d);
+        assert_eq!(m.running, 1);
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+        m.release(d);
+        assert_eq!(m.running, 0);
+        assert_eq!(m.actual_used, ResourceVector::ZERO);
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn release_clamps_at_zero() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        m.release(rv(1.0, 1.0, 1.0));
+        assert!(!m.actual_used.has_negative());
+        assert_eq!(m.running, 0);
+    }
+
+    #[test]
+    fn cluster_utilization_is_average() {
+        let mut c = Cluster::homogeneous(2, rv(4.0, 1000.0, 100.0));
+        c.machine_mut(MachineId(0)).occupy(rv(4.0, 1000.0, 100.0)); // 100%
+        assert!((c.utilization() - 0.5).abs() < 1e-12); // other idle
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let c = Cluster::paper_default();
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.machine(MachineId(99)).capacity.cpu, 2.4);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle() {
+        let mut c = Cluster::homogeneous(3, rv(4.0, 1000.0, 100.0));
+        c.machine_mut(MachineId(0)).occupy(rv(2.0, 0.0, 0.0));
+        c.machine_mut(MachineId(2)).occupy(rv(1.0, 0.0, 0.0));
+        assert_eq!(c.least_loaded(), Some(MachineId(1)));
+    }
+
+    #[test]
+    fn load_per_kind() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        m.occupy(rv(1.0, 500.0, 0.0));
+        assert!((m.load(ResourceKind::Cpu) - 0.25).abs() < 1e-12);
+        assert!((m.load(ResourceKind::Memory) - 0.5).abs() < 1e-12);
+        assert_eq!(m.load(ResourceKind::Io), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_keeps_per_machine_capacity() {
+        let c = Cluster::two_tier(
+            2,
+            rv(8.0, 2000.0, 200.0),
+            3,
+            rv(2.0, 500.0, 50.0),
+        );
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.machine(MachineId(0)).capacity.cpu, 8.0);
+        assert_eq!(c.machine(MachineId(4)).capacity.cpu, 2.0);
+        let total = c.total_capacity();
+        assert_eq!(total.cpu, 2.0 * 8.0 + 3.0 * 2.0);
+        // Ledgers are sized per machine, not per fleet.
+        assert_eq!(c.machine(MachineId(4)).ledger.capacity().cpu, 2.0);
+    }
+
+    #[test]
+    fn utilization_weighs_machines_equally() {
+        // U averages per-node utilization (paper formula), so a saturated
+        // small machine counts as much as a saturated big one.
+        let mut c = Cluster::two_tier(1, rv(8.0, 800.0, 80.0), 1, rv(2.0, 200.0, 20.0));
+        c.machine_mut(MachineId(1)).occupy(rv(2.0, 200.0, 20.0));
+        assert!((c.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_utilization() {
+        let c = Cluster::homogeneous(0, rv(1.0, 1.0, 1.0));
+        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.least_loaded(), None);
+    }
+}

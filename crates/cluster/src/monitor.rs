@@ -1,0 +1,116 @@
+//! dockerstats-like usage monitors (Table III's left column).
+
+use mlp_model::{ResourceKind, ResourceVector};
+use mlp_sim::SimTime;
+use mlp_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// The monitoring tool per resource kind (Table III: all three resources
+/// are observed through `dockerstats` in the paper's deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorTool;
+
+impl MonitorTool {
+    /// Display name matching the paper's table.
+    pub fn name(self, _kind: ResourceKind) -> &'static str {
+        "dockerstats"
+    }
+}
+
+/// A per-container usage monitor: periodic samples of the resource vector
+/// a container consumes, with streaming summaries per kind.
+///
+/// The interface layer feeds these samples into the self-organizing
+/// module's historical profile (Section III-D: "The information collected
+/// is … stored as historical traces for future scheduling").
+#[derive(Debug, Clone, Default)]
+pub struct UsageMonitor {
+    cpu: Summary,
+    mem: Summary,
+    io: Summary,
+    last_sample_at: Option<SimTime>,
+}
+
+impl UsageMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        UsageMonitor::default()
+    }
+
+    /// Records one usage sample at time `t`.
+    pub fn sample(&mut self, t: SimTime, usage: ResourceVector) {
+        self.cpu.record(usage.cpu);
+        self.mem.record(usage.mem);
+        self.io.record(usage.io);
+        self.last_sample_at = Some(t);
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.cpu.count()
+    }
+
+    /// Time of the most recent sample.
+    pub fn last_sample_at(&self) -> Option<SimTime> {
+        self.last_sample_at
+    }
+
+    /// Streaming summary for one resource kind.
+    pub fn summary(&self, kind: ResourceKind) -> &Summary {
+        match kind {
+            ResourceKind::Cpu => &self.cpu,
+            ResourceKind::Memory => &self.mem,
+            ResourceKind::Io => &self.io,
+        }
+    }
+
+    /// Mean observed usage vector.
+    pub fn mean_usage(&self) -> ResourceVector {
+        ResourceVector::new(self.cpu.mean(), self.mem.mean(), self.io.mean())
+    }
+
+    /// Peak observed usage vector.
+    pub fn peak_usage(&self) -> ResourceVector {
+        if self.samples() == 0 {
+            return ResourceVector::ZERO;
+        }
+        ResourceVector::new(self.cpu.max(), self.mem.max(), self.io.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rv(c: f64, m: f64, i: f64) -> ResourceVector {
+        ResourceVector::new(c, m, i)
+    }
+
+    #[test]
+    fn monitor_tool_name() {
+        for kind in ResourceKind::ALL {
+            assert_eq!(MonitorTool.name(kind), "dockerstats");
+        }
+    }
+
+    #[test]
+    fn empty_monitor() {
+        let m = UsageMonitor::new();
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.mean_usage(), ResourceVector::ZERO);
+        assert_eq!(m.peak_usage(), ResourceVector::ZERO);
+        assert!(m.last_sample_at().is_none());
+    }
+
+    #[test]
+    fn sampling_accumulates() {
+        let mut m = UsageMonitor::new();
+        m.sample(SimTime::from_millis(1), rv(1.0, 100.0, 10.0));
+        m.sample(SimTime::from_millis(2), rv(3.0, 300.0, 30.0));
+        assert_eq!(m.samples(), 2);
+        assert_eq!(m.mean_usage(), rv(2.0, 200.0, 20.0));
+        assert_eq!(m.peak_usage(), rv(3.0, 300.0, 30.0));
+        assert_eq!(m.last_sample_at(), Some(SimTime::from_millis(2)));
+        assert_eq!(m.summary(ResourceKind::Cpu).max(), 3.0);
+    }
+}

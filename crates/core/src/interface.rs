@@ -1,0 +1,202 @@
+//! The interface layer (Section III-D): per-container monitors, control
+//! knobs, and live telemetry.
+//!
+//! "v-MLP serves as an interface layer that bridges the high-level user
+//! request handler and the low-level server hardware. … It features a
+//! local monitor and a control toolkit on each container." The
+//! [`SchedulerCtx`](mlp_sched::SchedulerCtx) carries the *planning-time*
+//! view (ledgers, historical profiles); this module is the *run-time*
+//! telemetry the layer accumulates from completed spans — dockerstats-like
+//! usage monitors plus constant-memory live latency quantiles per service
+//! — and the cgroups-style control actions it can emit (Table III).
+
+use mlp_cluster::{ControllerTool, UsageMonitor};
+use mlp_cluster::controller::ContainerCaps;
+use mlp_model::{ResourceKind, ResourceVector, ServiceId};
+use mlp_sim::SimTime;
+use mlp_stats::P2Quantile;
+use mlp_trace::Span;
+use std::collections::HashMap;
+
+/// Live telemetry for one microservice class.
+#[derive(Debug, Clone)]
+pub struct ServiceTelemetry {
+    /// dockerstats-like usage samples.
+    pub usage: UsageMonitor,
+    /// Streaming median of execution time (ms).
+    pub exec_p50: P2Quantile,
+    /// Streaming p99 of execution time (ms).
+    pub exec_p99: P2Quantile,
+    /// Completed invocations observed.
+    pub invocations: u64,
+    /// Invocations that ran resource-capped.
+    pub capped: u64,
+}
+
+impl ServiceTelemetry {
+    fn new() -> Self {
+        ServiceTelemetry {
+            usage: UsageMonitor::new(),
+            exec_p50: P2Quantile::new(0.5),
+            exec_p99: P2Quantile::new(0.99),
+            invocations: 0,
+            capped: 0,
+        }
+    }
+
+    /// Fraction of invocations that ran capped.
+    pub fn capped_fraction(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.capped as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// A control action the layer can emit toward a container — the simulated
+/// equivalent of writing a cgroups knob (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlAction {
+    /// Which resource knob.
+    pub tool: ControllerTool,
+    /// The new per-container cap for that resource.
+    pub limit: f64,
+}
+
+/// The run-time half of the interface layer.
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceLayer {
+    services: HashMap<ServiceId, ServiceTelemetry>,
+}
+
+impl InterfaceLayer {
+    /// Creates an empty layer.
+    pub fn new() -> Self {
+        InterfaceLayer::default()
+    }
+
+    /// Ingests one completed span with the usage it occupied — what the
+    /// Zipkin-like tracer plus dockerstats deliver per execution.
+    pub fn observe_span(&mut self, span: &Span, occupied_usage: ResourceVector, now: SimTime) {
+        let t = self.services.entry(span.service).or_insert_with(ServiceTelemetry::new);
+        t.usage.sample(now, occupied_usage);
+        let ms = span.duration().as_millis_f64();
+        t.exec_p50.record(ms);
+        t.exec_p99.record(ms);
+        t.invocations += 1;
+        if span.was_capped() {
+            t.capped += 1;
+        }
+    }
+
+    /// Telemetry for one service, if any spans were observed.
+    pub fn telemetry(&self, id: ServiceId) -> Option<&ServiceTelemetry> {
+        self.services.get(&id)
+    }
+
+    /// Number of service classes with telemetry.
+    pub fn services_observed(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Builds the cgroups-style cap actions to restrict a container to
+    /// `limit` (one write per resource kind, per Table III).
+    pub fn cap_actions(limit: ResourceVector) -> Vec<ControlAction> {
+        ResourceKind::ALL
+            .iter()
+            .map(|&k| ControlAction { tool: ControllerTool::for_kind(k), limit: limit.get(k) })
+            .collect()
+    }
+
+    /// Translates a resource-stretch decision into container caps: grant =
+    /// nominal demand × factor (the self-healing module's stretch writes).
+    pub fn stretch_caps(demand: ResourceVector, factor: f64) -> ContainerCaps {
+        ContainerCaps { limit: Some(demand * factor.max(1.0)), stretch: factor.max(1.0) }
+    }
+
+    /// Live p99 (ms) for a service — the interface layer's answer to "how
+    /// is this service behaving *right now*", as opposed to the historical
+    /// profile store.
+    pub fn live_p99_ms(&self, id: ServiceId) -> Option<f64> {
+        self.services.get(&id).and_then(|t| t.exec_p99.estimate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_cluster::MachineId;
+    use mlp_model::RequestTypeId;
+    use mlp_sim::SimDuration;
+    use mlp_trace::RequestId;
+
+    fn span(service: u32, dur_ms: u64, sat: f64) -> Span {
+        let start = SimTime::from_millis(100);
+        Span {
+            request: RequestId(1),
+            request_type: RequestTypeId(0),
+            service: ServiceId(service),
+            dag_node: 0,
+            machine: MachineId(0),
+            planned_start: start,
+            start,
+            end: start + SimDuration::from_millis(dur_ms),
+            satisfaction: sat,
+        }
+    }
+
+    #[test]
+    fn accumulates_telemetry_per_service() {
+        let mut layer = InterfaceLayer::new();
+        for d in [10, 20, 30] {
+            layer.observe_span(&span(1, d, 1.0), ResourceVector::new(1.0, 100.0, 10.0), SimTime::ZERO);
+        }
+        layer.observe_span(&span(2, 5, 0.5), ResourceVector::new(0.5, 50.0, 5.0), SimTime::ZERO);
+
+        assert_eq!(layer.services_observed(), 2);
+        let t1 = layer.telemetry(ServiceId(1)).unwrap();
+        assert_eq!(t1.invocations, 3);
+        assert_eq!(t1.capped, 0);
+        assert_eq!(t1.exec_p50.estimate(), Some(20.0));
+        assert_eq!(t1.usage.mean_usage(), ResourceVector::new(1.0, 100.0, 10.0));
+
+        let t2 = layer.telemetry(ServiceId(2)).unwrap();
+        assert_eq!(t2.capped, 1);
+        assert_eq!(t2.capped_fraction(), 1.0);
+    }
+
+    #[test]
+    fn live_p99_tracks_tail() {
+        let mut layer = InterfaceLayer::new();
+        for i in 1..=200 {
+            layer.observe_span(&span(3, i, 1.0), ResourceVector::ZERO, SimTime::ZERO);
+        }
+        let p99 = layer.live_p99_ms(ServiceId(3)).unwrap();
+        assert!((180.0..=200.0).contains(&p99), "p99 {p99}");
+        assert_eq!(layer.live_p99_ms(ServiceId(9)), None);
+    }
+
+    #[test]
+    fn cap_actions_cover_table3() {
+        let actions = InterfaceLayer::cap_actions(ResourceVector::new(1.0, 512.0, 50.0));
+        assert_eq!(actions.len(), 3);
+        assert_eq!(actions[0].tool.name(), "cgroups cpuset");
+        assert_eq!(actions[0].limit, 1.0);
+        assert_eq!(actions[1].tool.name(), "cgroups memory.limit_in_bytes");
+        assert_eq!(actions[1].limit, 512.0);
+        assert_eq!(actions[2].tool.name(), "cgroups net_cls");
+        assert_eq!(actions[2].limit, 50.0);
+    }
+
+    #[test]
+    fn stretch_caps_scale_demand() {
+        let demand = ResourceVector::new(1.0, 100.0, 10.0);
+        let caps = InterfaceLayer::stretch_caps(demand, 1.25);
+        assert_eq!(caps.stretch, 1.25);
+        assert_eq!(caps.limit.unwrap(), demand * 1.25);
+        // A shrink request is clamped to no-op (stretch never takes away).
+        let caps = InterfaceLayer::stretch_caps(demand, 0.5);
+        assert_eq!(caps.stretch, 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mlp-core — v-MLP, volatility-aware Microservice Level Parallelism
+//!
+//! The paper's contribution (Section III): a scheduler that treats the
+//! *microservice chains* spawned by user requests as the unit of parallel
+//! scheduling, and manages them under uncertainty.
+//!
+//! Components:
+//!
+//! * [`volatility`] — the request-volatility metric
+//!   `V_r = α · Σ I·S·C / n` (Table II) and its Low/Medium/High bands.
+//! * [`reorder`] — the reorder ratio `R` that prioritizes the waiting
+//!   queue (a blend of volatility, SLA urgency, FCFS waiting time, and
+//!   SJF's preference for short jobs, per Section III-E).
+//! * [`organizer`] — the **self-organizing module** (Algorithm 1):
+//!   volatility-banded Δt estimation and ledger-checked placement.
+//! * [`healer`] — the **self-healing module** (Section III-F): delay-slot
+//!   filling and resource stretch on late invocations.
+//! * [`scheduler`] — [`VMlpScheduler`], the composition of the above
+//!   behind the common [`mlp_sched::Scheduler`] trait. The
+//!   [`mlp_sched::SchedulerCtx`] it receives *is* the paper's "interface
+//!   layer": monitors ([`mlp_cluster::UsageMonitor`]), controllers
+//!   ([`mlp_cluster::ControllerTool`]), tracing ([`mlp_trace`]) and the
+//!   machine ledgers, abstracted away from the request handler above.
+//! * [`parallelism`] — the ILP/TLP/MLP/RLP taxonomy of Table I.
+
+pub mod healer;
+pub mod interface;
+pub mod organizer;
+pub mod parallelism;
+pub mod reorder;
+pub mod scheduler;
+pub mod volatility;
+
+pub use scheduler::{VMlpConfig, VMlpScheduler};
+pub use volatility::{Volatility, VolatilityBand};

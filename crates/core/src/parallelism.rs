@@ -1,0 +1,95 @@
+//! The parallelism taxonomy of Table I: ILP vs TLP vs MLP vs RLP.
+
+use serde::{Deserialize, Serialize};
+
+/// A level of parallelism in the computing stack (Table I). MLP sits
+/// between chip-level scheduling (ILP/TLP) and datacenter-scale request
+/// scheduling (RLP), taking the *microservice chain* as its granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelismLevel {
+    /// Instruction Level Parallelism — pipeline scheduling of instructions.
+    Ilp,
+    /// Thread Level Parallelism — many instruction streams across cores.
+    Tlp,
+    /// Microservice Level Parallelism — this paper: aligned execution of
+    /// parallel microservice chains.
+    Mlp,
+    /// Request Level Parallelism — parallel monolithic requests across
+    /// machines.
+    Rlp,
+}
+
+impl ParallelismLevel {
+    /// All four, in Table I column order.
+    pub const ALL: [ParallelismLevel; 4] = [
+        ParallelismLevel::Ilp,
+        ParallelismLevel::Tlp,
+        ParallelismLevel::Mlp,
+        ParallelismLevel::Rlp,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelismLevel::Ilp => "ILP",
+            ParallelismLevel::Tlp => "TLP",
+            ParallelismLevel::Mlp => "MLP",
+            ParallelismLevel::Rlp => "RLP",
+        }
+    }
+
+    /// Table I row "Scheduling Level".
+    pub fn scheduling_level(self) -> &'static str {
+        match self {
+            ParallelismLevel::Ilp | ParallelismLevel::Tlp => "Chip Level",
+            ParallelismLevel::Mlp | ParallelismLevel::Rlp => "System Level",
+        }
+    }
+
+    /// Table I row "Granularity".
+    pub fn granularity(self) -> &'static str {
+        match self {
+            ParallelismLevel::Ilp => "Instruction",
+            ParallelismLevel::Tlp => "Instruction Stream",
+            ParallelismLevel::Mlp => "Microservice",
+            ParallelismLevel::Rlp => "Monolithic Application",
+        }
+    }
+
+    /// Table I row "Key Opti. Approach".
+    pub fn key_approach(self) -> &'static str {
+        match self {
+            ParallelismLevel::Ilp | ParallelismLevel::Mlp => "Temporal",
+            ParallelismLevel::Tlp | ParallelismLevel::Rlp => "Spatial",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        use ParallelismLevel::*;
+        assert_eq!(Ilp.scheduling_level(), "Chip Level");
+        assert_eq!(Tlp.scheduling_level(), "Chip Level");
+        assert_eq!(Mlp.scheduling_level(), "System Level");
+        assert_eq!(Rlp.scheduling_level(), "System Level");
+
+        assert_eq!(Mlp.granularity(), "Microservice");
+        assert_eq!(Rlp.granularity(), "Monolithic Application");
+
+        // MLP is temporal like ILP (pipeline alignment), not spatial.
+        assert_eq!(Mlp.key_approach(), "Temporal");
+        assert_eq!(Ilp.key_approach(), "Temporal");
+        assert_eq!(Tlp.key_approach(), "Spatial");
+        assert_eq!(Rlp.key_approach(), "Spatial");
+    }
+
+    #[test]
+    fn names() {
+        let names: Vec<&str> = ParallelismLevel::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["ILP", "TLP", "MLP", "RLP"]);
+    }
+}

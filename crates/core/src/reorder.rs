@@ -1,0 +1,224 @@
+//! The reorder ratio `R` for the waiting queue (Section III-E).
+//!
+//! The paper defines `R = α · V_r · SLA · t_arr / Δt₀` as "a comprehensive
+//! consideration of SLA requirement and two classic scheduling policies,
+//! FCFS and SJF", with requests of higher `R` popped earlier. We realize
+//! each stated intent explicitly:
+//!
+//! * **FCFS** — the `t_arr` term is interpreted as *time waited so far*
+//!   (`now − t_arr`): requests that have waited longer rank higher. (Taking
+//!   raw arrival time literally would invert FCFS, prioritizing the newest
+//!   request.)
+//! * **SJF** — dividing by `Δt₀`, the smallest historical execution time of
+//!   the request's first microservice, ranks short jobs higher.
+//! * **SLA** — urgency is the inverse of the remaining slack before the
+//!   request's deadline (`arrival + SLO`), so requests close to violating
+//!   rank higher.
+//! * **V_r** — multiplies everything: volatile requests are examined
+//!   earlier, when machine futures are still flexible.
+//! * **α** — a normalization into `(0, 1)` via `r / (1 + r)`.
+
+use crate::volatility::Volatility;
+use mlp_sched::{RequestInfo, SchedulerCtx};
+use mlp_sim::SimTime;
+
+/// Computes the reorder ratio `R ∈ (0, 1)` for a waiting request.
+pub fn reorder_ratio(req: &RequestInfo, now: SimTime, ctx: &SchedulerCtx<'_>) -> f64 {
+    let rt = ctx.catalog.request(req.rtype);
+    let vr = Volatility::new(rt.volatility).value().max(1e-3);
+
+    // FCFS term: milliseconds waited (≥ a small epsilon so new arrivals
+    // still get nonzero priority).
+    let waited_ms = now.since(req.arrival).as_millis_f64().max(0.1);
+
+    // SLA term: inverse remaining slack before the deadline, in (0, ∞);
+    // overdue requests saturate high.
+    let deadline = req.arrival + mlp_sim::SimDuration::from_millis_f64(rt.slo_ms);
+    let slack_ms = if deadline > now { deadline.since(now).as_millis_f64() } else { 0.1 };
+    let urgency = rt.slo_ms / slack_ms.max(0.1);
+
+    // SJF term: Δt₀ = smallest historical execution time of the request's
+    // first microservice (fallback: its nominal base time).
+    let dt0 = rt
+        .dag
+        .roots()
+        .first()
+        .map(|&r| {
+            let svc = rt.dag.node(r).service;
+            ctx.profiles
+                .min_exec_ms(svc)
+                .unwrap_or_else(|| ctx.catalog.services.get(svc).base_ms)
+        })
+        .unwrap_or(1.0)
+        .max(0.1);
+
+    let raw = vr * urgency * waited_ms / dt0;
+    // α-normalization into (0, 1).
+    raw / (1.0 + raw)
+}
+
+/// Sorts a waiting queue by descending `R` (highest priority first), with
+/// arrival order as a deterministic tie-break.
+pub fn sort_by_reorder_ratio(queue: &mut [RequestInfo], now: SimTime, ctx: &SchedulerCtx<'_>) {
+    let mut keyed: Vec<(f64, RequestInfo)> =
+        queue.iter().map(|r| (reorder_ratio(r, now, ctx), *r)).collect();
+    keyed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then_with(|| a.1.arrival.cmp(&b.1.arrival))
+            .then_with(|| a.1.id.cmp(&b.1.id))
+    });
+    for (slot, (_, r)) in queue.iter_mut().zip(keyed) {
+        *slot = r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_cluster::Cluster;
+    use mlp_model::{RequestCatalog, ResourceVector};
+    use mlp_net::NetworkModel;
+    use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+
+    struct H {
+        cluster: Cluster,
+        catalog: RequestCatalog,
+        net: NetworkModel,
+        profiles: ProfileStore,
+        metrics: MetricsRegistry,
+    }
+
+    impl H {
+        fn new() -> Self {
+            H {
+                cluster: Cluster::homogeneous(2, ResourceVector::new(6.0, 32_000.0, 1_000.0)),
+                catalog: RequestCatalog::paper(),
+                net: NetworkModel::paper_default(),
+                profiles: ProfileStore::new(),
+                metrics: MetricsRegistry::new(),
+            }
+        }
+        fn ctx(&mut self) -> SchedulerCtx<'_> {
+            SchedulerCtx {
+                now: SimTime::from_millis(1000),
+                cluster: &mut self.cluster,
+                profiles: &self.profiles,
+                catalog: &self.catalog,
+                net: &self.net,
+                metrics: &self.metrics,
+            }
+        }
+        fn req(&self, id: u64, name: &str, arrival_ms: u64) -> RequestInfo {
+            RequestInfo {
+                id: RequestId(id),
+                rtype: self.catalog.request_by_name(name).unwrap().id,
+                arrival: SimTime::from_millis(arrival_ms),
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_is_normalized() {
+        let mut h = H::new();
+        let r = h.req(1, "compose-post", 0);
+        let ctx = h.ctx();
+        let ratio = reorder_ratio(&r, SimTime::from_millis(1000), &ctx);
+        assert!(ratio > 0.0 && ratio < 1.0);
+    }
+
+    #[test]
+    fn longer_wait_raises_priority() {
+        let mut h = H::new();
+        let early = h.req(1, "basicSearch", 0);
+        let late = h.req(2, "basicSearch", 900);
+        let ctx = h.ctx();
+        let now = SimTime::from_millis(1000);
+        assert!(
+            reorder_ratio(&early, now, &ctx) > reorder_ratio(&late, now, &ctx),
+            "FCFS: the longer-waiting request must rank higher"
+        );
+    }
+
+    #[test]
+    fn higher_volatility_raises_priority() {
+        let mut h = H::new();
+        // Same arrival and wait; compose-post is High V_r,
+        // read-home-timeline Low. Evaluated while both are still within
+        // their SLOs so the urgency terms stay comparable (once a request
+        // is overdue, SLA urgency rightly dominates volatility).
+        let hi = h.req(1, "compose-post", 550);
+        let lo = h.req(2, "read-home-timeline", 550);
+        let ctx = h.ctx();
+        let now = SimTime::from_millis(600);
+        let r_hi = reorder_ratio(&hi, now, &ctx);
+        let r_lo = reorder_ratio(&lo, now, &ctx);
+        assert!(r_hi > r_lo, "high-V_r {r_hi} should outrank low-V_r {r_lo}");
+    }
+
+    #[test]
+    fn approaching_deadline_raises_priority() {
+        let mut h = H::new();
+        let r = h.req(1, "basicSearch", 0);
+        let slo = h.catalog.request_by_name("basicSearch").unwrap().slo_ms;
+        let ctx = h.ctx();
+        // Same waited time, but evaluated closer to the deadline.
+        let near_deadline = SimTime::from_millis((slo as u64).saturating_sub(10));
+        let fresh = SimTime::from_millis(50);
+        // waited also grows with time, so both terms push the same way —
+        // this asserts the combined effect is monotone.
+        assert!(reorder_ratio(&r, near_deadline, &ctx) > reorder_ratio(&r, fresh, &ctx));
+    }
+
+    #[test]
+    fn sort_is_descending_and_deterministic() {
+        let mut h = H::new();
+        let mut queue = vec![
+            h.req(1, "read-home-timeline", 900),
+            h.req(2, "compose-post", 100),
+            h.req(3, "basicSearch", 500),
+        ];
+        let mut queue2 = queue.clone();
+        let now = SimTime::from_millis(1000);
+        {
+            let ctx = h.ctx();
+            sort_by_reorder_ratio(&mut queue, now, &ctx);
+            sort_by_reorder_ratio(&mut queue2, now, &ctx);
+        }
+        assert_eq!(queue, queue2, "deterministic");
+        let ctx = h.ctx();
+        let ratios: Vec<f64> = queue.iter().map(|r| reorder_ratio(r, now, &ctx)).collect();
+        for w in ratios.windows(2) {
+            assert!(w[0] >= w[1], "not descending: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn sjf_prefers_short_first_service() {
+        let mut h = H::new();
+        // Record a tiny history for read-home-timeline's root (nginx) vs
+        // a huge one for basicSearch's root (ui): shorter Δt₀ ⇒ higher R,
+        // all else roughly equal.
+        let rh = h.catalog.request_by_name("read-home-timeline").unwrap();
+        let bs = h.catalog.request_by_name("basicSearch").unwrap();
+        let rh_root = rh.dag.node(rh.dag.roots()[0]).service;
+        let bs_root = bs.dag.node(bs.dag.roots()[0]).service;
+        for (svc, ms) in [(rh_root, 1.0), (bs_root, 500.0)] {
+            h.profiles.record(
+                svc,
+                mlp_trace::ExecutionCase {
+                    usage: ResourceVector::ZERO,
+                    machine_load: 0.0,
+                    exec_ms: ms,
+                },
+            );
+        }
+        let a = h.req(1, "read-home-timeline", 0);
+        let b = h.req(2, "basicSearch", 0);
+        let ctx = h.ctx();
+        let now = SimTime::from_millis(100);
+        // read-home-timeline has lower V_r but a 500× shorter Δt₀ and a
+        // tighter SLO: SJF + SLA dominate here.
+        assert!(reorder_ratio(&a, now, &ctx) > reorder_ratio(&b, now, &ctx));
+    }
+}

@@ -1,0 +1,115 @@
+//! The request-volatility metric `V_r` and its scheduling bands.
+
+use mlp_model::{RequestCatalog, RequestType, VolatilityClass};
+use serde::{Deserialize, Serialize};
+
+/// Algorithm 1's three volatility bands with their paper boundaries:
+/// low `(0, 0.3]`, medium `(0.3, 0.7)`, high `[0.7, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VolatilityBand {
+    /// `V_r ≤ 0.3`: Δt comes directly from the historical value.
+    Low,
+    /// `0.3 < V_r < 0.7`: Δt = 50 % latency of the fastest x % executions.
+    Medium,
+    /// `V_r ≥ 0.7`: Δt = 99 % tail latency of the fastest x % executions.
+    High,
+}
+
+/// A request's volatility `V_r ∈ (0, 1]` — "the likelihood of the request
+/// to deviate from its ideal execution conditions" (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Volatility(f64);
+
+impl Volatility {
+    /// Wraps a raw `V_r` value, clamping into `[0, 1]`.
+    pub fn new(vr: f64) -> Self {
+        Volatility(vr.clamp(0.0, 1.0))
+    }
+
+    /// Computes `V_r` for a request type from its DAG and the service
+    /// catalog (delegates to the model's `α · Σ I·S·C / n`).
+    pub fn of_request(rt: &RequestType, catalog: &RequestCatalog) -> Self {
+        Volatility::new(mlp_model::requests::raw_volatility(&rt.dag, &catalog.services))
+    }
+
+    /// Raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scheduling band.
+    pub fn band(self) -> VolatilityBand {
+        if self.0 <= 0.3 {
+            VolatilityBand::Low
+        } else if self.0 < 0.7 {
+            VolatilityBand::Medium
+        } else {
+            VolatilityBand::High
+        }
+    }
+
+    /// The `x` of "x % executions" in Algorithm 1: `x ∝ SLA · V_r`, clamped
+    /// into `[1, 100]`.
+    ///
+    /// `sla_weight` expresses how permissive the request's SLA is relative
+    /// to the default SLO factor (1.0 = default). Higher volatility or a
+    /// looser SLA widens the history window considered, making Δt more
+    /// conservative.
+    pub fn x_percent(self, sla_weight: f64) -> f64 {
+        (100.0 * self.0 * sla_weight.max(0.0)).clamp(1.0, 100.0)
+    }
+}
+
+impl From<VolatilityClass> for VolatilityBand {
+    fn from(c: VolatilityClass) -> Self {
+        match c {
+            VolatilityClass::Low => VolatilityBand::Low,
+            VolatilityClass::Mid => VolatilityBand::Medium,
+            VolatilityClass::High => VolatilityBand::High,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_model::RequestCatalog;
+
+    #[test]
+    fn bands_match_algorithm1_boundaries() {
+        assert_eq!(Volatility::new(0.05).band(), VolatilityBand::Low);
+        assert_eq!(Volatility::new(0.3).band(), VolatilityBand::Low);
+        assert_eq!(Volatility::new(0.31).band(), VolatilityBand::Medium);
+        assert_eq!(Volatility::new(0.69).band(), VolatilityBand::Medium);
+        assert_eq!(Volatility::new(0.7).band(), VolatilityBand::High);
+        assert_eq!(Volatility::new(1.0).band(), VolatilityBand::High);
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Volatility::new(-0.5).value(), 0.0);
+        assert_eq!(Volatility::new(7.0).value(), 1.0);
+    }
+
+    #[test]
+    fn of_request_matches_catalog_precompute() {
+        let cat = RequestCatalog::paper();
+        for rt in &cat.requests {
+            let v = Volatility::of_request(rt, &cat);
+            assert!((v.value() - rt.volatility).abs() < 1e-12, "{}", rt.name);
+            assert_eq!(v.band(), VolatilityBand::from(rt.class()), "{}", rt.name);
+        }
+    }
+
+    #[test]
+    fn x_percent_scales_with_volatility_and_sla() {
+        let hi = Volatility::new(0.8);
+        let lo = Volatility::new(0.2);
+        assert!(hi.x_percent(1.0) > lo.x_percent(1.0));
+        assert_eq!(hi.x_percent(1.0), 80.0);
+        // Looser SLA widens the window, clamped at 100.
+        assert_eq!(hi.x_percent(2.0), 100.0);
+        // Floor at 1 %.
+        assert_eq!(Volatility::new(0.001).x_percent(0.1), 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Ad-hoc regime probe used while calibrating the evaluation (not a paper
+//! figure). Prints the headline metrics for every scheme × pattern at
+//! laptop scale.
+use mlp_engine::config::ExperimentConfig;
+use mlp_engine::parallel::run_all;
+use mlp_engine::scheme::Scheme;
+use mlp_workload::WorkloadPattern;
+
+fn main() {
+    for pattern in WorkloadPattern::PAPER {
+        println!("--- pattern {:?}", pattern);
+        let configs: Vec<ExperimentConfig> = Scheme::PAPER
+            .into_iter()
+            .map(|s| ExperimentConfig::small(s).with_pattern(pattern).with_seed(3))
+            .collect();
+        for r in run_all(&configs, 0) {
+            println!(
+                "{:12} p50={:7.1} p90={:7.1} p99={:8.1} viol={:.3} util={:.3} thr={:6.1} capped={:.3} late={:.3} unfin={} heal={:?}",
+                r.config.scheme.label(), r.latency_ms[0], r.latency_ms[1], r.latency_ms[2],
+                r.violation_rate, r.mean_utilization, r.throughput(),
+                r.capped_fraction, r.late_fraction, r.unfinished, r.healing,
+            );
+        }
+    }
+}

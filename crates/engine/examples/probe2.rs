@@ -1,0 +1,34 @@
+//! Ablation probe: which v-MLP component costs/pays at the current regime.
+use mlp_core::organizer::DtPolicy;
+use mlp_core::VMlpConfig;
+use mlp_engine::config::ExperimentConfig;
+use mlp_engine::parallel::run_all;
+use mlp_engine::scheme::Scheme;
+use mlp_workload::WorkloadPattern;
+
+fn main() {
+    let full = VMlpConfig::paper();
+    let variants: Vec<(&str, Scheme)> = vec![
+        ("full", Scheme::VMlp),
+        ("no-heal", Scheme::VMlpCustom(VMlpConfig::without_healing())),
+        ("slot-only", Scheme::VMlpCustom(VMlpConfig { resource_stretch: false, ..full })),
+        ("stretch-only", Scheme::VMlpCustom(VMlpConfig { delay_slot: false, ..full })),
+        ("no-trim", Scheme::VMlpCustom(VMlpConfig { trim_reservations: false, ..full })),
+        ("mean-dt", Scheme::VMlpCustom(VMlpConfig { dt_policy: DtPolicy::AlwaysMean, ..full })),
+        ("p99-dt", Scheme::VMlpCustom(VMlpConfig { dt_policy: DtPolicy::AlwaysP99, ..full })),
+    ];
+    for pattern in [WorkloadPattern::L1Pulse, WorkloadPattern::L2Fluctuating] {
+        println!("--- {:?}", pattern);
+        let configs: Vec<ExperimentConfig> = variants
+            .iter()
+            .map(|(_, s)| ExperimentConfig::small(*s).with_pattern(pattern).with_seed(3))
+            .collect();
+        for ((name, _), r) in variants.iter().zip(run_all(&configs, 0)) {
+            println!(
+                "{:12} p50={:7.1} p90={:7.1} p99={:8.1} viol={:.3} util={:.3} capped={:.3} heal={:?}",
+                name, r.latency_ms[0], r.latency_ms[1], r.latency_ms[2],
+                r.violation_rate, r.mean_utilization, r.capped_fraction, r.healing,
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Mid-stream diagnosis probe (calibration aid, not a paper figure).
+use mlp_core::organizer::DtPolicy;
+use mlp_core::VMlpConfig;
+use mlp_engine::config::{ExperimentConfig, MixSpec};
+use mlp_engine::parallel::run_all;
+use mlp_engine::scheme::Scheme;
+use mlp_model::VolatilityClass;
+use mlp_workload::WorkloadPattern;
+
+fn main() {
+    let full = VMlpConfig::paper();
+    let variants: Vec<(&str, Scheme)> = vec![
+        ("full", Scheme::VMlp),
+        ("no-slot", Scheme::VMlpCustom(VMlpConfig { delay_slot: false, ..full })),
+        ("no-heal", Scheme::VMlpCustom(VMlpConfig::without_healing())),
+        ("p99-dt", Scheme::VMlpCustom(VMlpConfig { dt_policy: DtPolicy::AlwaysP99, ..full })),
+        ("mean-dt", Scheme::VMlpCustom(VMlpConfig { dt_policy: DtPolicy::AlwaysMean, ..full })),
+        ("no-reorder", Scheme::VMlpCustom(VMlpConfig { reorder: false, ..full })),
+    ];
+    let configs: Vec<ExperimentConfig> = variants
+        .iter()
+        .map(|(_, s)| ExperimentConfig {
+            machines: 12,
+            max_rate: 160.0,
+            horizon_s: 40.0,
+            pattern: WorkloadPattern::L2Fluctuating,
+            mix: MixSpec::SingleClass(VolatilityClass::Mid),
+            ..ExperimentConfig::paper_default(*s)
+        }
+        .with_seed(7))
+        .collect();
+    for ((name, _), r) in variants.iter().zip(run_all(&configs, 0)) {
+        println!(
+            "{:10} p50={:7.1} p99={:8.1} viol={:.3} capped={:.3} late={:.3} heal={:?}",
+            name, r.latency_ms[0], r.latency_ms[2], r.violation_rate,
+            r.capped_fraction, r.late_fraction, r.healing
+        );
+    }
+}

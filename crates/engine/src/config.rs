@@ -1,0 +1,219 @@
+//! Experiment configuration (Table IV's simulation platform, Section V's
+//! run parameters).
+
+use crate::scheme::Scheme;
+use mlp_model::{RequestTypeId, ResourceVector, VolatilityClass};
+use mlp_workload::WorkloadPattern;
+use serde::{Deserialize, Serialize};
+
+/// Which request mix a run offers (Section IV / Figs 13–14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MixSpec {
+    /// All five types, each volatility category carrying equal mass.
+    Balanced,
+    /// Only the request types of one volatility class (Fig 13's separated
+    /// streams).
+    SingleClass(VolatilityClass),
+    /// `ratio` of high-V_r requests, the rest split low/mid (Fig 14).
+    HighRatio(f64),
+}
+
+impl MixSpec {
+    /// Resolves the mix into `(type, weight)` pairs against a catalog.
+    pub fn resolve(self, catalog: &mlp_model::RequestCatalog) -> Vec<(RequestTypeId, f64)> {
+        match self {
+            MixSpec::Balanced => catalog.balanced_mix(),
+            MixSpec::SingleClass(c) => catalog.class_mix(c),
+            MixSpec::HighRatio(r) => catalog.high_ratio_mix(r),
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Scheduling scheme under test.
+    pub scheme: Scheme,
+    /// Number of machines (the paper simulates 100).
+    pub machines: usize,
+    /// Per-machine capacity (defaults to the Table IV worker shape).
+    pub machine_capacity: ResourceVector,
+    /// Offered-load pattern.
+    pub pattern: WorkloadPattern,
+    /// Peak arrival rate, requests/second (the paper caps at 1000).
+    pub max_rate: f64,
+    /// Run horizon in seconds (the paper's scheduling period is 100 s).
+    pub horizon_s: f64,
+    /// Request mix.
+    pub mix: MixSpec,
+    /// Root RNG seed (arrivals, execution noise, comm noise all fork from
+    /// this, so runs are exactly reproducible).
+    pub seed: u64,
+    /// Profiling cases recorded per request type before the run starts
+    /// (the "historical traces" input of Fig 8).
+    pub warmup_cases: usize,
+    /// Utilization sampling period, seconds (Fig 11's curve resolution).
+    pub sample_period_s: f64,
+    /// Hard wall: the run drains in-flight requests after the horizon but
+    /// never past `horizon_s × drain_factor`.
+    pub drain_factor: f64,
+    /// Heterogeneous-fleet extension (beyond the paper's homogeneous
+    /// cluster): when set, `(count, scale)` turns the *last* `count`
+    /// machines into a small tier with `capacity × scale`. `None` keeps
+    /// the homogeneous setup.
+    pub small_tier: Option<(usize, f64)>,
+}
+
+impl ExperimentConfig {
+    /// The paper-shaped default: 100 machines, L1 pattern, balanced mix.
+    ///
+    /// `max_rate` defaults to 1000 req/s like the paper; most figure
+    /// binaries scale it down together with `machines` to keep laptop
+    /// runtimes reasonable (the scheduler dynamics are per-machine-load
+    /// driven, so scaling both preserves the regime).
+    pub fn paper_default(scheme: Scheme) -> Self {
+        ExperimentConfig {
+            scheme,
+            machines: 100,
+            machine_capacity: ResourceVector::new(2.4, 2_500.0, 350.0),
+            pattern: WorkloadPattern::L1Pulse,
+            max_rate: 1000.0,
+            horizon_s: 100.0,
+            mix: MixSpec::Balanced,
+            seed: 2022,
+            warmup_cases: 100,
+            sample_period_s: 1.0,
+            drain_factor: 3.0,
+            small_tier: None,
+        }
+    }
+
+    /// A laptop-scale configuration preserving the paper's per-machine
+    /// load regime (peak ≈ 70 % of cluster CPU, sustained plateaus ≈ 50 %):
+    /// 20 machines at 140 req/s peak over 40 s.
+    pub fn small(scheme: Scheme) -> Self {
+        ExperimentConfig {
+            machines: 20,
+            max_rate: 140.0,
+            horizon_s: 40.0,
+            ..Self::paper_default(scheme)
+        }
+    }
+
+    /// A tiny smoke-test configuration for unit/integration tests.
+    pub fn smoke(scheme: Scheme) -> Self {
+        ExperimentConfig {
+            machines: 8,
+            max_rate: 40.0,
+            horizon_s: 8.0,
+            warmup_cases: 30,
+            ..Self::paper_default(scheme)
+        }
+    }
+
+    /// Builder-style override helpers.
+    pub fn with_pattern(mut self, p: WorkloadPattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Sets the request mix.
+    pub fn with_mix(mut self, m: MixSpec) -> Self {
+        self.mix = m;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the peak rate.
+    pub fn with_rate(mut self, r: f64) -> Self {
+        self.max_rate = r;
+        self
+    }
+
+    /// Enables the heterogeneous two-tier fleet extension.
+    pub fn with_small_tier(mut self, count: usize, scale: f64) -> Self {
+        self.small_tier = Some((count, scale));
+        self
+    }
+
+    /// Builds the cluster this config describes.
+    pub fn build_cluster(&self) -> mlp_cluster::Cluster {
+        match self.small_tier {
+            None => mlp_cluster::Cluster::homogeneous(self.machines, self.machine_capacity),
+            Some((count, scale)) => {
+                let count = count.min(self.machines);
+                mlp_cluster::Cluster::two_tier(
+                    self.machines - count,
+                    self.machine_capacity,
+                    count,
+                    self.machine_capacity * scale,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_model::RequestCatalog;
+
+    #[test]
+    fn paper_default_matches_section5() {
+        let c = ExperimentConfig::paper_default(Scheme::VMlp);
+        assert_eq!(c.machines, 100);
+        assert_eq!(c.max_rate, 1000.0);
+        assert_eq!(c.horizon_s, 100.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ExperimentConfig::small(Scheme::FairSched)
+            .with_pattern(WorkloadPattern::L3PeriodicWide)
+            .with_seed(7)
+            .with_rate(120.0)
+            .with_mix(MixSpec::SingleClass(VolatilityClass::High));
+        assert_eq!(c.pattern, WorkloadPattern::L3PeriodicWide);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_rate, 120.0);
+        assert_eq!(c.mix, MixSpec::SingleClass(VolatilityClass::High));
+    }
+
+    #[test]
+    fn mixes_resolve_to_weights() {
+        let cat = RequestCatalog::paper();
+        for mix in [
+            MixSpec::Balanced,
+            MixSpec::SingleClass(VolatilityClass::Mid),
+            MixSpec::HighRatio(0.5),
+        ] {
+            let resolved = mix.resolve(&cat);
+            assert!(!resolved.is_empty());
+            let total: f64 = resolved.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{mix:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn two_tier_cluster_built_from_config() {
+        let c = ExperimentConfig::smoke(Scheme::VMlp).with_small_tier(3, 0.5);
+        let cluster = c.build_cluster();
+        assert_eq!(cluster.len(), 8);
+        let big = cluster.machine(mlp_cluster::MachineId(0)).capacity;
+        let small = cluster.machine(mlp_cluster::MachineId(7)).capacity;
+        assert!((small.cpu - big.cpu * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ExperimentConfig::smoke(Scheme::PartProfile);
+        let js = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+    }
+}

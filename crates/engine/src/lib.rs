@@ -1,0 +1,25 @@
+//! # mlp-engine — trace-driven evaluation engine (Fig 8)
+//!
+//! Drives the full evaluation workflow of Section IV: profiling traces feed
+//! a [`mlp_trace::ProfileStore`]; a workload pattern and request mix feed
+//! the arrival generator; the discrete-event [`sim`]ulator executes the
+//! chosen scheduling [`scheme`] on a simulated cluster; and the
+//! [`runner`] extracts the figures' metrics (QoS-violation rate,
+//! utilization timeline, latency distribution, tail latency, throughput).
+//!
+//! Experiment sweeps fan out across CPU cores via [`parallel`] (crossbeam
+//! scoped threads with deterministically forked seeds).
+
+pub mod config;
+pub mod parallel;
+pub mod profiling;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod scheme;
+pub mod sim;
+pub mod traceio;
+
+pub use config::ExperimentConfig;
+pub use runner::{run_experiment, ExperimentResult};
+pub use scheme::Scheme;

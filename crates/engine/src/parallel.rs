@@ -1,0 +1,91 @@
+//! Parallel experiment sweeps (crossbeam scoped threads).
+//!
+//! The evaluation grid — 5 schemes × 3 patterns × 3 volatility streams ×
+//! seeds — is embarrassingly parallel. Each configuration carries its own
+//! seed, so results are independent of worker scheduling, and a bounded
+//! worker pool keeps memory proportional to core count.
+
+use crate::config::ExperimentConfig;
+use crate::runner::{run_experiment_with_catalog, ExperimentResult};
+use mlp_model::RequestCatalog;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs every configuration, fanning out over up to `workers` threads
+/// (0 = number of available cores). Results come back in input order.
+pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentResult> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        workers
+    };
+    let workers = workers.min(configs.len().max(1));
+    let catalog = RequestCatalog::paper();
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    let slot_refs: Vec<parking_lot::Mutex<&mut Option<ExperimentResult>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = run_experiment_with_catalog(&configs[i], &catalog);
+                **slot_refs[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    drop(slot_refs);
+    slots.into_iter().map(|r| r.expect("every config produces a result")).collect()
+}
+
+/// Convenience: run one scheme-per-config comparison and pair each result
+/// with its scheme label.
+pub fn run_labeled(configs: &[ExperimentConfig], workers: usize) -> Vec<(&'static str, ExperimentResult)> {
+    run_all(configs, workers)
+        .into_iter()
+        .map(|r| (r.config.scheme.label(), r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let configs: Vec<ExperimentConfig> = [Scheme::FairSched, Scheme::VMlp]
+            .into_iter()
+            .map(|s| ExperimentConfig::smoke(s).with_seed(5))
+            .collect();
+        let par = run_all(&configs, 2);
+        let seq: Vec<_> = configs.iter().map(crate::runner::run_experiment).collect();
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.completed, s.completed);
+            assert_eq!(p.latency_ms, s.latency_ms);
+        }
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let configs: Vec<ExperimentConfig> = Scheme::PAPER
+            .into_iter()
+            .map(|s| ExperimentConfig::smoke(s).with_seed(1))
+            .collect();
+        let labeled = run_labeled(&configs, 0);
+        let labels: Vec<&str> = labeled.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, vec!["FairSched", "CurSched", "PartProfile", "FullProfile", "v-MLP"]);
+    }
+
+    #[test]
+    fn empty_config_list() {
+        assert!(run_all(&[], 4).is_empty());
+    }
+}

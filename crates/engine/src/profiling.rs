@@ -1,0 +1,88 @@
+//! Offline profiling — the "workload characterization" stage of Fig 8.
+//!
+//! Before an evaluation run, the paper collects execution traces of the
+//! benchmarks on an instrumented cluster (Zipkin for times, dockerstats
+//! for usage) and feeds them to the simulator. We reproduce that stage by
+//! exercising every request type's DAG against the execution model under
+//! near-abundant resources and recording the observed cases into a
+//! [`ProfileStore`].
+
+use mlp_model::RequestCatalog;
+use mlp_sim::SimRng;
+use mlp_trace::{ExecutionCase, ProfileStore};
+use rand::Rng;
+
+/// Records `cases_per_type` executions of every request type's every node.
+///
+/// Resources are near-abundant (satisfaction sampled in `[0.9, 1.0]`) as
+/// in the paper's characterization runs, so the profile reflects the
+/// services' *inner* variability; the contention the scheduler will face
+/// at run time is exactly what the profile cannot tell it.
+pub fn warm_profiles(
+    catalog: &RequestCatalog,
+    cases_per_type: usize,
+    rng: &mut SimRng,
+) -> ProfileStore {
+    let mut store = ProfileStore::new();
+    for rt in &catalog.requests {
+        for _ in 0..cases_per_type {
+            for node in rt.dag.nodes() {
+                let svc = catalog.services.get(node.service);
+                let f: f64 = rng.rng().gen_range(0.9..=1.0);
+                let exec_ms = svc.sample_exec_ms_capped(node.work_factor, f, rng.rng());
+                let usage_scale: f64 = rng.rng().gen_range(0.95..=1.05);
+                store.record(
+                    node.service,
+                    ExecutionCase {
+                        usage: (svc.demand * usage_scale).min(&svc.demand),
+                        machine_load: rng.rng().gen_range(0.1..0.6),
+                        exec_ms,
+                    },
+                );
+            }
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_all_invoked_services() {
+        let cat = RequestCatalog::paper();
+        let mut rng = SimRng::new(1);
+        let store = warm_profiles(&cat, 10, &mut rng);
+        for rt in &cat.requests {
+            for node in rt.dag.nodes() {
+                assert!(
+                    store.case_count(node.service) >= 10,
+                    "service {:?} unprofiled",
+                    node.service
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_means_are_near_nominal() {
+        let cat = RequestCatalog::paper();
+        let mut rng = SimRng::new(2);
+        let store = warm_profiles(&cat, 200, &mut rng);
+        // nginx (work factor 1.0 everywhere): mean within 20% of base.
+        let nginx = mlp_model::benchmarks::sn::NGINX;
+        let base = cat.services.get(nginx).base_ms;
+        let mean = store.mean_exec_ms(nginx).unwrap();
+        assert!((mean - base).abs() / base < 0.2, "mean {mean} vs base {base}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cat = RequestCatalog::paper();
+        let a = warm_profiles(&cat, 5, &mut SimRng::new(3));
+        let b = warm_profiles(&cat, 5, &mut SimRng::new(3));
+        let svc = mlp_model::benchmarks::tt::ORDER;
+        assert_eq!(a.mean_exec_ms(svc), b.mean_exec_ms(svc));
+    }
+}

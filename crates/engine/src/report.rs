@@ -1,0 +1,135 @@
+//! Plain-text table and series rendering for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// Renders a labeled table: one row per entry, fixed-width columns.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{c:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Renders a (time, value) series as an ASCII sparkline plus summary,
+/// good enough to eyeball the utilization curves of Fig 11 in a terminal.
+pub fn series(title: &str, step: f64, values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut out = String::new();
+    if values.is_empty() {
+        let _ = writeln!(out, "== {title} == (empty)");
+        return out;
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let _ = writeln!(
+        out,
+        "== {title} ==  (n={}, step={step}s, min={lo:.3}, mean={mean:.3}, max={hi:.3})",
+        values.len()
+    );
+    let spark: String = values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect();
+    let _ = writeln!(out, "{spark}");
+    out
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio normalized to a baseline (paper-style "normalized to
+/// v-MLP/FairSched" columns); guards division by ~zero.
+pub fn norm(v: f64, baseline: f64) -> String {
+    if baseline.abs() < 1e-12 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}", v / baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "Demo",
+            &["scheme", "p99"],
+            &[
+                vec!["FairSched".into(), "123".into()],
+                vec!["v-MLP".into(), "7".into()],
+            ],
+        );
+        assert!(t.contains("== Demo =="));
+        assert!(t.contains("FairSched"));
+        // Both rows align: "v-MLP" padded to "FairSched" width.
+        let lines: Vec<&str> = t.lines().collect();
+        let col = lines[3].find("123").unwrap();
+        let col2 = lines[4].find('7').unwrap();
+        assert_eq!(col, col2);
+    }
+
+    #[test]
+    fn series_sparkline_has_all_points() {
+        let s = series("util", 1.0, &[0.0, 0.5, 1.0, 0.5]);
+        // 4 glyphs on the spark line.
+        let spark_line = s.lines().nth(1).unwrap();
+        assert_eq!(spark_line.chars().count(), 4);
+        assert!(s.contains("max=1.000"));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(series("x", 1.0, &[]).contains("(empty)"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.1234), "0.123");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(1234.6), "1235");
+    }
+
+    #[test]
+    fn norm_guards_zero() {
+        assert_eq!(norm(5.0, 0.0), "n/a");
+        assert_eq!(norm(5.0, 2.0), "2.50");
+    }
+}

@@ -1,0 +1,230 @@
+//! One-call experiment runner: config in, figure-ready metrics out.
+
+use crate::config::ExperimentConfig;
+use crate::profiling::warm_profiles;
+use crate::sim::{simulate, SimOutput};
+use mlp_model::{RequestCatalog, VolatilityClass};
+use mlp_sim::{SimRng, SimTime};
+use mlp_stats::TimeSeries;
+use mlp_trace::metrics::names;
+use mlp_workload::generate_stream;
+use serde::{Deserialize, Serialize};
+
+/// Figure-ready metrics of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Requests that arrived.
+    pub arrived: usize,
+    /// Requests completed by cut-off.
+    pub completed: usize,
+    /// Requests completed within the horizon (Fig 14's throughput
+    /// numerator: "finished requests within certain scheduling period").
+    pub completed_in_horizon: usize,
+    /// Requests unfinished at cut-off (counted as violations).
+    pub unfinished: usize,
+    /// Requests completed within the horizon *and* within their SLO — the
+    /// goodput numerator (a violated completion is useless work in an
+    /// interactive service).
+    pub good_in_horizon: usize,
+    /// SLO-violation fraction overall and per volatility class, with
+    /// unfinished requests counted as violated (Fig 10).
+    pub violation_rate: f64,
+    /// Per-class violation fractions `[low, mid, high]`.
+    pub violation_by_class: [f64; 3],
+    /// End-to-end latency percentiles in ms `[p50, p90, p99]` over
+    /// completed requests (Fig 12).
+    pub latency_ms: [f64; 3],
+    /// Per-class p99 latency `[low, mid, high]` (Fig 13).
+    pub p99_by_class: [f64; 3],
+    /// Mean end-to-end latency, ms.
+    pub mean_latency_ms: f64,
+    /// Cluster-utilization time series (Fig 11).
+    pub utilization: TimeSeries,
+    /// Mean utilization over the horizon.
+    pub mean_utilization: f64,
+    /// Fraction of spans that invoked later than planned.
+    pub late_fraction: f64,
+    /// Fraction of spans that ran resource-capped.
+    pub capped_fraction: f64,
+    /// Self-healing counters: (delay-slot fills, resource stretches,
+    /// queue switches).
+    pub healing: (u64, u64, u64),
+}
+
+impl ExperimentResult {
+    /// Throughput in completed requests per second of scheduling period.
+    pub fn throughput(&self) -> f64 {
+        self.completed_in_horizon as f64 / self.config.horizon_s
+    }
+
+    /// Goodput: SLO-compliant completions per second of scheduling period.
+    pub fn goodput(&self) -> f64 {
+        self.good_in_horizon as f64 / self.config.horizon_s
+    }
+}
+
+fn class_idx(c: VolatilityClass) -> usize {
+    match c {
+        VolatilityClass::Low => 0,
+        VolatilityClass::Mid => 1,
+        VolatilityClass::High => 2,
+    }
+}
+
+/// Runs one experiment end to end:
+/// profiling warm-up → arrival generation → simulation → metric extraction.
+///
+/// Fully deterministic in `config.seed`; the arrival stream depends only on
+/// `(seed, pattern, rate, mix)`, so different schemes with the same seed
+/// face the identical offered load.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    let catalog = RequestCatalog::paper();
+    run_experiment_with_catalog(config, &catalog)
+}
+
+/// [`run_experiment`] against a caller-supplied catalog (kept separate so
+/// sweeps can share one catalog).
+pub fn run_experiment_with_catalog(
+    config: &ExperimentConfig,
+    catalog: &RequestCatalog,
+) -> ExperimentResult {
+    run_experiment_full(config, catalog).0
+}
+
+/// Like [`run_experiment_with_catalog`] but also returns the raw
+/// simulation output (span collector, enriched profiles, utilization
+/// series) for trace export and deep-dive analysis.
+pub fn run_experiment_full(
+    config: &ExperimentConfig,
+    catalog: &RequestCatalog,
+) -> (ExperimentResult, SimOutput) {
+    let root = SimRng::new(config.seed);
+    let mut arrival_rng = root.fork(0);
+    let mut sim_rng = root.fork(1);
+    let mut warm_rng = root.fork(2);
+
+    let profiles = warm_profiles(catalog, config.warmup_cases, &mut warm_rng);
+    let mix = config.mix.resolve(catalog);
+    let arrivals = generate_stream(
+        config.pattern,
+        config.max_rate,
+        config.horizon_s,
+        &mix,
+        &mut arrival_rng,
+    );
+
+    let mut scheduler = config.scheme.build();
+    let out = simulate(config, catalog, profiles, &arrivals, scheduler.as_mut(), &mut sim_rng);
+    let result = summarize(config, catalog, &out);
+    (result, out)
+}
+
+fn summarize(
+    config: &ExperimentConfig,
+    catalog: &RequestCatalog,
+    out: &SimOutput,
+) -> ExperimentResult {
+    let horizon = SimTime::from_secs_f64(config.horizon_s);
+    let completed = out.collector.completed();
+    let completed_in_horizon = out.collector.completed_where(|r| r.end <= horizon);
+    let good_in_horizon =
+        out.collector.completed_where(|r| r.end <= horizon && !r.violated());
+
+    // Violations: completed-and-violated plus everything unfinished.
+    let total = completed + out.unfinished;
+    let violated =
+        out.collector.completed_where(|r| r.violated()) + out.unfinished;
+    let violation_rate = if total == 0 { 0.0 } else { violated as f64 / total as f64 };
+
+    // Per-class violations: unfinished requests cannot be attributed to a
+    // class (they never completed), so classes are computed over completed
+    // requests; the overall rate above includes the censored mass.
+    let mut violation_by_class = [0.0; 3];
+    let mut p99_by_class = [0.0; 3];
+    for class in [VolatilityClass::Low, VolatilityClass::Mid, VolatilityClass::High] {
+        let i = class_idx(class);
+        violation_by_class[i] = out.collector.violation_rate(Some(class));
+        p99_by_class[i] = out.collector.latency_percentile(99.0, Some(class)).unwrap_or(0.0);
+    }
+
+    let mut cdf = out.collector.latency_cdf(None);
+    let latency_ms = [
+        cdf.percentile(50.0).unwrap_or(0.0),
+        cdf.percentile(90.0).unwrap_or(0.0),
+        cdf.percentile(99.0).unwrap_or(0.0),
+    ];
+    let mean_latency_ms = cdf.mean();
+
+    let (late_fraction, _) = out.collector.lateness_stats();
+    let capped_fraction = out.collector.capped_fraction();
+    let mean_utilization = out.utilization.mean();
+
+    let healing = (
+        out.metrics.counter(names::DELAY_SLOT_FILLS),
+        out.metrics.counter(names::RESOURCE_STRETCHES),
+        out.metrics.counter(names::QUEUE_SWITCHES),
+    );
+
+    let _ = catalog;
+    ExperimentResult {
+        config: *config,
+        arrived: out.arrived,
+        completed,
+        completed_in_horizon,
+        unfinished: out.unfinished,
+        good_in_horizon,
+        violation_rate,
+        violation_by_class,
+        latency_ms,
+        p99_by_class,
+        mean_latency_ms,
+        utilization: out.utilization.clone(),
+        mean_utilization,
+        late_fraction,
+        capped_fraction,
+        healing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MixSpec;
+    use crate::scheme::Scheme;
+
+    #[test]
+    fn smoke_experiment_produces_sane_metrics() {
+        let cfg = ExperimentConfig::smoke(Scheme::VMlp);
+        let r = run_experiment(&cfg);
+        assert!(r.arrived > 0);
+        assert!(r.completed > 0);
+        assert!(r.completed_in_horizon <= r.completed);
+        assert!((0.0..=1.0).contains(&r.violation_rate));
+        assert!(r.latency_ms[0] <= r.latency_ms[1] && r.latency_ms[1] <= r.latency_ms[2]);
+        assert!(r.mean_latency_ms > 0.0);
+        assert!(r.mean_utilization > 0.0 && r.mean_utilization <= 1.0);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_results() {
+        let cfg = ExperimentConfig::smoke(Scheme::PartProfile).with_seed(99);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.violation_rate, b.violation_rate);
+    }
+
+    #[test]
+    fn single_class_mix_only_populates_that_class() {
+        let cfg = ExperimentConfig::smoke(Scheme::CurSched)
+            .with_mix(MixSpec::SingleClass(VolatilityClass::High));
+        let r = run_experiment(&cfg);
+        assert!(r.p99_by_class[2] > 0.0, "high class must have latencies");
+        assert_eq!(r.p99_by_class[0], 0.0, "no low-class requests expected");
+        assert_eq!(r.p99_by_class[1], 0.0, "no mid-class requests expected");
+    }
+}

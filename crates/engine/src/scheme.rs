@@ -1,0 +1,77 @@
+//! The evaluated scheduling schemes (Table VI) as a buildable enum.
+
+use mlp_core::{VMlpConfig, VMlpScheduler};
+use mlp_sched::{CurSched, FairSched, FullProfile, PartProfile, Scheduler};
+use serde::{Deserialize, Serialize};
+
+/// One of the five evaluated schemes, plus ablated v-MLP variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Simple: FCFS + equal resource slices.
+    FairSched,
+    /// Simple: FCFS + current-load placement.
+    CurSched,
+    /// Advanced: priority + performance profile.
+    PartProfile,
+    /// Advanced: priority + overall profile.
+    FullProfile,
+    /// The paper's proposal.
+    VMlp,
+    /// v-MLP with a custom (typically ablated) configuration.
+    VMlpCustom(VMlpConfig),
+}
+
+impl Scheme {
+    /// The five paper schemes in Table VI order.
+    pub const PAPER: [Scheme; 5] = [
+        Scheme::FairSched,
+        Scheme::CurSched,
+        Scheme::PartProfile,
+        Scheme::FullProfile,
+        Scheme::VMlp,
+    ];
+
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            Scheme::FairSched => Box::new(FairSched::new()),
+            Scheme::CurSched => Box::new(CurSched::new()),
+            Scheme::PartProfile => Box::new(PartProfile::new()),
+            Scheme::FullProfile => Box::new(FullProfile::new()),
+            Scheme::VMlp => Box::new(VMlpScheduler::new()),
+            Scheme::VMlpCustom(cfg) => Box::new(VMlpScheduler::with_config(cfg)),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::FairSched => "FairSched",
+            Scheme::CurSched => "CurSched",
+            Scheme::PartProfile => "PartProfile",
+            Scheme::FullProfile => "FullProfile",
+            Scheme::VMlp => "v-MLP",
+            Scheme::VMlpCustom(_) => "v-MLP*",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_schemes_with_table6_names() {
+        for s in Scheme::PAPER {
+            let built = s.build();
+            assert_eq!(built.name(), s.label());
+            assert_eq!(built.waiting(), 0);
+        }
+    }
+
+    #[test]
+    fn custom_vmlp_builds() {
+        let s = Scheme::VMlpCustom(VMlpConfig::without_healing()).build();
+        assert_eq!(s.name(), "v-MLP");
+    }
+}

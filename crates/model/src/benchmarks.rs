@@ -1,0 +1,261 @@
+//! Synthetic stand-ins for the two evaluated benchmark suites.
+//!
+//! * **TrainTicket** (TT) — the industrial railway-ticketing benchmark
+//!   [Zhou et al., ICSE'18]. Fig 2 characterizes six of its services
+//!   (`order`, `ticketinfo`, `travel`, `basic`, `seat`, `station`).
+//! * **SocialNetwork** (SN) — the academic DeathStarBench application
+//!   [Gan et al., ASPLOS'19]. Fig 3a characterizes twelve of its services.
+//!
+//! Each service template carries the paper's three characterization axes
+//! (`I` inner variability, `S` capping sensitivity, `C` communication
+//! level); the assignments below are calibrated so that the five request
+//! types of Table V land in their published volatility bands (asserted by
+//! tests in [`crate::requests`]).
+//!
+//! Read- and write-path behaviour of storage/timeline services differs
+//! enough in the real benchmarks (cache hits vs fan-out writes) that they
+//! get separate templates (`*-read` / `*-write`).
+
+use crate::microservice::{
+    CommClass, InnerVariability, Microservice, ResourceIntensity, ResourceSensitivity, ServiceId,
+};
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark a service or request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// TrainTicket (industry, railway ticketing).
+    TrainTicket,
+    /// SocialNetwork (academia, DeathStarBench).
+    SocialNetwork,
+}
+
+/// A catalog of microservice templates, indexed by [`ServiceId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServiceCatalog {
+    services: Vec<Microservice>,
+}
+
+impl ServiceCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ServiceCatalog::default()
+    }
+
+    /// Adds a service; its `id` must equal its position.
+    pub fn push(&mut self, svc: Microservice) {
+        assert_eq!(svc.id.0 as usize, self.services.len(), "service ids must be dense");
+        self.services.push(svc);
+    }
+
+    /// Looks up a service template.
+    pub fn get(&self, id: ServiceId) -> &Microservice {
+        &self.services[id.0 as usize]
+    }
+
+    /// Looks up by name (linear scan; catalogs are small).
+    pub fn by_name(&self, name: &str) -> Option<&Microservice> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// All templates.
+    pub fn services(&self) -> &[Microservice] {
+        &self.services
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+// Shorthands for the table below.
+use CommClass as C;
+use InnerVariability as I;
+use ResourceIntensity as RI;
+use ResourceSensitivity as S;
+
+/// Ids of the SocialNetwork services (offsets into the combined catalog).
+pub mod sn {
+    use crate::microservice::ServiceId;
+    pub const NGINX: ServiceId = ServiceId(0);
+    pub const COMPOSE_POST: ServiceId = ServiceId(1);
+    pub const TEXT: ServiceId = ServiceId(2);
+    pub const MEDIA: ServiceId = ServiceId(3);
+    pub const UNIQUE_ID: ServiceId = ServiceId(4);
+    pub const USER: ServiceId = ServiceId(5);
+    pub const URL_SHORTEN: ServiceId = ServiceId(6);
+    pub const USER_MENTION: ServiceId = ServiceId(7);
+    pub const POST_STORAGE_WRITE: ServiceId = ServiceId(8);
+    pub const POST_STORAGE_READ: ServiceId = ServiceId(9);
+    pub const USER_TIMELINE_WRITE: ServiceId = ServiceId(10);
+    pub const USER_TIMELINE_READ: ServiceId = ServiceId(11);
+    pub const HOME_TIMELINE_WRITE: ServiceId = ServiceId(12);
+    pub const HOME_TIMELINE_READ: ServiceId = ServiceId(13);
+    pub const SOCIAL_GRAPH: ServiceId = ServiceId(14);
+}
+
+/// Ids of the TrainTicket services (offsets into the combined catalog).
+pub mod tt {
+    use crate::microservice::ServiceId;
+    pub const UI_DASHBOARD: ServiceId = ServiceId(15);
+    pub const BASIC: ServiceId = ServiceId(16);
+    pub const STATION: ServiceId = ServiceId(17);
+    pub const TRAVEL: ServiceId = ServiceId(18);
+    pub const TICKETINFO: ServiceId = ServiceId(19);
+    pub const ORDER: ServiceId = ServiceId(20);
+    pub const SEAT: ServiceId = ServiceId(21);
+    pub const PRICE: ServiceId = ServiceId(22);
+    pub const ROUTE: ServiceId = ServiceId(23);
+}
+
+/// Builds the combined catalog of both benchmarks (SocialNetwork templates
+/// first, TrainTicket second; ids match [`sn`] / [`tt`]).
+pub fn combined_catalog() -> ServiceCatalog {
+    let mut cat = ServiceCatalog::new();
+    let rv = ResourceVector::new;
+    // ---- SocialNetwork (ids 0–14) -------------------------------------
+    // (id, name, demand(cpu cores, mem MB, io MB/s), base ms, I, S, C, intensity)
+    let defs: Vec<Microservice> = vec![
+        Microservice::new(0, "nginx-frontend", rv(0.5, 128.0, 30.0), 5.0, I::Low, S::Moderate, C::Light, RI::Io),
+        Microservice::new(1, "compose-post-service", rv(1.5, 512.0, 40.0), 75.0, I::High, S::High, C::Heavy, RI::CpuIo),
+        Microservice::new(2, "text-service", rv(1.0, 256.0, 10.0), 25.0, I::Mid, S::High, C::Heavy, RI::Cpu),
+        Microservice::new(3, "media-service", rv(1.5, 512.0, 120.0), 62.5, I::High, S::High, C::Heavy, RI::CpuIo),
+        Microservice::new(4, "unique-id-service", rv(0.2, 64.0, 2.0), 2.5, I::Low, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(5, "user-service", rv(0.5, 256.0, 8.0), 12.5, I::Low, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(6, "url-shorten-service", rv(0.4, 128.0, 5.0), 10.0, I::Mid, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(7, "user-mention-service", rv(0.6, 192.0, 8.0), 20.0, I::Mid, S::Moderate, C::Heavy, RI::Cpu),
+        Microservice::new(8, "post-storage-write", rv(1.0, 768.0, 150.0), 50.0, I::High, S::High, C::Heavy, RI::Io),
+        Microservice::new(9, "post-storage-read", rv(0.5, 768.0, 40.0), 12.5, I::Low, S::Moderate, C::Medium, RI::Io),
+        Microservice::new(10, "user-timeline-write", rv(0.6, 384.0, 60.0), 25.0, I::Mid, S::Moderate, C::Medium, RI::Io),
+        Microservice::new(11, "user-timeline-read", rv(0.4, 384.0, 20.0), 20.0, I::Low, S::Moderate, C::Light, RI::Io),
+        Microservice::new(12, "home-timeline-write", rv(0.6, 384.0, 60.0), 25.0, I::Mid, S::Moderate, C::Medium, RI::Io),
+        Microservice::new(13, "home-timeline-read", rv(0.4, 384.0, 20.0), 20.0, I::Low, S::Moderate, C::Light, RI::Io),
+        Microservice::new(14, "social-graph-service", rv(0.5, 512.0, 15.0), 15.0, I::Low, S::Moderate, C::Light, RI::Cpu),
+        // ---- TrainTicket (ids 15–23) -----------------------------------
+        Microservice::new(15, "ts-ui-dashboard", rv(0.5, 128.0, 25.0), 7.5, I::Low, S::Moderate, C::Light, RI::Io),
+        Microservice::new(16, "ts-basic-service", rv(0.8, 384.0, 20.0), 37.5, I::Mid, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(17, "ts-station-service", rv(0.4, 256.0, 10.0), 20.0, I::Low, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(18, "ts-travel-service", rv(1.2, 512.0, 30.0), 62.5, I::Mid, S::High, C::Medium, RI::CpuIo),
+        Microservice::new(19, "ts-ticketinfo-service", rv(0.8, 384.0, 25.0), 30.0, I::Mid, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(20, "ts-order-service", rv(1.5, 768.0, 100.0), 75.0, I::High, S::High, C::Heavy, RI::CpuIo),
+        Microservice::new(21, "ts-seat-service", rv(0.8, 256.0, 40.0), 37.5, I::Mid, S::High, C::Heavy, RI::Io),
+        Microservice::new(22, "ts-price-service", rv(0.6, 256.0, 15.0), 25.0, I::Mid, S::High, C::Heavy, RI::Cpu),
+        Microservice::new(23, "ts-route-service", rv(0.5, 256.0, 10.0), 20.0, I::Low, S::Moderate, C::Medium, RI::Cpu),
+    ];
+    for d in defs {
+        cat.push(d);
+    }
+    cat
+}
+
+/// The twelve SocialNetwork service ids shown in Fig 3a (merging the
+/// read/write template split back into the paper's twelve services).
+pub fn sn_fig3a_services() -> Vec<ServiceId> {
+    vec![
+        sn::NGINX,
+        sn::COMPOSE_POST,
+        sn::TEXT,
+        sn::MEDIA,
+        sn::UNIQUE_ID,
+        sn::USER,
+        sn::URL_SHORTEN,
+        sn::USER_MENTION,
+        sn::POST_STORAGE_WRITE,
+        sn::USER_TIMELINE_WRITE,
+        sn::HOME_TIMELINE_READ,
+        sn::SOCIAL_GRAPH,
+    ]
+}
+
+/// The six TrainTicket services of Fig 2.
+pub fn tt_fig2_services() -> Vec<ServiceId> {
+    vec![tt::ORDER, tt::TICKETINFO, tt::TRAVEL, tt::BASIC, tt::SEAT, tt::STATION]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_dense_and_complete() {
+        let cat = combined_catalog();
+        assert_eq!(cat.len(), 24);
+        for (i, s) in cat.services().iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i);
+            assert!(s.base_ms > 0.0, "{} has no base time", s.name);
+            assert!(s.demand.cpu > 0.0);
+        }
+    }
+
+    #[test]
+    fn id_constants_match_names() {
+        let cat = combined_catalog();
+        assert_eq!(cat.get(sn::COMPOSE_POST).name, "compose-post-service");
+        assert_eq!(cat.get(sn::SOCIAL_GRAPH).name, "social-graph-service");
+        assert_eq!(cat.get(tt::UI_DASHBOARD).name, "ts-ui-dashboard");
+        assert_eq!(cat.get(tt::ORDER).name, "ts-order-service");
+        assert_eq!(cat.get(tt::ROUTE).name, "ts-route-service");
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let cat = combined_catalog();
+        assert_eq!(cat.by_name("ts-seat-service").unwrap().id, tt::SEAT);
+        assert!(cat.by_name("no-such-service").is_none());
+    }
+
+    #[test]
+    fn fig2_services_exist_with_expected_classes() {
+        let cat = combined_catalog();
+        let fig2 = tt_fig2_services();
+        assert_eq!(fig2.len(), 6);
+        // `order` is the paper's example of a high-variation service
+        // ("execution time almost doubles in the worst case").
+        assert_eq!(cat.get(tt::ORDER).inner, InnerVariability::High);
+        assert_eq!(cat.get(tt::STATION).inner, InnerVariability::Low);
+    }
+
+    #[test]
+    fn fig3a_has_twelve_services() {
+        let ids = sn_fig3a_services();
+        assert_eq!(ids.len(), 12);
+        let cat = combined_catalog();
+        for id in ids {
+            assert!((id.0 as usize) < cat.len());
+        }
+    }
+
+    #[test]
+    fn memory_is_never_the_bottleneck_ratio() {
+        // Fig 3a observation: the exec/suspend ratio for memory is the
+        // smallest of the three resources for every service.
+        let cat = combined_catalog();
+        for s in cat.services() {
+            let r = s.demand_ratio();
+            assert!(r.mem <= r.cpu && r.mem <= r.io, "{}: memory ratio not smallest", s.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let mut cat = ServiceCatalog::new();
+        cat.push(Microservice::new(
+            3,
+            "x",
+            ResourceVector::new(1.0, 1.0, 1.0),
+            1.0,
+            I::Low,
+            S::Less,
+            C::Light,
+            RI::Cpu,
+        ));
+    }
+}

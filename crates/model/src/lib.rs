@@ -1,0 +1,32 @@
+//! # mlp-model — microservice application model
+//!
+//! Models everything the paper's Section II characterizes:
+//!
+//! * **resource demand** per microservice ([`ResourceVector`], CPU / memory /
+//!   IO bandwidth — the three resource types of Table III),
+//! * **inner-logic execution-time variability** `I` (Section II-A: low /
+//!   mid / high variation classes from the spread of execution time across
+//!   request types),
+//! * **sensitivity to resource capping** `S` (Section II-B, Fig 3c: highly /
+//!   moderately / less variable under shortage),
+//! * **communication-overhead level** `C` (Section II-C, Fig 4),
+//! * the **request DAGs** of the two benchmarks, TrainTicket (industry) and
+//!   SocialNetwork (academia), and the five evaluated request types of
+//!   Table V.
+//!
+//! The catalogs here are synthetic stand-ins for the real benchmark
+//! deployments, calibrated so the *distributions the scheduler observes*
+//! match the paper's characterization (see DESIGN.md §2).
+
+pub mod benchmarks;
+pub mod dag;
+pub mod microservice;
+pub mod requests;
+pub mod resources;
+
+pub use dag::ServiceDag;
+pub use microservice::{
+    CommClass, InnerVariability, Microservice, ResourceIntensity, ResourceSensitivity, ServiceId,
+};
+pub use requests::{RequestCatalog, RequestType, RequestTypeId, VolatilityClass};
+pub use resources::{ResourceKind, ResourceVector};

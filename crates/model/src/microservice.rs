@@ -1,0 +1,418 @@
+//! Microservice definitions: demand, variability, sensitivity, comm class.
+
+use crate::resources::{ResourceIntensityProfile, ResourceVector};
+use mlp_stats::Dist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a microservice *template* in a [`crate::benchmarks`]
+/// catalog. Microservices are reused across request DAGs (the paper's
+/// "interoperability across the application boundary"), so DAG nodes refer
+/// to templates by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(pub u32);
+
+/// Inner-logic execution-time variability `I` (Section II-A).
+///
+/// The paper classifies services by the largest relative variation of
+/// execution time observed across request invocations: `< 15 %` low,
+/// `15–45 %` mid, `> 45 %` high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InnerVariability {
+    /// Largest execution-time variation below 15 %.
+    Low,
+    /// Variation between 15 % and 45 %.
+    Mid,
+    /// Variation above 45 % (e.g. `order` in Fig 2, which doubles).
+    High,
+}
+
+impl InnerVariability {
+    /// The paper's 1–3 intensity scale (Table II).
+    pub fn level(self) -> u8 {
+        match self {
+            InnerVariability::Low => 1,
+            InnerVariability::Mid => 2,
+            InnerVariability::High => 3,
+        }
+    }
+
+    /// Coefficient of variation used when synthesizing execution times so
+    /// that ~100 invocations land in the paper's spread band for the class.
+    pub fn cv(self) -> f64 {
+        match self {
+            InnerVariability::Low => 0.025,
+            InnerVariability::Mid => 0.07,
+            InnerVariability::High => 0.18,
+        }
+    }
+
+    /// Classifies an observed relative spread `(max−min)/min` back into a
+    /// class using the paper's Section II-A thresholds.
+    pub fn classify(spread: f64) -> InnerVariability {
+        if spread < 0.15 {
+            InnerVariability::Low
+        } else if spread <= 0.45 {
+            InnerVariability::Mid
+        } else {
+            InnerVariability::High
+        }
+    }
+}
+
+/// Sensitivity to resource shortage `S` (Section II-B, Fig 3c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceSensitivity {
+    /// Less variable: neither mean nor variance respond to capping
+    /// ("uncommon in microservice scenarios").
+    Less,
+    /// Moderately variable: capping raises the mean, variance unchanged.
+    Moderate,
+    /// Highly variable: capping raises both mean and variance.
+    High,
+}
+
+impl ResourceSensitivity {
+    /// The paper's 1–3 intensity scale (Table II).
+    pub fn level(self) -> u8 {
+        match self {
+            ResourceSensitivity::Less => 1,
+            ResourceSensitivity::Moderate => 2,
+            ResourceSensitivity::High => 3,
+        }
+    }
+
+    /// Execution-time multiplier (≥ 1) when the service only receives
+    /// fraction `f ∈ (0,1]` of its demanded resources.
+    ///
+    /// * `Less`: unaffected.
+    /// * `Moderate`: work-conserving slowdown `1/f` — mean shifts, no extra
+    ///   variance (deterministic given `f`).
+    /// * `High`: super-linear mean inflation `（1/f)·(1 + 0.6·(1−f))` *and*
+    ///   multiplicative noise whose cv grows with the shortage — both the
+    ///   mean and the variance of Fig 3c move.
+    pub fn capping_penalty<R: Rng + ?Sized>(self, f: f64, rng: &mut R) -> f64 {
+        let f = f.clamp(0.05, 1.0);
+        if f >= 1.0 {
+            return 1.0;
+        }
+        match self {
+            ResourceSensitivity::Less => 1.0,
+            ResourceSensitivity::Moderate => 1.0 / f,
+            ResourceSensitivity::High => {
+                let mean = (1.0 / f) * (1.0 + 0.6 * (1.0 - f));
+                let noise_cv = 0.5 * (1.0 - f);
+                let noise = Dist::lognormal_mean_cv(1.0, noise_cv).sample(rng);
+                mean * noise
+            }
+        }
+    }
+}
+
+/// Communication-overhead level `C` (Section II-C, Fig 4; Table II maps
+/// Var(RTT) from 100 to 400 onto levels 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommClass {
+    /// Tight RTT distribution (Var(RTT) ≲ 100): same-machine-like behaviour.
+    Light,
+    /// Intermediate (100 < Var(RTT) ≤ 400).
+    Medium,
+    /// Wide / congestion-prone RTTs (Var(RTT) > 400): long cross-machine
+    /// links with occasional rerouting spikes.
+    Heavy,
+}
+
+impl CommClass {
+    /// The paper's 1–3 intensity scale (Table II).
+    pub fn level(self) -> u8 {
+        match self {
+            CommClass::Light => 1,
+            CommClass::Medium => 2,
+            CommClass::Heavy => 3,
+        }
+    }
+
+    /// Classifies from an observed RTT variance using Table II's bounds
+    /// (variance in (100 µs)² units, i.e. 100→level 1 boundary, 400→level 3).
+    pub fn classify_from_rtt_var(var: f64) -> CommClass {
+        if var <= 100.0 {
+            CommClass::Light
+        } else if var <= 400.0 {
+            CommClass::Medium
+        } else {
+            CommClass::Heavy
+        }
+    }
+}
+
+/// Dominant resource of a microservice (Section II-B Observation 1:
+/// microservices are CPU-intensive, IO-intensive, or CPU&IO-intensive —
+/// memory capacity is not a bottleneck).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceIntensity {
+    /// CPU-bound.
+    Cpu,
+    /// IO-bandwidth-bound.
+    Io,
+    /// Bound by both CPU and IO.
+    CpuIo,
+}
+
+/// A microservice template: what the scheduler can know about a service
+/// class ahead of time (invocation pattern and demanded resource types
+/// "can be foreseen", Section I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Microservice {
+    /// Template id, unique within its benchmark catalog.
+    pub id: ServiceId,
+    /// Human-readable name (e.g. `order`, `compose-post`).
+    pub name: String,
+    /// Resource demand while executing.
+    pub demand: ResourceVector,
+    /// Resource demand while suspended (idle container); the exec/suspend
+    /// ratio is Fig 3a's characterization.
+    pub suspend_demand: ResourceVector,
+    /// Nominal mean execution time in milliseconds (abundant resources,
+    /// baseline request logic).
+    pub base_ms: f64,
+    /// Inner-logic variability class `I`.
+    pub inner: InnerVariability,
+    /// Resource-shortage sensitivity class `S`.
+    pub sensitivity: ResourceSensitivity,
+    /// Communication-overhead class `C`.
+    pub comm: CommClass,
+    /// Dominant resource kind.
+    pub intensity: ResourceIntensity,
+}
+
+impl Microservice {
+    /// Convenience constructor; `suspend_demand` defaults to 10 % of the
+    /// execution demand except memory (60 %: resident sets stay warm, which
+    /// is why memory's exec/suspend ratio is lowest in Fig 3a).
+    #[allow(clippy::too_many_arguments)] // mirrors the catalog table's columns
+    pub fn new(
+        id: u32,
+        name: &str,
+        demand: ResourceVector,
+        base_ms: f64,
+        inner: InnerVariability,
+        sensitivity: ResourceSensitivity,
+        comm: CommClass,
+        intensity: ResourceIntensity,
+    ) -> Self {
+        Microservice {
+            id: ServiceId(id),
+            name: name.to_string(),
+            demand,
+            suspend_demand: ResourceVector::new(demand.cpu * 0.1, demand.mem * 0.6, demand.io * 0.1),
+            base_ms,
+            inner,
+            sensitivity,
+            comm,
+            intensity,
+        }
+    }
+
+    /// Execution-time distribution (ms) under a request-specific work
+    /// factor (different request types trigger different amounts of the
+    /// service's logic — the cause of Fig 2's spread).
+    pub fn exec_dist(&self, work_factor: f64) -> Dist {
+        Dist::lognormal_mean_cv(self.base_ms * work_factor.max(1e-3), self.inner.cv())
+    }
+
+    /// Samples one uncapped execution time in milliseconds.
+    pub fn sample_exec_ms<R: Rng + ?Sized>(&self, work_factor: f64, rng: &mut R) -> f64 {
+        self.exec_dist(work_factor).sample(rng)
+    }
+
+    /// Samples a full execution time (ms) given the satisfaction fraction
+    /// `f` of its resource demand (1.0 = abundant resources).
+    pub fn sample_exec_ms_capped<R: Rng + ?Sized>(
+        &self,
+        work_factor: f64,
+        f: f64,
+        rng: &mut R,
+    ) -> f64 {
+        self.sample_exec_ms(work_factor, rng) * self.sensitivity.capping_penalty(f, rng)
+    }
+
+    /// Exec/suspend demand ratio per resource kind, Fig 3a's metric.
+    pub fn demand_ratio(&self) -> ResourceIntensityProfile {
+        ResourceIntensityProfile {
+            cpu: safe_ratio(self.demand.cpu, self.suspend_demand.cpu),
+            mem: safe_ratio(self.demand.mem, self.suspend_demand.mem),
+            io: safe_ratio(self.demand.io, self.suspend_demand.io),
+        }
+    }
+}
+
+fn safe_ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        if a <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_stats::Summary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn svc(inner: InnerVariability, sens: ResourceSensitivity) -> Microservice {
+        Microservice::new(
+            0,
+            "test",
+            ResourceVector::new(1.0, 256.0, 10.0),
+            20.0,
+            inner,
+            sens,
+            CommClass::Light,
+            ResourceIntensity::Cpu,
+        )
+    }
+
+    #[test]
+    fn levels_match_table2() {
+        assert_eq!(InnerVariability::Low.level(), 1);
+        assert_eq!(InnerVariability::High.level(), 3);
+        assert_eq!(ResourceSensitivity::Moderate.level(), 2);
+        assert_eq!(CommClass::Heavy.level(), 3);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(InnerVariability::classify(0.10), InnerVariability::Low);
+        assert_eq!(InnerVariability::classify(0.30), InnerVariability::Mid);
+        assert_eq!(InnerVariability::classify(0.50), InnerVariability::High);
+        assert_eq!(CommClass::classify_from_rtt_var(50.0), CommClass::Light);
+        assert_eq!(CommClass::classify_from_rtt_var(250.0), CommClass::Medium);
+        assert_eq!(CommClass::classify_from_rtt_var(900.0), CommClass::Heavy);
+    }
+
+    /// 100 invocations of each variability class should land in the paper's
+    /// spread bands (Section II-A): <15 %, 15–45 %, >45 %.
+    #[test]
+    fn synthetic_spreads_match_paper_bands() {
+        let mut rng = SmallRng::seed_from_u64(2022);
+        for (class, lo, hi) in [
+            (InnerVariability::Low, 0.0, 0.15),
+            (InnerVariability::Mid, 0.15, 0.45),
+            (InnerVariability::High, 0.45, 5.0),
+        ] {
+            let s = svc(class, ResourceSensitivity::Less);
+            let mut sum = Summary::new();
+            for _ in 0..100 {
+                // Request-type work factors add the cross-request component
+                // of the spread for mid/high classes.
+                let wf = match class {
+                    InnerVariability::Low => 1.0,
+                    InnerVariability::Mid => 1.0,
+                    InnerVariability::High => 1.0,
+                };
+                sum.record(s.sample_exec_ms(wf, &mut rng));
+            }
+            let spread = sum.relative_spread();
+            assert!(
+                spread >= lo && spread <= hi,
+                "{class:?}: spread {spread} outside [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn capping_penalty_monotone_in_shortage() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Less: immune.
+        assert_eq!(ResourceSensitivity::Less.capping_penalty(0.5, &mut rng), 1.0);
+        // Moderate: exactly work-conserving.
+        assert_eq!(ResourceSensitivity::Moderate.capping_penalty(0.5, &mut rng), 2.0);
+        assert_eq!(ResourceSensitivity::Moderate.capping_penalty(1.0, &mut rng), 1.0);
+        // High: worse than work-conserving on average.
+        let mut s = Summary::new();
+        for _ in 0..2000 {
+            s.record(ResourceSensitivity::High.capping_penalty(0.5, &mut rng));
+        }
+        assert!(s.mean() > 2.0, "high-sensitivity mean {} should exceed 1/f", s.mean());
+        assert!(s.variance() > 0.0, "high sensitivity must add variance");
+    }
+
+    #[test]
+    fn high_sensitivity_variance_grows_with_shortage() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut var_at = |f: f64| {
+            let mut s = Summary::new();
+            for _ in 0..3000 {
+                s.record(ResourceSensitivity::High.capping_penalty(f, &mut rng));
+            }
+            s.cv()
+        };
+        let cv_mild = var_at(0.9);
+        let cv_severe = var_at(0.4);
+        assert!(cv_severe > cv_mild, "cv {cv_severe} should exceed {cv_mild}");
+    }
+
+    #[test]
+    fn capped_sample_is_slower() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = svc(InnerVariability::Low, ResourceSensitivity::Moderate);
+        let mut free = Summary::new();
+        let mut capped = Summary::new();
+        for _ in 0..500 {
+            free.record(s.sample_exec_ms_capped(1.0, 1.0, &mut rng));
+            capped.record(s.sample_exec_ms_capped(1.0, 0.5, &mut rng));
+        }
+        assert!(capped.mean() > free.mean() * 1.8);
+    }
+
+    #[test]
+    fn work_factor_scales_mean() {
+        let s = svc(InnerVariability::Low, ResourceSensitivity::Less);
+        assert!((s.exec_dist(2.0).mean() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_ratio_structure() {
+        let s = svc(InnerVariability::Low, ResourceSensitivity::Less);
+        let r = s.demand_ratio();
+        assert!((r.cpu - 10.0).abs() < 1e-9);
+        assert!((r.mem - 1.0 / 0.6).abs() < 1e-9);
+        // Memory ratio is the smallest — Fig 3a's "memory not a bottleneck".
+        assert!(r.mem < r.cpu && r.mem < r.io);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn penalty_at_least_one(f in 0.05f64..=1.0, seed: u64) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for sens in [ResourceSensitivity::Less, ResourceSensitivity::Moderate,
+                         ResourceSensitivity::High] {
+                prop_assert!(sens.capping_penalty(f, &mut rng) >= 0.999);
+            }
+        }
+
+        #[test]
+        fn exec_sample_positive(base in 0.1f64..1000.0, wf in 0.1f64..4.0, seed: u64) {
+            let mut s = Microservice::new(1, "p", ResourceVector::new(1.0, 1.0, 1.0), base,
+                InnerVariability::High, ResourceSensitivity::High, CommClass::Heavy,
+                ResourceIntensity::CpuIo);
+            s.base_ms = base;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            prop_assert!(s.sample_exec_ms(wf, &mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Three-dimensional resource vectors: CPU, memory, IO bandwidth.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// The resource types the paper monitors and controls (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// CPU cores (controlled via cgroups `cpuset` in the paper).
+    Cpu,
+    /// Memory, MB (cgroups `memory.limit_in_bytes`).
+    Memory,
+    /// IO bandwidth, MB/s (cgroups `net_cls`).
+    Io,
+}
+
+impl ResourceKind {
+    /// All three kinds, in display order.
+    pub const ALL: [ResourceKind; 3] = [ResourceKind::Cpu, ResourceKind::Memory, ResourceKind::Io];
+}
+
+/// A quantity of each resource kind: CPU cores, memory MB, IO MB/s.
+///
+/// Used both as machine *capacity* and microservice *demand*. All arithmetic
+/// is component-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// CPU cores (fractional allowed: containers get core shares).
+    pub cpu: f64,
+    /// Memory in MB.
+    pub mem: f64,
+    /// IO bandwidth in MB/s.
+    pub io: f64,
+}
+
+impl ResourceVector {
+    /// All-zero vector.
+    pub const ZERO: ResourceVector = ResourceVector { cpu: 0.0, mem: 0.0, io: 0.0 };
+
+    /// Builds a vector from components.
+    pub fn new(cpu: f64, mem: f64, io: f64) -> Self {
+        ResourceVector { cpu, mem, io }
+    }
+
+    /// Accesses one component by kind.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu,
+            ResourceKind::Memory => self.mem,
+            ResourceKind::Io => self.io,
+        }
+    }
+
+    /// Mutable access to one component by kind.
+    pub fn get_mut(&mut self, kind: ResourceKind) -> &mut f64 {
+        match kind {
+            ResourceKind::Cpu => &mut self.cpu,
+            ResourceKind::Memory => &mut self.mem,
+            ResourceKind::Io => &mut self.io,
+        }
+    }
+
+    /// True when every component of `self` fits within `capacity`
+    /// (with a small epsilon for float accumulation).
+    pub fn fits_within(&self, capacity: &ResourceVector) -> bool {
+        const EPS: f64 = 1e-9;
+        self.cpu <= capacity.cpu + EPS && self.mem <= capacity.mem + EPS && self.io <= capacity.io + EPS
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu: self.cpu.min(other.cpu),
+            mem: self.mem.min(other.mem),
+            io: self.io.min(other.io),
+        }
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu: self.cpu.max(other.cpu),
+            mem: self.mem.max(other.mem),
+            io: self.io.max(other.io),
+        }
+    }
+
+    /// Clamps every component to be ≥ 0.
+    pub fn clamp_non_negative(&self) -> ResourceVector {
+        ResourceVector { cpu: self.cpu.max(0.0), mem: self.mem.max(0.0), io: self.io.max(0.0) }
+    }
+
+    /// The smallest per-component ratio `self/demand` — i.e. the fraction of
+    /// `demand` that `self` can satisfy. Components with zero demand are
+    /// ignored; returns 1.0 when demand is all-zero. This is the capping
+    /// fraction `f` fed into the sensitivity model (Fig 3c).
+    pub fn satisfaction_of(&self, demand: &ResourceVector) -> f64 {
+        let mut frac = 1.0f64;
+        for kind in ResourceKind::ALL {
+            let d = demand.get(kind);
+            if d > 0.0 {
+                frac = frac.min((self.get(kind) / d).max(0.0));
+            }
+        }
+        frac.min(1.0)
+    }
+
+    /// Mean of the per-component utilization fractions against `capacity`,
+    /// the per-node term of the paper's cluster-utilization metric
+    /// `U = Σ(u_cpu + u_mem + u_io) / (#resource_types · #nodes)`.
+    pub fn utilization_against(&self, capacity: &ResourceVector) -> f64 {
+        let mut total = 0.0;
+        for kind in ResourceKind::ALL {
+            let cap = capacity.get(kind);
+            if cap > 0.0 {
+                total += (self.get(kind) / cap).clamp(0.0, 1.0);
+            }
+        }
+        total / ResourceKind::ALL.len() as f64
+    }
+
+    /// True if any component is negative beyond float epsilon.
+    pub fn has_negative(&self) -> bool {
+        const EPS: f64 = -1e-9;
+        self.cpu < EPS || self.mem < EPS || self.io < EPS
+    }
+}
+
+/// Per-resource exec/suspend demand ratios — the metric of Fig 3a. Unlike
+/// [`ResourceVector`] this is a dimensionless profile, so it gets its own
+/// type to avoid unit confusion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceIntensityProfile {
+    /// CPU exec/suspend ratio.
+    pub cpu: f64,
+    /// Memory exec/suspend ratio.
+    pub mem: f64,
+    /// IO exec/suspend ratio.
+    pub io: f64,
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector { cpu: self.cpu + o.cpu, mem: self.mem + o.mem, io: self.io + o.io }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, o: ResourceVector) {
+        self.cpu += o.cpu;
+        self.mem += o.mem;
+        self.io += o.io;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+    fn sub(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector { cpu: self.cpu - o.cpu, mem: self.mem - o.mem, io: self.io - o.io }
+    }
+}
+
+impl SubAssign for ResourceVector {
+    fn sub_assign(&mut self, o: ResourceVector) {
+        self.cpu -= o.cpu;
+        self.mem -= o.mem;
+        self.io -= o.io;
+    }
+}
+
+impl Mul<f64> for ResourceVector {
+    type Output = ResourceVector;
+    fn mul(self, k: f64) -> ResourceVector {
+        ResourceVector { cpu: self.cpu * k, mem: self.mem * k, io: self.io * k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_access() {
+        let mut v = ResourceVector::new(2.0, 512.0, 50.0);
+        assert_eq!(v.get(ResourceKind::Cpu), 2.0);
+        assert_eq!(v.get(ResourceKind::Memory), 512.0);
+        *v.get_mut(ResourceKind::Io) = 75.0;
+        assert_eq!(v.io, 75.0);
+    }
+
+    #[test]
+    fn arithmetic_is_component_wise() {
+        let a = ResourceVector::new(1.0, 100.0, 10.0);
+        let b = ResourceVector::new(2.0, 200.0, 20.0);
+        assert_eq!(a + b, ResourceVector::new(3.0, 300.0, 30.0));
+        assert_eq!(b - a, a * 1.0);
+        assert_eq!(a * 2.0, b);
+    }
+
+    #[test]
+    fn fits_within_checks_all_components() {
+        let cap = ResourceVector::new(4.0, 1000.0, 100.0);
+        assert!(ResourceVector::new(4.0, 1000.0, 100.0).fits_within(&cap));
+        assert!(!ResourceVector::new(4.1, 10.0, 10.0).fits_within(&cap));
+        assert!(!ResourceVector::new(1.0, 1001.0, 10.0).fits_within(&cap));
+        assert!(!ResourceVector::new(1.0, 10.0, 100.5).fits_within(&cap));
+    }
+
+    #[test]
+    fn satisfaction_fraction() {
+        let demand = ResourceVector::new(2.0, 100.0, 10.0);
+        let half = ResourceVector::new(1.0, 100.0, 10.0);
+        assert_eq!(half.satisfaction_of(&demand), 0.5);
+        // Over-provisioning clamps at 1.
+        let big = ResourceVector::new(8.0, 800.0, 80.0);
+        assert_eq!(big.satisfaction_of(&demand), 1.0);
+        // Zero-demand components are ignored.
+        let io_only = ResourceVector::new(0.0, 0.0, 5.0);
+        assert_eq!(ResourceVector::new(0.0, 0.0, 2.5).satisfaction_of(&io_only), 0.5);
+        // All-zero demand trivially satisfied.
+        assert_eq!(ResourceVector::ZERO.satisfaction_of(&ResourceVector::ZERO), 1.0);
+    }
+
+    #[test]
+    fn utilization_average() {
+        let cap = ResourceVector::new(4.0, 1000.0, 100.0);
+        let used = ResourceVector::new(2.0, 500.0, 50.0);
+        assert!((used.utilization_against(&cap) - 0.5).abs() < 1e-12);
+        // Over-use clamps each component at 1.
+        let over = ResourceVector::new(8.0, 2000.0, 200.0);
+        assert_eq!(over.utilization_against(&cap), 1.0);
+    }
+
+    #[test]
+    fn negative_detection_and_clamp() {
+        let v = ResourceVector::new(1.0, -2.0, 3.0);
+        assert!(v.has_negative());
+        assert_eq!(v.clamp_non_negative(), ResourceVector::new(1.0, 0.0, 3.0));
+        assert!(!ResourceVector::ZERO.has_negative());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_vec() -> impl Strategy<Value = ResourceVector> {
+        (0.0f64..100.0, 0.0f64..10_000.0, 0.0f64..1_000.0)
+            .prop_map(|(c, m, i)| ResourceVector::new(c, m, i))
+    }
+
+    proptest! {
+        #[test]
+        fn add_then_sub_roundtrips(a in arb_vec(), b in arb_vec()) {
+            let r = (a + b) - b;
+            prop_assert!((r.cpu - a.cpu).abs() < 1e-9);
+            prop_assert!((r.mem - a.mem).abs() < 1e-6);
+            prop_assert!((r.io - a.io).abs() < 1e-9);
+        }
+
+        #[test]
+        fn satisfaction_in_unit_range(have in arb_vec(), demand in arb_vec()) {
+            let f = have.satisfaction_of(&demand);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn scaled_demand_fits_iff_fraction(demand in arb_vec(), k in 0.1f64..1.0) {
+            // If we have exactly k·demand, satisfaction is ~k (when demand nonzero).
+            prop_assume!(demand.cpu > 0.01 && demand.mem > 0.01 && demand.io > 0.01);
+            let have = demand * k;
+            prop_assert!((have.satisfaction_of(&demand) - k).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Shared DAG-planning machinery used by all schemes.
+
+use crate::plan::{NodePlan, RequestInfo, RequestPlan};
+use crate::scheduler::SchedulerCtx;
+use mlp_cluster::MachineId;
+use mlp_model::{Microservice, ResourceVector};
+use mlp_sim::{SimDuration, SimTime};
+
+/// How a scheme picks the machine for each node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachinePolicy {
+    /// Cycle through machines (FairSched).
+    RoundRobin,
+    /// Lowest instantaneous utilization at planning time (CurSched).
+    LeastLoaded,
+    /// Scan all machines' future ledgers and take the slot that starts
+    /// earliest; requires the grant to fit for the whole budget
+    /// (PartProfile / FullProfile / v-MLP).
+    LedgerEarliestFit,
+}
+
+/// Per-node planning inputs a scheme provides to the builder.
+pub trait PlanPolicy {
+    /// Execution-time budget Δt for a node.
+    fn budget(&self, node: usize, svc: &Microservice, work_factor: f64, ctx: &SchedulerCtx<'_>) -> SimDuration;
+
+    /// Resource grant for a node.
+    fn grant(&self, node: usize, svc: &Microservice, ctx: &SchedulerCtx<'_>) -> ResourceVector;
+
+    /// Machine-selection policy.
+    fn machine_policy(&self) -> MachinePolicy;
+
+    /// Whether grants are written into machine ledgers.
+    fn reserve(&self) -> bool;
+
+    /// Planning horizon beyond `now`: a node that cannot be placed before
+    /// `now + horizon` makes the whole request unplaceable this round.
+    /// Ten seconds is far beyond any request's SLO — planning further out
+    /// would only delay the inevitable violation while bloating ledgers.
+    fn horizon(&self) -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+}
+
+/// Plans every node of `req`'s DAG in topological order.
+///
+/// For each node the earliest feasible start is the latest parent's
+/// planned end plus the expected caller→callee communication delay; the
+/// machine policy then decides where (and for ledger policies, exactly
+/// when) the node runs. Returns `None` if any node cannot be placed within
+/// the policy's horizon — the caller decides whether to defer the request
+/// (v-MLP's "switch `r_i` with `r_{i+1}`") or force-place it.
+///
+/// On success, reservations (if any) are already written to the ledgers;
+/// [`unreserve_plan`] rolls them back.
+pub fn plan_request(
+    req: &RequestInfo,
+    policy: &impl PlanPolicy,
+    rr_cursor: &mut usize,
+    ctx: &mut SchedulerCtx<'_>,
+) -> Option<RequestPlan> {
+    let rtype = ctx.catalog.request(req.rtype);
+    let dag = &rtype.dag;
+    let order = dag.topo_order().expect("request DAGs are validated acyclic");
+    let n_machines = ctx.cluster.len();
+    assert!(n_machines > 0, "cannot plan on an empty cluster");
+
+    let mut nodes: Vec<Option<NodePlan>> = vec![None; dag.len()];
+    let horizon_end = ctx.now + policy.horizon();
+    let mut reserved: Vec<(MachineId, SimTime, SimTime, ResourceVector)> = Vec::new();
+
+    for &i in &order {
+        let node = dag.node(i);
+        let svc = ctx.catalog.services.get(node.service);
+        let budget = policy.budget(i, svc, node.work_factor, ctx);
+        let grant = policy.grant(i, svc, ctx);
+
+        // Earliest start: all parents done + expected comm (assume the
+        // conservative cross-machine delay; co-location is decided later).
+        let mut ready = ctx.now;
+        for p in dag.parents(i) {
+            let parent = nodes[p].as_ref().expect("topo order visits parents first");
+            let comm = ctx.net.expected_delay(false, svc.comm);
+            let t = parent.planned_end() + comm;
+            if t > ready {
+                ready = t;
+            }
+        }
+
+        let placed = match policy.machine_policy() {
+            MachinePolicy::RoundRobin => {
+                let m = MachineId((*rr_cursor % n_machines) as u32);
+                *rr_cursor += 1;
+                Some((m, ready))
+            }
+            MachinePolicy::LeastLoaded => {
+                ctx.cluster.least_loaded().map(|m| (m, ready))
+            }
+            MachinePolicy::LedgerEarliestFit => {
+                // Earliest start wins; among machines that can start at the
+                // same instant, prefer the one with the most planned
+                // headroom in the window (worst-fit). Spreading keeps slack
+                // for execution-time and communication slips — packing
+                // tightly onto one machine would turn every slip into the
+                // Fig 5 contention.
+                let mut best: Option<(MachineId, SimTime, f64)> = None;
+                for m in ctx.cluster.machines() {
+                    if let Some(slot) =
+                        m.ledger.earliest_fit(ready, horizon_end, budget, grant)
+                    {
+                        let headroom = m
+                            .ledger
+                            .available(slot, slot + budget)
+                            .utilization_against(&m.capacity);
+                        let better = match best {
+                            None => true,
+                            Some((_, t, h)) => slot < t || (slot == t && headroom > h),
+                        };
+                        if better {
+                            best = Some((m.id, slot, headroom));
+                        }
+                    }
+                }
+                best.map(|(m, t, _)| (m, t))
+            }
+        };
+
+        let (machine, start) = match placed {
+            Some(p) => p,
+            None => {
+                // Roll back reservations made for earlier nodes.
+                for (m, from, to, amt) in reserved {
+                    ctx.cluster.machine_mut(m).ledger.unreserve(from, to, amt);
+                }
+                return None;
+            }
+        };
+
+        if policy.reserve() && budget > SimDuration::ZERO {
+            let end = start + budget;
+            ctx.cluster.machine_mut(machine).ledger.reserve(start, end, grant);
+            reserved.push((machine, start, end, grant));
+        }
+
+        nodes[i] = Some(NodePlan {
+            machine,
+            planned_start: start,
+            budget,
+            grant,
+            reserved: policy.reserve() && budget > SimDuration::ZERO,
+        });
+    }
+
+    Some(RequestPlan {
+        request: req.id,
+        nodes: nodes.into_iter().map(|n| n.expect("all nodes planned")).collect(),
+    })
+}
+
+/// Rolls back every reservation a plan wrote (when a plan is abandoned or
+/// re-made by the self-healing module).
+pub fn unreserve_plan(plan: &RequestPlan, ctx: &mut SchedulerCtx<'_>) {
+    for np in &plan.nodes {
+        if np.reserved && np.budget > SimDuration::ZERO {
+            ctx.cluster
+                .machine_mut(np.machine)
+                .ledger
+                .unreserve(np.planned_start, np.planned_end(), np.grant);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_cluster::Cluster;
+    use mlp_model::RequestCatalog;
+    use mlp_net::NetworkModel;
+    use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+
+    struct TestPolicy {
+        policy: MachinePolicy,
+        reserve: bool,
+        budget_ms: u64,
+        grant: ResourceVector,
+    }
+
+    impl PlanPolicy for TestPolicy {
+        fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _c: &SchedulerCtx<'_>) -> SimDuration {
+            SimDuration::from_millis(self.budget_ms)
+        }
+        fn grant(&self, _n: usize, _s: &Microservice, _c: &SchedulerCtx<'_>) -> ResourceVector {
+            self.grant
+        }
+        fn machine_policy(&self) -> MachinePolicy {
+            self.policy
+        }
+        fn reserve(&self) -> bool {
+            self.reserve
+        }
+    }
+
+    fn harness() -> (Cluster, RequestCatalog, NetworkModel, ProfileStore, MetricsRegistry) {
+        (
+            Cluster::homogeneous(4, ResourceVector::new(6.0, 32_000.0, 1_000.0)),
+            RequestCatalog::paper(),
+            NetworkModel::paper_default(),
+            ProfileStore::new(),
+            MetricsRegistry::new(),
+        )
+    }
+
+    fn req(catalog: &RequestCatalog, name: &str) -> RequestInfo {
+        RequestInfo {
+            id: RequestId(1),
+            rtype: catalog.request_by_name(name).unwrap().id,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    macro_rules! ctx {
+        ($cluster:expr, $cat:expr, $net:expr, $prof:expr, $met:expr) => {
+            SchedulerCtx {
+                now: SimTime::ZERO,
+                cluster: &mut $cluster,
+                profiles: &$prof,
+                catalog: &$cat,
+                net: &$net,
+                metrics: &$met,
+            }
+        };
+    }
+
+    #[test]
+    fn round_robin_plans_all_nodes() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::RoundRobin,
+            reserve: false,
+            budget_ms: 10,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "compose-post");
+        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let dag = &cat.request_by_name("compose-post").unwrap().dag;
+        assert_eq!(plan.nodes.len(), dag.len());
+        assert!(plan.respects_dag(dag));
+        // Round-robin cycles machines.
+        assert_ne!(plan.nodes[0].machine, plan.nodes[1].machine);
+    }
+
+    #[test]
+    fn dependencies_are_sequenced_with_comm_gaps() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 20,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "read-user-timeline"); // 3-node chain
+        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        // Child starts strictly after parent's planned end (comm gap > 0).
+        let dag = &cat.request_by_name("read-user-timeline").unwrap().dag;
+        for &(a, b) in dag.edges() {
+            assert!(plan.nodes[b].planned_start > plan.nodes[a].planned_end());
+        }
+    }
+
+    #[test]
+    fn ledger_policy_avoids_overcommit() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        // Fill machine ledgers almost completely for the next 30 s.
+        for m in cluster.machines_mut() {
+            m.ledger.reserve(
+                SimTime::ZERO,
+                SimTime::from_secs(30),
+                ResourceVector::new(5.5, 31_000.0, 950.0),
+            );
+        }
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 10,
+            grant: ResourceVector::new(2.0, 500.0, 50.0), // does not fit anywhere
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "read-user-timeline");
+        assert!(plan_request(&r, &p, &mut cursor, &mut ctx).is_none());
+    }
+
+    #[test]
+    fn failed_plan_rolls_back_reservations() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        // Only machine 0 has room, and only enough for ~1 concurrent node;
+        // a wide DAG will fail part-way and must roll back.
+        for m in cluster.machines_mut() {
+            let block = if m.id.0 == 0 {
+                ResourceVector::new(4.0, 30_000.0, 900.0)
+            } else {
+                ResourceVector::new(6.0, 32_000.0, 1_000.0)
+            };
+            m.ledger.reserve(SimTime::ZERO, SimTime::from_secs(40), block);
+        }
+        let baseline_avail: Vec<ResourceVector> = cluster
+            .machines()
+            .iter()
+            .map(|m| m.ledger.available(SimTime::ZERO, SimTime::from_secs(30)))
+            .collect();
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 10_000, // long budgets so concurrent branches collide
+            grant: ResourceVector::new(1.5, 1_000.0, 80.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "compose-post"); // wide fan-out
+        let result = plan_request(&r, &p, &mut cursor, &mut ctx);
+        assert!(result.is_none(), "expected unplaceable");
+        // Ledgers restored exactly.
+        for (m, before) in ctx.cluster.machines().iter().zip(baseline_avail) {
+            let after = m.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
+            assert_eq!(after, before, "machine {:?} ledger not rolled back", m.id);
+        }
+    }
+
+    #[test]
+    fn unreserve_plan_roundtrips() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 50,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "basicSearch");
+        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        unreserve_plan(&plan, &mut ctx);
+        for m in ctx.cluster.machines() {
+            let avail = m.ledger.available(SimTime::ZERO, SimTime::from_secs(10));
+            assert_eq!(avail, m.capacity, "reservations leaked on {:?}", m.id);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Scheduling plans: where and when each microservice of a request runs.
+
+use mlp_cluster::MachineId;
+use mlp_model::{RequestTypeId, ResourceVector};
+use mlp_sim::{SimDuration, SimTime};
+use mlp_trace::RequestId;
+use serde::{Deserialize, Serialize};
+
+/// Identity and arrival data of a request awaiting scheduling; its DAG and
+/// SLO come from the [`mlp_model::RequestCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestInfo {
+    /// Request instance id.
+    pub id: RequestId,
+    /// Request type (indexes the catalog).
+    pub rtype: RequestTypeId,
+    /// Arrival time (`t_arr` in the reorder ratio).
+    pub arrival: SimTime,
+}
+
+/// The plan for a single DAG node: the paper's "assign `s_k` to machine
+/// `m_n`" with its time budget Δt and resource grant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePlan {
+    /// Machine the node is assigned to.
+    pub machine: MachineId,
+    /// Planned invocation time.
+    pub planned_start: SimTime,
+    /// Reserved execution budget Δt.
+    pub budget: SimDuration,
+    /// Resource grant (what the scheduler allocates; may differ from the
+    /// service's true demand — FairSched grants equal slices).
+    pub grant: ResourceVector,
+    /// Whether the grant was written into the machine's future ledger
+    /// (profile-driven schemes reserve; simple schemes do not).
+    pub reserved: bool,
+}
+
+impl NodePlan {
+    /// Planned completion time.
+    pub fn planned_end(&self) -> SimTime {
+        self.planned_start + self.budget
+    }
+}
+
+/// A complete admission decision: one [`NodePlan`] per DAG node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestPlan {
+    /// Which request this plan admits.
+    pub request: RequestId,
+    /// Plans indexed by DAG node.
+    pub nodes: Vec<NodePlan>,
+}
+
+impl RequestPlan {
+    /// Planned end-to-end completion (max node end).
+    pub fn planned_makespan_end(&self) -> SimTime {
+        self.nodes.iter().map(NodePlan::planned_end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Validates structural sanity against a DAG: every node planned, and
+    /// no child planned to start before a parent's planned start.
+    pub fn respects_dag(&self, dag: &mlp_model::ServiceDag) -> bool {
+        if self.nodes.len() != dag.len() {
+            return false;
+        }
+        dag.edges().iter().all(|&(p, c)| {
+            self.nodes[c].planned_start >= self.nodes[p].planned_start
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_model::{ServiceDag, ServiceId};
+
+    fn np(machine: u32, start_ms: u64, budget_ms: u64) -> NodePlan {
+        NodePlan {
+            machine: MachineId(machine),
+            planned_start: SimTime::from_millis(start_ms),
+            budget: SimDuration::from_millis(budget_ms),
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+            reserved: true,
+        }
+    }
+
+    #[test]
+    fn planned_end_is_start_plus_budget() {
+        assert_eq!(np(0, 10, 5).planned_end(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn makespan_is_max_end() {
+        let plan = RequestPlan { request: RequestId(1), nodes: vec![np(0, 0, 10), np(1, 5, 20)] };
+        assert_eq!(plan.planned_makespan_end(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn respects_dag_checks_ordering() {
+        let mut dag = ServiceDag::new();
+        dag.add_node(ServiceId(0), 1.0);
+        dag.add_node(ServiceId(1), 1.0);
+        dag.add_edge(0, 1);
+
+        let good = RequestPlan { request: RequestId(1), nodes: vec![np(0, 0, 10), np(0, 10, 10)] };
+        assert!(good.respects_dag(&dag));
+
+        let bad = RequestPlan { request: RequestId(1), nodes: vec![np(0, 10, 10), np(0, 0, 10)] };
+        assert!(!bad.respects_dag(&dag));
+
+        let incomplete = RequestPlan { request: RequestId(1), nodes: vec![np(0, 0, 10)] };
+        assert!(!incomplete.respects_dag(&dag));
+    }
+}

@@ -1,0 +1,136 @@
+//! The scheduler interface the evaluation engine drives.
+
+use crate::plan::{RequestInfo, RequestPlan};
+use mlp_cluster::{Cluster, MachineId};
+use mlp_model::RequestCatalog;
+use mlp_net::NetworkModel;
+use mlp_sim::SimTime;
+use mlp_trace::{MetricsRegistry, ProfileStore, RequestId, Span};
+
+/// Everything a scheduler may consult (and the ledgers it may write)
+/// during a callback. Borrowed from the engine per call.
+pub struct SchedulerCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The cluster — schedulers write reservations into machine ledgers.
+    pub cluster: &'a mut Cluster,
+    /// Historical execution profiles (the `s_i` matrices).
+    pub profiles: &'a ProfileStore,
+    /// Request catalog (DAGs, SLOs, volatility).
+    pub catalog: &'a RequestCatalog,
+    /// Communication model, for expected-delay planning.
+    pub net: &'a NetworkModel,
+    /// Metrics sink for scheduler internals.
+    pub metrics: &'a MetricsRegistry,
+}
+
+/// Raised by the engine when a planned invocation is *late*: its planned
+/// start has arrived but some dependency (or its communication) has not
+/// finished (the Fig 5 misalignment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateInfo {
+    /// The late request.
+    pub request: RequestId,
+    /// DAG node that should have started.
+    pub node: usize,
+    /// Machine it is planned on.
+    pub machine: MachineId,
+    /// Its (missed) planned start.
+    pub planned_start: SimTime,
+}
+
+/// Corrective actions a self-healing scheduler may return from
+/// [`Scheduler::on_late_invocation`]. The engine applies them immediately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealingAction {
+    /// Pull a planned-but-not-yet-invoked node forward: start it as soon
+    /// as it is ready instead of at its original planned start (delay-slot
+    /// fill with a *microservice* candidate, Section III-F).
+    PromoteNode {
+        /// Request owning the node.
+        request: RequestId,
+        /// DAG node index.
+        node: usize,
+        /// New (earlier) planned start.
+        new_start: SimTime,
+    },
+    /// Multiply the resource grant of a *running* node by `factor > 1`,
+    /// shortening its remaining execution proportionally to what the extra
+    /// grant restores (resource stretch, Section III-F).
+    StretchRunning {
+        /// Request owning the running node.
+        request: RequestId,
+        /// DAG node index.
+        node: usize,
+        /// Grant multiplier (> 1).
+        factor: f64,
+    },
+}
+
+/// A request-scheduling scheme (Table VI). Implemented by the four
+/// baselines here and by `mlp-core`'s v-MLP.
+///
+/// Lifecycle driven by the engine:
+/// 1. [`on_arrival`](Scheduler::on_arrival) — request enters the scheme's
+///    waiting queue.
+/// 2. [`schedule`](Scheduler::schedule) — called after arrivals and
+///    completions; returns admission plans for requests the scheme decided
+///    to place now.
+/// 3. [`on_span_start`](Scheduler::on_span_start) /
+///    [`on_span_complete`](Scheduler::on_span_complete) — span lifecycle
+///    notifications for bookkeeping.
+/// 4. [`on_late_invocation`](Scheduler::on_late_invocation) — deviation
+///    callback; self-healing schemes return corrective actions.
+pub trait Scheduler {
+    /// Scheme name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// A request arrived and awaits admission.
+    fn on_arrival(&mut self, req: RequestInfo, ctx: &mut SchedulerCtx<'_>);
+
+    /// Admission pass: place whichever waiting requests the scheme can.
+    fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan>;
+
+    /// A node's dependencies (and their communication) have all resolved:
+    /// it can physically start from `at`. Self-healing schemes use this to
+    /// know how far a candidate can be advanced.
+    fn on_node_ready(
+        &mut self,
+        _request: RequestId,
+        _node: usize,
+        _at: SimTime,
+        _ctx: &mut SchedulerCtx<'_>,
+    ) {
+    }
+
+    /// A span actually invoked (started executing).
+    fn on_span_start(&mut self, _request: RequestId, _node: usize, _ctx: &mut SchedulerCtx<'_>) {}
+
+    /// A span finished. Self-healing schemes may return corrective
+    /// actions — a span that completes *earlier* than its reserved budget
+    /// leaves a resource vacancy that delay-slot candidates (typically its
+    /// own children) can be advanced into (Section III-F).
+    fn on_span_complete(
+        &mut self,
+        _span: &Span,
+        _ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        Vec::new()
+    }
+
+    /// A whole request finished (all nodes done).
+    fn on_request_complete(&mut self, _request: RequestId, _ctx: &mut SchedulerCtx<'_>) {}
+
+    /// A planned invocation is late. Return corrective actions (empty for
+    /// schemes without self-healing).
+    fn on_late_invocation(
+        &mut self,
+        _late: LateInfo,
+        _ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        Vec::new()
+    }
+
+    /// Number of requests still waiting for admission.
+    fn waiting(&self) -> usize;
+}

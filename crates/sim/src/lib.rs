@@ -1,0 +1,15 @@
+//! # mlp-sim — discrete-event simulation kernel
+//!
+//! The paper's evaluation is trace-driven simulation (Section IV, Fig 8).
+//! This crate provides the kernel underneath it: a microsecond-resolution
+//! virtual clock ([`SimTime`]), a deterministic, stable event queue
+//! ([`EventQueue`]), and seed-forkable random streams ([`SimRng`]) so that
+//! parallel experiment sweeps stay reproducible.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

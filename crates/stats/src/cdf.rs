@@ -1,0 +1,219 @@
+//! Exact empirical CDFs and quantiles over collected samples.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact empirical cumulative distribution function.
+///
+/// Stores all samples (sorted lazily on first query). Used for the paper's
+/// CDF figures (Fig 2, Fig 3c) and for the self-organizing module's Δt
+/// estimation, which needs "the 50% latency of x% executions" and "the 99%
+/// tail of x% executions" (Algorithm 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf { samples: Vec::new(), sorted: true }
+    }
+
+    /// Builds a CDF from existing samples.
+    pub fn from_samples(samples: impl Into<Vec<f64>>) -> Self {
+        let mut c = Cdf { samples: samples.into(), sorted: false };
+        c.ensure_sorted();
+        c
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in Cdf"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0,1]`) by nearest-rank; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[idx.min(self.samples.len() - 1)])
+    }
+
+    /// Percentile helper: `percentile(99.0)` = p99. `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// Fraction of samples `<= x` (the CDF evaluated at `x`).
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// A new CDF containing only the fastest `x`% of executions.
+    ///
+    /// This implements the "`x`% executions" truncation in Algorithm 1: for a
+    /// mid-volatility request Δt = 50%-latency of the fastest `x`% runs; for
+    /// high volatility Δt = 99%-tail of the fastest `x`% runs, with
+    /// `x ∝ SLA · V_r`.
+    pub fn truncate_fastest(&mut self, x_percent: f64) -> Cdf {
+        self.ensure_sorted();
+        let x = x_percent.clamp(1.0, 100.0);
+        let keep = (((x / 100.0) * self.samples.len() as f64).ceil() as usize)
+            .clamp(1.min(self.samples.len()), self.samples.len());
+        Cdf { samples: self.samples[..keep].to_vec(), sorted: true }
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting.
+    pub fn points(&mut self, n_points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || n_points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=n_points)
+            .map(|i| {
+                let frac = i as f64 / n_points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).max(1) - 1;
+                (self.samples[idx.min(n - 1)], frac)
+            })
+            .collect()
+    }
+
+    /// Sorted view of the raw samples.
+    pub fn sorted_samples(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.samples
+    }
+
+    /// Arithmetic mean of all samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_below(10.0), 0.0);
+        assert!(c.points(5).is_empty());
+    }
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let mut c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(c.quantile(0.5), Some(5.0));
+        assert_eq!(c.quantile(1.0), Some(10.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.percentile(90.0), Some(9.0));
+    }
+
+    #[test]
+    fn fraction_below_matches_definition() {
+        let mut c = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(2.0), 0.75);
+        assert_eq!(c.fraction_below(3.0), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_on_query() {
+        let mut c = Cdf::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.record(x);
+        }
+        assert_eq!(c.quantile(0.2), Some(1.0));
+        assert_eq!(c.sorted_samples(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn truncate_fastest_keeps_prefix() {
+        let mut c = Cdf::from_samples((1..=100).map(|i| i as f64).collect::<Vec<_>>());
+        let mut t = c.truncate_fastest(50.0);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.quantile(1.0), Some(50.0));
+        // Truncating to even 1% keeps at least one sample.
+        let t1 = c.truncate_fastest(0.0);
+        assert_eq!(t1.len(), 1);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let mut c = Cdf::from_samples((0..57).map(|i| (i * 7 % 57) as f64).collect::<Vec<_>>());
+        let pts = c.points(10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone(xs in prop::collection::vec(0.0f64..1e9, 1..200),
+                                 q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let mut c = Cdf::from_samples(xs);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(c.quantile(lo).unwrap() <= c.quantile(hi).unwrap());
+        }
+
+        #[test]
+        fn quantile_is_a_sample(xs in prop::collection::vec(0.0f64..1e9, 1..200),
+                                 q in 0.0f64..=1.0) {
+            let mut c = Cdf::from_samples(xs.clone());
+            let v = c.quantile(q).unwrap();
+            prop_assert!(xs.contains(&v));
+        }
+
+        #[test]
+        fn fraction_below_max_is_one(xs in prop::collection::vec(0.0f64..1e9, 1..100)) {
+            let mut c = Cdf::from_samples(xs);
+            let max = c.sorted_samples().last().copied().unwrap();
+            prop_assert_eq!(c.fraction_below(max), 1.0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Random-variate distributions built directly on `rand`'s uniform source.
+//!
+//! The microservice model needs log-normal-ish service times (right-skewed,
+//! heavy-ish tail), exponential arrival gaps, and Pareto-like congestion
+//! spikes. Rather than pulling in `rand_distr`, the handful of samplers we
+//! need are implemented here with inverse-transform and Box–Muller methods.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Object-safe sampling interface for positive-valued random variates.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+    /// Theoretical mean of the distribution.
+    fn mean(&self) -> f64;
+}
+
+/// Enum of the concrete distributions used throughout the simulator.
+///
+/// An enum (rather than trait objects) keeps model descriptions
+/// `Copy + Serialize` so benchmark DAGs can be stored as JSON traces, per the
+/// paper's trace-driven workflow (Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Degenerate point mass at `value`.
+    Constant { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with rate `lambda` (mean `1/lambda`).
+    Exponential { lambda: f64 },
+    /// Log-normal with the *underlying normal's* parameters `mu`, `sigma`.
+    LogNormal { mu: f64, sigma: f64 },
+    /// Normal via Box–Muller, truncated at `min` from below.
+    Normal { mean: f64, std_dev: f64, min: f64 },
+    /// Pareto with scale `xm > 0` and shape `alpha > 1`.
+    Pareto { xm: f64, alpha: f64 },
+    /// Mixture of a log-normal body (probability `1-p_tail`) and a Pareto
+    /// spike tail (probability `p_tail`). Models the paper's Fig 4 "green
+    /// blocks": occasional congestion spikes on top of a stable
+    /// communication baseline. The body is parameterized by its target mean
+    /// and coefficient of variation (see [`Dist::lognormal_mean_cv`]).
+    Spiked { body_mean: f64, body_cv: f64, tail_xm: f64, tail_alpha: f64, p_tail: f64 },
+}
+
+impl Dist {
+    /// Log-normal parameterized by its *target* mean `m` and coefficient of
+    /// variation `cv` (σ/µ of the log-normal itself). This is the natural
+    /// parameterization for calibrating services to the paper's variability
+    /// classes.
+    pub fn lognormal_mean_cv(m: f64, cv: f64) -> Dist {
+        assert!(m > 0.0, "lognormal mean must be positive");
+        assert!(cv >= 0.0, "cv must be non-negative");
+        if cv == 0.0 {
+            return Dist::Constant { value: m };
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = m.ln() - sigma2 / 2.0;
+        Dist::LogNormal { mu, sigma: sigma2.sqrt() }
+    }
+
+    /// Draws one sample using `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            Dist::Exponential { lambda } => {
+                // Inverse transform: -ln(1-U)/λ, guarding U=1.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                -(1.0 - u).ln() / lambda
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+            Dist::Normal { mean, std_dev, min } => {
+                (mean + std_dev * standard_normal(rng)).max(min)
+            }
+            Dist::Pareto { xm, alpha } => {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                xm / (1.0 - u).powf(1.0 / alpha)
+            }
+            Dist::Spiked { body_mean, body_cv, tail_xm, tail_alpha, p_tail } => {
+                if p_tail > 0.0 && rng.gen_bool(p_tail.clamp(0.0, 1.0)) {
+                    Dist::Pareto { xm: tail_xm, alpha: tail_alpha }.sample(rng)
+                } else if body_mean <= 0.0 {
+                    0.0
+                } else {
+                    Dist::lognormal_mean_cv(body_mean, body_cv).sample(rng)
+                }
+            }
+        }
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { lambda } => 1.0 / lambda,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Normal { mean, .. } => mean,
+            Dist::Pareto { xm, alpha } => {
+                if alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    alpha * xm / (alpha - 1.0)
+                }
+            }
+            Dist::Spiked { body_mean, tail_xm, tail_alpha, p_tail, .. } => {
+                (1.0 - p_tail) * body_mean
+                    + p_tail * Dist::Pareto { xm: tail_xm, alpha: tail_alpha }.mean()
+            }
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller (the cosine branch).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_summary(d: Dist, n: usize) -> Summary {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.record(d.sample(&mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = sample_summary(Dist::Constant { value: 7.5 }, 100);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Dist::Uniform { lo: 2.0, hi: 6.0 };
+        let s = sample_summary(d, 50_000);
+        assert!((s.mean() - 4.0).abs() < 0.05, "mean {}", s.mean());
+        assert!(s.min() >= 2.0 && s.max() < 6.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Dist::Exponential { lambda: 0.5 };
+        let s = sample_summary(d, 100_000);
+        assert!((s.mean() - 2.0).abs() < 0.05, "mean {}", s.mean());
+        assert!(s.min() >= 0.0);
+    }
+
+    #[test]
+    fn lognormal_mean_cv_calibration() {
+        let d = Dist::lognormal_mean_cv(10.0, 0.3);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+        let s = sample_summary(d, 200_000);
+        assert!((s.mean() - 10.0).abs() < 0.15, "mean {}", s.mean());
+        assert!((s.cv() - 0.3).abs() < 0.05, "cv {}", s.cv());
+    }
+
+    #[test]
+    fn lognormal_zero_cv_degenerates() {
+        assert_eq!(Dist::lognormal_mean_cv(5.0, 0.0), Dist::Constant { value: 5.0 });
+    }
+
+    #[test]
+    fn normal_truncation_respected() {
+        let d = Dist::Normal { mean: 1.0, std_dev: 5.0, min: 0.25 };
+        let s = sample_summary(d, 20_000);
+        assert!(s.min() >= 0.25);
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let d = Dist::Pareto { xm: 1.0, alpha: 2.5 };
+        let s = sample_summary(d, 100_000);
+        assert!(s.min() >= 1.0);
+        // mean = α·xm/(α-1) = 2.5/1.5 ≈ 1.667
+        assert!((s.mean() - d.mean()).abs() < 0.08, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn spiked_mixture_hits_both_modes() {
+        let d = Dist::Spiked {
+            body_mean: 1.0,
+            body_cv: 0.1,
+            tail_xm: 50.0,
+            tail_alpha: 3.0,
+            p_tail: 0.1,
+        };
+        let s = sample_summary(d, 50_000);
+        // Body stays near 1; spikes start at 50.
+        assert!(s.max() >= 50.0);
+        assert!(s.min() < 2.0);
+        assert!((s.mean() - d.mean()).abs() < 0.5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let d = Dist::lognormal_mean_cv(3.0, 0.5);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn lognormal_samples_positive(m in 0.1f64..1e4, cv in 0.0f64..2.0, seed: u64) {
+            let d = Dist::lognormal_mean_cv(m, cv);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+
+        #[test]
+        fn exponential_samples_nonnegative(lambda in 1e-3f64..1e3, seed: u64) {
+            let d = Dist::Exponential { lambda };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn uniform_stays_in_range(lo in -100f64..100.0, width in 0.0f64..100.0, seed: u64) {
+            let d = Dist::Uniform { lo, hi: lo + width };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x >= lo && x <= lo + width);
+            }
+        }
+    }
+}

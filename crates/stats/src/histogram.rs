@@ -1,0 +1,254 @@
+//! Log-bucketed latency histogram (HDR-style, constant memory).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two bucket. 16 gives ~6%
+/// relative error, which is plenty for figure-level percentile reporting
+/// while keeping the histogram 2–3 KiB.
+const SUB_BUCKETS: usize = 16;
+/// Number of power-of-two major buckets (covers values up to 2^40 ≈ 10^12).
+const MAJOR_BUCKETS: usize = 40;
+
+/// Constant-memory histogram of non-negative integer values (e.g.
+/// microsecond latencies) with logarithmic bucketing.
+///
+/// Unlike [`crate::Cdf`] this never stores raw samples, so it is used for the
+/// high-volume metrics the tracing substrate keeps per microservice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; MAJOR_BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // Values below SUB_BUCKETS map 1:1 into the first major bucket.
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize; // position of top bit
+        let major = msb - (SUB_BUCKETS.trailing_zeros() as usize) + 1;
+        let shift = msb - SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        (major * SUB_BUCKETS + sub).min(MAJOR_BUCKETS * SUB_BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) value for a bucket index.
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let major = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let shift = major - 1;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded values (sum is tracked exactly).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded value; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0,1]`); `None` when empty. The
+    /// returned value is the upper edge of the bucket containing the
+    /// quantile rank, so it over-estimates by at most one bucket width
+    /// (~6% relative).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_value(i).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Percentile helper: `percentile(99.0)` = p99.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for &(q, expect) in &[(0.5, 50_000f64), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q).unwrap() as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.07, "q={q}: got {got}, expect {expect}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+            c.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.quantile(0.99), c.quantile(0.99));
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0).is_some());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantiles_monotone(vals in prop::collection::vec(0u64..1_000_000, 1..300)) {
+            let mut h = LogHistogram::new();
+            for &v in &vals { h.record(v); }
+            let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0u64;
+            for &q in &qs {
+                let v = h.quantile(q).unwrap();
+                prop_assert!(v >= prev, "quantile not monotone at q={}", q);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn quantile_within_recorded_range(vals in prop::collection::vec(0u64..1_000_000, 1..300),
+                                          q in 0.0f64..=1.0) {
+            let mut h = LogHistogram::new();
+            for &v in &vals { h.record(v); }
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= h.min() && v <= h.max());
+        }
+
+        #[test]
+        fn bucket_roundtrip_error_bounded(v in 16u64..1_000_000_000) {
+            let idx = LogHistogram::bucket_index(v);
+            let rep = LogHistogram::bucket_value(idx);
+            // Representative value within ~1/SUB_BUCKETS of the original.
+            let rel = (rep as f64 - v as f64).abs() / v as f64;
+            prop_assert!(rel <= 1.0 / 16.0 + 1e-9, "v={} rep={} rel={}", v, rep, rel);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Streaming mean/variance summaries (Welford's algorithm) with merging.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming summary of a sequence of `f64` observations.
+///
+/// Tracks count, mean, variance (via Welford's M2), min and max. Summaries
+/// can be [merged](Summary::merge) (Chan et al. parallel variance), which
+/// lets per-thread experiment workers aggregate without locks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0.0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/µ); 0.0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Relative spread `(max − min) / min`, the paper's Section II-A
+    /// "largest variation in execution time" used to classify inner-logic
+    /// variability (`I`). Returns 0.0 when empty or `min == 0`.
+    pub fn relative_spread(&self) -> f64 {
+        if self.count == 0 || self.min <= 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.min
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.record(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = Summary::from_slice(&xs);
+        let (m, v) = naive_mean_var(&xs);
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.variance() - v).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let ys = [9.0, 2.0, 6.0, 5.0];
+        let mut a = Summary::from_slice(&xs);
+        let b = Summary::from_slice(&ys);
+        a.merge(&b);
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let whole = Summary::from_slice(&all);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_slice(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn relative_spread_classifies_variability() {
+        // 100 → 110 is a 10% spread: "low variation" (< 15%) per Section II-A.
+        let s = Summary::from_slice(&[100.0, 105.0, 110.0]);
+        assert!((s.relative_spread() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let s = Summary::from_slice(&[-1.0, 1.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn merge_is_order_insensitive(xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+                                      ys in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+            let a = Summary::from_slice(&xs);
+            let b = Summary::from_slice(&ys);
+            let mut ab = a; ab.merge(&b);
+            let mut ba = b; ba.merge(&a);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-6);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-3);
+        }
+
+        #[test]
+        fn mean_within_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::from_slice(&xs);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.variance() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-step time series for utilization curves and workload patterns.
+
+use serde::{Deserialize, Serialize};
+
+/// A time series sampled at a fixed step, used for cluster-utilization
+/// curves (Fig 11), the Alibaba-style container trace (Fig 3b), and the
+/// workload rate patterns L1/L2/L3 (Fig 9).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sampling step in the caller's time unit (e.g. seconds).
+    step: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given sampling step (> 0).
+    pub fn new(step: f64) -> Self {
+        assert!(step > 0.0, "time series step must be positive");
+        TimeSeries { step, values: Vec::new() }
+    }
+
+    /// Builds a series by sampling `f(t)` at `n` steps: t = 0, step, 2·step…
+    pub fn from_fn(step: f64, n: usize, mut f: impl FnMut(f64) -> f64) -> Self {
+        let mut ts = TimeSeries::new(step);
+        ts.values.reserve_exact(n);
+        for i in 0..n {
+            ts.values.push(f(i as f64 * step));
+        }
+        ts
+    }
+
+    /// Builds a series from existing values.
+    pub fn from_values(step: f64, values: Vec<f64>) -> Self {
+        assert!(step > 0.0, "time series step must be positive");
+        TimeSeries { step, values }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Sampling step.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at continuous time `t` with linear interpolation, clamped to
+    /// the series ends. Returns 0.0 for an empty series.
+    pub fn at(&self, t: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let pos = (t / self.step).max(0.0);
+        let i = pos.floor() as usize;
+        if i + 1 >= self.values.len() {
+            return *self.values.last().unwrap();
+        }
+        let frac = pos - i as f64;
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+
+    /// Total duration covered (len·step).
+    pub fn duration(&self) -> f64 {
+        self.values.len() as f64 * self.step
+    }
+
+    /// Maximum sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean of samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Centered moving average over a window of `w` samples (`w ≥ 1`).
+    pub fn smoothed(&self, w: usize) -> TimeSeries {
+        let w = w.max(1);
+        let half = w / 2;
+        let n = self.values.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let sum: f64 = self.values[lo..hi].iter().sum();
+            out.push(sum / (hi - lo) as f64);
+        }
+        TimeSeries { step: self.step, values: out }
+    }
+
+    /// Rescales all values so that the maximum equals `target_max`
+    /// (no-op on an all-zero or empty series).
+    pub fn normalized_to(&self, target_max: f64) -> TimeSeries {
+        let m = self.max();
+        if m == 0.0 {
+            return self.clone();
+        }
+        let k = target_max / m;
+        TimeSeries { step: self.step, values: self.values.iter().map(|v| v * k).collect() }
+    }
+
+    /// Indices of local maxima above `threshold` (peak detection for the
+    /// workload-surge analysis of Fig 3b).
+    pub fn peaks_above(&self, threshold: f64) -> Vec<usize> {
+        let v = &self.values;
+        let mut out = Vec::new();
+        for i in 0..v.len() {
+            if v[i] < threshold {
+                continue;
+            }
+            let left_ok = i == 0 || v[i - 1] <= v[i];
+            let right_ok = i + 1 == v.len() || v[i + 1] < v[i];
+            if left_ok && right_ok {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_samples_grid() {
+        let ts = TimeSeries::from_fn(0.5, 4, |t| t * 2.0);
+        assert_eq!(ts.values(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ts.duration(), 2.0);
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let ts = TimeSeries::from_values(1.0, vec![0.0, 10.0, 20.0]);
+        assert_eq!(ts.at(0.5), 5.0);
+        assert_eq!(ts.at(-3.0), 0.0);
+        assert_eq!(ts.at(99.0), 20.0);
+        assert_eq!(ts.at(1.0), 10.0);
+    }
+
+    #[test]
+    fn empty_series_at_is_zero() {
+        let ts = TimeSeries::new(1.0);
+        assert_eq!(ts.at(1.0), 0.0);
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.max(), 0.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_constant() {
+        let ts = TimeSeries::from_values(1.0, vec![5.0; 10]);
+        assert_eq!(ts.smoothed(3).values(), &[5.0; 10]);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let ts = TimeSeries::from_values(1.0, (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect());
+        let sm = ts.smoothed(5);
+        let raw_spread = ts.max() - ts.values().iter().copied().fold(f64::INFINITY, f64::min);
+        let sm_spread = sm.max() - sm.values().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(sm_spread < raw_spread);
+    }
+
+    #[test]
+    fn normalization_hits_target() {
+        let ts = TimeSeries::from_values(1.0, vec![1.0, 2.0, 4.0]);
+        let n = ts.normalized_to(1000.0);
+        assert_eq!(n.max(), 1000.0);
+        assert_eq!(n.values()[0], 250.0);
+    }
+
+    #[test]
+    fn peaks_detected() {
+        let ts = TimeSeries::from_values(1.0, vec![0.0, 5.0, 1.0, 7.0, 7.0, 2.0, 9.0]);
+        let peaks = ts.peaks_above(4.0);
+        assert!(peaks.contains(&1));
+        assert!(peaks.contains(&6));
+        assert!(!peaks.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        TimeSeries::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn interpolation_within_bounds(vals in prop::collection::vec(0.0f64..100.0, 2..50),
+                                       t in 0.0f64..100.0) {
+            let ts = TimeSeries::from_values(1.0, vals.clone());
+            let v = ts.at(t);
+            let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+
+        #[test]
+        fn smoothed_mean_preserved_for_interior(vals in prop::collection::vec(1.0f64..10.0, 10..60)) {
+            let ts = TimeSeries::from_values(1.0, vals);
+            let sm = ts.smoothed(3);
+            // Means stay close (edges differ slightly).
+            prop_assert!((ts.mean() - sm.mean()).abs() < 1.5);
+        }
+    }
+}

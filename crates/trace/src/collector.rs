@@ -1,0 +1,292 @@
+//! Trace collection and end-to-end request accounting.
+
+use crate::span::{RequestId, Span};
+use mlp_model::{RequestTypeId, VolatilityClass};
+use mlp_sim::{SimDuration, SimTime};
+use mlp_stats::{Cdf, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// End-to-end record of one finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request instance.
+    pub id: RequestId,
+    /// Its type.
+    pub request_type: RequestTypeId,
+    /// Volatility class of the type (denormalized for cheap filtering).
+    pub class: VolatilityClass,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// SLO for this request, ms.
+    pub slo_ms: f64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.end.since(self.arrival)
+    }
+
+    /// Whether the request violated its SLO (the QoS metric of Fig 10).
+    pub fn violated(&self) -> bool {
+        self.latency().as_millis_f64() > self.slo_ms
+    }
+}
+
+/// Collects spans and request completions for one simulation run and
+/// answers the questions the evaluation section asks: latency
+/// distributions (Fig 12), tail latency (Fig 13), QoS-violation rates
+/// (Fig 10), throughput (Fig 14), and lateness diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    spans: Vec<Span>,
+    requests: Vec<RequestRecord>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Records one completed span.
+    pub fn record_span(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&mut self, rec: RequestRecord) {
+        self.requests.push(rec);
+    }
+
+    /// All spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All completed requests.
+    pub fn requests(&self) -> &[RequestRecord] {
+        &self.requests
+    }
+
+    /// Number of completed requests (throughput numerator: "the number of
+    /// finished requests within certain scheduling period").
+    pub fn completed(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Number of completed requests matching a predicate.
+    pub fn completed_where(&self, mut pred: impl FnMut(&RequestRecord) -> bool) -> usize {
+        self.requests.iter().filter(|r| pred(r)).count()
+    }
+
+    /// Fraction of completed requests that violated their SLO, optionally
+    /// restricted to one volatility class.
+    pub fn violation_rate(&self, class: Option<VolatilityClass>) -> f64 {
+        let (mut total, mut bad) = (0usize, 0usize);
+        for r in &self.requests {
+            if class.is_none_or(|c| r.class == c) {
+                total += 1;
+                if r.violated() {
+                    bad += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+
+    /// Latency CDF (ms), optionally restricted to one volatility class.
+    pub fn latency_cdf(&self, class: Option<VolatilityClass>) -> Cdf {
+        let mut cdf = Cdf::new();
+        for r in &self.requests {
+            if class.is_none_or(|c| r.class == c) {
+                cdf.record(r.latency().as_millis_f64());
+            }
+        }
+        cdf
+    }
+
+    /// The `p`-percentile latency in ms (e.g. 99.0 for the tail of Fig 13);
+    /// `None` when no matching requests completed.
+    pub fn latency_percentile(&self, p: f64, class: Option<VolatilityClass>) -> Option<f64> {
+        self.latency_cdf(class).percentile(p)
+    }
+
+    /// Per-service execution-time summaries (ms) across all spans.
+    pub fn service_exec_summaries(&self) -> HashMap<mlp_model::ServiceId, Summary> {
+        let mut map: HashMap<mlp_model::ServiceId, Summary> = HashMap::new();
+        for s in &self.spans {
+            map.entry(s.service).or_default().record(s.duration().as_millis_f64());
+        }
+        map
+    }
+
+    /// Fraction of spans that started later than planned, and their mean
+    /// lateness (ms) — how disturbed the schedule was.
+    pub fn lateness_stats(&self) -> (f64, f64) {
+        if self.spans.is_empty() {
+            return (0.0, 0.0);
+        }
+        let late: Vec<&Span> = self.spans.iter().filter(|s| s.was_late()).collect();
+        let frac = late.len() as f64 / self.spans.len() as f64;
+        let mean = if late.is_empty() {
+            0.0
+        } else {
+            late.iter().map(|s| s.lateness().as_millis_f64()).sum::<f64>() / late.len() as f64
+        };
+        (frac, mean)
+    }
+
+    /// Per-request-type end-to-end statistics: `(type, completed,
+    /// violation fraction, p50 ms, p99 ms)`, sorted by type id. The
+    /// per-type view behind Table V's category rows.
+    pub fn per_type_stats(&self) -> Vec<(RequestTypeId, usize, f64, f64, f64)> {
+        let mut by_type: HashMap<RequestTypeId, Vec<&RequestRecord>> = HashMap::new();
+        for r in &self.requests {
+            by_type.entry(r.request_type).or_default().push(r);
+        }
+        let mut out: Vec<_> = by_type
+            .into_iter()
+            .map(|(ty, recs)| {
+                let n = recs.len();
+                let viol = recs.iter().filter(|r| r.violated()).count() as f64 / n as f64;
+                let mut cdf = Cdf::new();
+                for r in &recs {
+                    cdf.record(r.latency().as_millis_f64());
+                }
+                let p50 = cdf.percentile(50.0).unwrap_or(0.0);
+                let p99 = cdf.percentile(99.0).unwrap_or(0.0);
+                (ty, n, viol, p50, p99)
+            })
+            .collect();
+        out.sort_by_key(|(ty, ..)| *ty);
+        out
+    }
+
+    /// Fraction of spans that ran resource-capped (contention indicator).
+    pub fn capped_fraction(&self) -> f64 {
+        if self.spans.is_empty() {
+            return 0.0;
+        }
+        self.spans.iter().filter(|s| s.was_capped()).count() as f64 / self.spans.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_cluster::MachineId;
+    use mlp_model::ServiceId;
+
+    fn req(id: u64, class: VolatilityClass, arrival_ms: u64, end_ms: u64, slo: f64) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            request_type: RequestTypeId(0),
+            class,
+            arrival: SimTime::from_millis(arrival_ms),
+            end: SimTime::from_millis(end_ms),
+            slo_ms: slo,
+        }
+    }
+
+    fn span(service: u32, start: u64, end: u64, planned: u64, sat: f64) -> Span {
+        Span {
+            request: RequestId(0),
+            request_type: RequestTypeId(0),
+            service: ServiceId(service),
+            dag_node: 0,
+            machine: MachineId(0),
+            planned_start: SimTime::from_millis(planned),
+            start: SimTime::from_millis(start),
+            end: SimTime::from_millis(end),
+            satisfaction: sat,
+        }
+    }
+
+    #[test]
+    fn violation_rate_by_class() {
+        let mut c = TraceCollector::new();
+        c.record_request(req(1, VolatilityClass::High, 0, 100, 50.0)); // violated
+        c.record_request(req(2, VolatilityClass::High, 0, 30, 50.0)); // ok
+        c.record_request(req(3, VolatilityClass::Low, 0, 10, 50.0)); // ok
+        assert!((c.violation_rate(None) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.violation_rate(Some(VolatilityClass::High)) - 0.5).abs() < 1e-12);
+        assert_eq!(c.violation_rate(Some(VolatilityClass::Low)), 0.0);
+        assert_eq!(c.violation_rate(Some(VolatilityClass::Mid)), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut c = TraceCollector::new();
+        for i in 1..=100u64 {
+            c.record_request(req(i, VolatilityClass::Mid, 0, i, 1e9));
+        }
+        assert_eq!(c.latency_percentile(50.0, None), Some(50.0));
+        assert_eq!(c.latency_percentile(99.0, None), Some(99.0));
+        assert_eq!(c.latency_percentile(99.0, Some(VolatilityClass::High)), None);
+    }
+
+    #[test]
+    fn lateness_and_capping() {
+        let mut c = TraceCollector::new();
+        c.record_span(span(1, 10, 20, 10, 1.0)); // on time, uncapped
+        c.record_span(span(1, 15, 30, 10, 0.5)); // 5ms late, capped
+        c.record_span(span(2, 8, 20, 10, 1.0)); // early
+        let (frac, mean) = c.lateness_stats();
+        assert!((frac - 1.0 / 3.0).abs() < 1e-12);
+        assert!((mean - 5.0).abs() < 1e-12);
+        assert!((c.capped_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_summaries_group_by_template() {
+        let mut c = TraceCollector::new();
+        c.record_span(span(1, 0, 10, 0, 1.0));
+        c.record_span(span(1, 0, 20, 0, 1.0));
+        c.record_span(span(2, 0, 40, 0, 1.0));
+        let sums = c.service_exec_summaries();
+        assert_eq!(sums[&ServiceId(1)].count(), 2);
+        assert_eq!(sums[&ServiceId(1)].mean(), 15.0);
+        assert_eq!(sums[&ServiceId(2)].mean(), 40.0);
+    }
+
+    #[test]
+    fn per_type_stats_partition_requests() {
+        let mut c = TraceCollector::new();
+        for i in 0..10u64 {
+            let ty = RequestTypeId((i % 2) as u32);
+            c.record_request(RequestRecord {
+                id: RequestId(i),
+                request_type: ty,
+                class: VolatilityClass::Low,
+                arrival: SimTime::ZERO,
+                end: SimTime::from_millis(10 + i * 10),
+                slo_ms: 55.0,
+            });
+        }
+        let stats = c.per_type_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, RequestTypeId(0));
+        assert_eq!(stats[0].1 + stats[1].1, 10);
+        // Latencies 10..100ms, slo 55: some of each type violate.
+        assert!(stats.iter().all(|s| s.2 > 0.0 && s.2 < 1.0));
+        assert!(stats.iter().all(|s| s.3 <= s.4));
+    }
+
+    #[test]
+    fn empty_collector_is_calm() {
+        let c = TraceCollector::new();
+        assert_eq!(c.completed(), 0);
+        assert_eq!(c.violation_rate(None), 0.0);
+        assert_eq!(c.lateness_stats(), (0.0, 0.0));
+        assert_eq!(c.capped_fraction(), 0.0);
+        assert_eq!(c.latency_percentile(50.0, None), None);
+    }
+}

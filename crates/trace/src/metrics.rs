@@ -1,0 +1,158 @@
+//! Prometheus-style counters and gauges.
+//!
+//! A minimal metrics registry standing in for the Prometheus + cAdvisor
+//! monitoring sub-system of Section II. The engine publishes scheduler
+//! internals (delay-slot fills, resource stretches, queue switches) here so
+//! experiments and ablations can introspect *why* a scheme behaved as it
+//! did, not just its end metrics.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of named counters and gauges.
+///
+/// Cloning is cheap (shared handle) so the engine, scheduler, and
+/// self-healing module can all publish to the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.inner.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads a gauge (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.inner.lock().gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Clears everything (between experiment repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+    }
+}
+
+/// Well-known metric names published by the v-MLP engine.
+pub mod names {
+    /// Requests that entered the waiting queue.
+    pub const REQUESTS_ARRIVED: &str = "requests_arrived";
+    /// Requests fully completed.
+    pub const REQUESTS_COMPLETED: &str = "requests_completed";
+    /// Delay-slot candidates promoted into stalls (self-healing).
+    pub const DELAY_SLOT_FILLS: &str = "delay_slot_fills";
+    /// Resource-stretch actions taken (self-healing).
+    pub const RESOURCE_STRETCHES: &str = "resource_stretches";
+    /// Waiting-queue switches (Algorithm 1 line 26).
+    pub const QUEUE_SWITCHES: &str = "queue_switches";
+    /// Spans that invoked later than planned.
+    pub const LATE_INVOCATIONS: &str = "late_invocations";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc(names::DELAY_SLOT_FILLS);
+        m.add(names::DELAY_SLOT_FILLS, 4);
+        assert_eq!(m.counter(names::DELAY_SLOT_FILLS), 5);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("util", 0.4);
+        m.set_gauge("util", 0.7);
+        assert_eq!(m.gauge("util"), Some(0.7));
+        assert_eq!(m.gauge("other"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m2.inc("x");
+        assert_eq!(m.counter("x"), 1);
+    }
+
+    #[test]
+    fn snapshots_are_sorted() {
+        let m = MetricsRegistry::new();
+        m.inc("zebra");
+        m.inc("aardvark");
+        let names: Vec<String> = m.counters().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["aardvark".to_string(), "zebra".to_string()]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = MetricsRegistry::new();
+        m.inc("x");
+        m.set_gauge("g", 1.0);
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert_eq!(m.gauge("g"), None);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.inc("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits"), 8000);
+    }
+}

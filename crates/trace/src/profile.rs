@@ -1,0 +1,287 @@
+//! Historical execution profiles — the paper's `s_i` matrix.
+//!
+//! Section III-E describes each microservice as a matrix
+//! `s_i = [u_cpu, u_mem, u_io, l, Δt]` whose **rows are historical
+//! execution cases**. Schedulers consume this store in different ways:
+//! PartProfile looks only at execution times, FullProfile at times and
+//! resource usage, and v-MLP's self-organizing module derives its
+//! volatility-banded Δt estimates (median / p99 of the fastest `x`%
+//! executions) from the same history.
+
+use mlp_model::{ResourceVector, ServiceId};
+use mlp_stats::{Cdf, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One historical execution case — one row of `s_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionCase {
+    /// Resource usage during the execution.
+    pub usage: ResourceVector,
+    /// Machine load (utilization fraction) at the time.
+    pub machine_load: f64,
+    /// Execution time in ms (the paper's Δt column).
+    pub exec_ms: f64,
+}
+
+/// Per-service history of execution cases with cached aggregates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ServiceHistory {
+    cases: Vec<ExecutionCase>,
+    #[serde(skip)]
+    exec_summary: Summary,
+    #[serde(skip)]
+    usage_summary: [Summary; 3],
+}
+
+impl ServiceHistory {
+    fn record(&mut self, case: ExecutionCase) {
+        self.exec_summary.record(case.exec_ms);
+        self.usage_summary[0].record(case.usage.cpu);
+        self.usage_summary[1].record(case.usage.mem);
+        self.usage_summary[2].record(case.usage.io);
+        self.cases.push(case);
+    }
+}
+
+/// The historical profile store shared by all profile-driven schedulers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileStore {
+    histories: HashMap<u32, ServiceHistory>,
+    /// Cap on retained cases per service (ring-buffer semantics); `0`
+    /// means unbounded.
+    retention: usize,
+}
+
+impl ProfileStore {
+    /// Creates an empty, unbounded store.
+    pub fn new() -> Self {
+        ProfileStore::default()
+    }
+
+    /// Creates a store that retains at most `retention` recent cases per
+    /// service (cheap online operation for long runs).
+    pub fn with_retention(retention: usize) -> Self {
+        ProfileStore { histories: HashMap::new(), retention }
+    }
+
+    /// Records one execution case for `service`.
+    pub fn record(&mut self, service: ServiceId, case: ExecutionCase) {
+        let h = self.histories.entry(service.0).or_default();
+        h.record(case);
+        if self.retention > 0 && h.cases.len() > self.retention {
+            let overflow = h.cases.len() - self.retention;
+            h.cases.drain(..overflow);
+            // Summaries intentionally stay cumulative — they describe the
+            // service's lifetime behaviour, while `cases` bounds the Δt
+            // estimation window.
+        }
+    }
+
+    /// Number of retained cases for `service`.
+    pub fn case_count(&self, service: ServiceId) -> usize {
+        self.histories.get(&service.0).map_or(0, |h| h.cases.len())
+    }
+
+    /// Retained execution cases (oldest first).
+    pub fn cases(&self, service: ServiceId) -> &[ExecutionCase] {
+        self.histories.get(&service.0).map_or(&[], |h| h.cases.as_slice())
+    }
+
+    /// Mean observed execution time (ms); `None` with no history.
+    pub fn mean_exec_ms(&self, service: ServiceId) -> Option<f64> {
+        let h = self.histories.get(&service.0)?;
+        if h.exec_summary.count() == 0 {
+            // Rebuilt after deserialization: summaries are skipped.
+            return self.rebuild_exec_summary(service).map(|s| s.mean());
+        }
+        Some(h.exec_summary.mean())
+    }
+
+    /// Mean observed resource usage; zero vector with no history.
+    pub fn mean_usage(&self, service: ServiceId) -> ResourceVector {
+        match self.histories.get(&service.0) {
+            Some(h) if h.usage_summary[0].count() > 0 => ResourceVector::new(
+                h.usage_summary[0].mean(),
+                h.usage_summary[1].mean(),
+                h.usage_summary[2].mean(),
+            ),
+            Some(h) if !h.cases.is_empty() => {
+                let mut v = ResourceVector::ZERO;
+                for c in &h.cases {
+                    v += c.usage;
+                }
+                v * (1.0 / h.cases.len() as f64)
+            }
+            _ => ResourceVector::ZERO,
+        }
+    }
+
+    fn rebuild_exec_summary(&self, service: ServiceId) -> Option<Summary> {
+        let h = self.histories.get(&service.0)?;
+        if h.cases.is_empty() {
+            return None;
+        }
+        let mut s = Summary::new();
+        for c in &h.cases {
+            s.record(c.exec_ms);
+        }
+        Some(s)
+    }
+
+    /// Execution-time CDF of the retained cases; empty CDF with no history.
+    pub fn exec_cdf(&self, service: ServiceId) -> Cdf {
+        let mut cdf = Cdf::new();
+        for c in self.cases(service) {
+            cdf.record(c.exec_ms);
+        }
+        cdf
+    }
+
+    /// Algorithm 1's Δt estimator: the `q`-quantile latency of the fastest
+    /// `x`% of historical executions.
+    ///
+    /// * medium volatility: `q = 0.5` ("Δt = 50 % latency of x % executions")
+    /// * high volatility: `q = 0.99` ("Δt = 99 % latency of x % executions")
+    ///
+    /// Falls back to `fallback_ms` when no history exists (cold start).
+    pub fn delta_t_ms(&self, service: ServiceId, x_percent: f64, q: f64, fallback_ms: f64) -> f64 {
+        let mut cdf = self.exec_cdf(service);
+        if cdf.is_empty() {
+            return fallback_ms;
+        }
+        let mut truncated = cdf.truncate_fastest(x_percent);
+        truncated.quantile(q).unwrap_or(fallback_ms)
+    }
+
+    /// Most recent observed execution time; `None` with no history.
+    /// ("For requests with low V_r, Δt is directly determined by
+    /// historical value.")
+    pub fn last_exec_ms(&self, service: ServiceId) -> Option<f64> {
+        self.cases(service).last().map(|c| c.exec_ms)
+    }
+
+    /// Smallest retained execution time (the `Δt₀` of the reorder ratio).
+    pub fn min_exec_ms(&self, service: ServiceId) -> Option<f64> {
+        self.cases(service)
+            .iter()
+            .map(|c| c.exec_ms)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Services with any history.
+    pub fn services(&self) -> Vec<ServiceId> {
+        let mut ids: Vec<ServiceId> = self.histories.keys().map(|&k| ServiceId(k)).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(exec_ms: f64) -> ExecutionCase {
+        ExecutionCase {
+            usage: ResourceVector::new(1.0, 100.0, 10.0),
+            machine_load: 0.5,
+            exec_ms,
+        }
+    }
+
+    const S: ServiceId = ServiceId(7);
+
+    #[test]
+    fn empty_store() {
+        let p = ProfileStore::new();
+        assert_eq!(p.case_count(S), 0);
+        assert!(p.mean_exec_ms(S).is_none());
+        assert_eq!(p.mean_usage(S), ResourceVector::ZERO);
+        assert_eq!(p.delta_t_ms(S, 90.0, 0.5, 42.0), 42.0, "cold start uses fallback");
+        assert!(p.last_exec_ms(S).is_none());
+        assert!(p.services().is_empty());
+    }
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut p = ProfileStore::new();
+        for ms in [10.0, 20.0, 30.0] {
+            p.record(S, case(ms));
+        }
+        assert_eq!(p.case_count(S), 3);
+        assert_eq!(p.mean_exec_ms(S), Some(20.0));
+        assert_eq!(p.last_exec_ms(S), Some(30.0));
+        assert_eq!(p.min_exec_ms(S), Some(10.0));
+        assert_eq!(p.mean_usage(S), ResourceVector::new(1.0, 100.0, 10.0));
+        assert_eq!(p.services(), vec![S]);
+    }
+
+    #[test]
+    fn delta_t_quantiles() {
+        let mut p = ProfileStore::new();
+        for ms in 1..=100 {
+            p.record(S, case(ms as f64));
+        }
+        // p50 of all executions.
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.5, 0.0), 50.0);
+        // p99 of all executions.
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.99, 0.0), 99.0);
+        // p99 of the fastest 50%: 99th percentile of 1..=50.
+        let d = p.delta_t_ms(S, 50.0, 0.99, 0.0);
+        assert!((49.0..=50.0).contains(&d), "got {d}");
+        // Smaller x ⇒ tighter (more optimistic) Δt.
+        assert!(p.delta_t_ms(S, 10.0, 0.99, 0.0) < p.delta_t_ms(S, 90.0, 0.99, 0.0));
+    }
+
+    #[test]
+    fn retention_bounds_cases_but_not_lifetime_stats() {
+        let mut p = ProfileStore::with_retention(10);
+        for ms in 1..=100 {
+            p.record(S, case(ms as f64));
+        }
+        assert_eq!(p.case_count(S), 10);
+        // Window keeps the most recent cases.
+        assert_eq!(p.cases(S)[0].exec_ms, 91.0);
+        // Lifetime mean still covers all 100 recordings.
+        assert_eq!(p.mean_exec_ms(S), Some(50.5));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_cases() {
+        let mut p = ProfileStore::new();
+        p.record(S, case(12.5));
+        p.record(S, case(14.0));
+        let js = serde_json::to_string(&p).unwrap();
+        let q: ProfileStore = serde_json::from_str(&js).unwrap();
+        assert_eq!(q.case_count(S), 2);
+        // Summaries are rebuilt lazily from cases after deserialization.
+        assert_eq!(q.mean_exec_ms(S), Some(13.25));
+        assert_eq!(q.mean_usage(S), ResourceVector::new(1.0, 100.0, 10.0));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Δt estimates are monotone in q and bounded by the observed range.
+        #[test]
+        fn delta_t_monotone_and_bounded(times in prop::collection::vec(0.1f64..1e4, 1..100),
+                                        x in 1.0f64..100.0) {
+            let mut p = ProfileStore::new();
+            for &t in &times {
+                p.record(ServiceId(0), ExecutionCase {
+                    usage: ResourceVector::ZERO, machine_load: 0.0, exec_ms: t });
+            }
+            let d50 = p.delta_t_ms(ServiceId(0), x, 0.5, 0.0);
+            let d99 = p.delta_t_ms(ServiceId(0), x, 0.99, 0.0);
+            prop_assert!(d50 <= d99);
+            let max = times.iter().copied().fold(0.0f64, f64::max);
+            let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert!(d99 <= max + 1e-9);
+            prop_assert!(d50 >= min - 1e-9);
+        }
+    }
+}

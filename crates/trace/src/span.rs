@@ -1,0 +1,104 @@
+//! Trace spans: one microservice execution within one request.
+
+use mlp_cluster::MachineId;
+use mlp_model::{RequestTypeId, ServiceId};
+use mlp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one request instance flowing through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// One completed microservice execution — what Zipkin would report for one
+/// span: who ran, where, when it was *planned* to start, when it actually
+/// started (the gap is the "late invocation" the self-healing module
+/// reacts to), and when it finished.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// The request instance this span belongs to.
+    pub request: RequestId,
+    /// The request's type.
+    pub request_type: RequestTypeId,
+    /// The microservice template that executed.
+    pub service: ServiceId,
+    /// Node index within the request's DAG (a DAG may invoke the same
+    /// template at multiple vertices).
+    pub dag_node: usize,
+    /// Machine the span ran on.
+    pub machine: MachineId,
+    /// When the scheduler planned the span to start.
+    pub planned_start: SimTime,
+    /// When it actually started.
+    pub start: SimTime,
+    /// When it finished.
+    pub end: SimTime,
+    /// Resource-satisfaction fraction it ran with (1.0 = uncontended).
+    pub satisfaction: f64,
+}
+
+impl Span {
+    /// Execution duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// How late the span started versus the plan (zero if on time or
+    /// early).
+    pub fn lateness(&self) -> SimDuration {
+        self.start.since(self.planned_start)
+    }
+
+    /// Whether the span started later than planned.
+    pub fn was_late(&self) -> bool {
+        self.start > self.planned_start
+    }
+
+    /// Whether the span ran resource-capped.
+    pub fn was_capped(&self) -> bool {
+        self.satisfaction < 1.0 - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(planned_ms: u64, start_ms: u64, end_ms: u64, sat: f64) -> Span {
+        Span {
+            request: RequestId(1),
+            request_type: RequestTypeId(0),
+            service: ServiceId(3),
+            dag_node: 2,
+            machine: MachineId(7),
+            planned_start: SimTime::from_millis(planned_ms),
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            satisfaction: sat,
+        }
+    }
+
+    #[test]
+    fn duration_and_lateness() {
+        let s = span(10, 15, 40, 1.0);
+        assert_eq!(s.duration(), SimDuration::from_millis(25));
+        assert_eq!(s.lateness(), SimDuration::from_millis(5));
+        assert!(s.was_late());
+        assert!(!s.was_capped());
+    }
+
+    #[test]
+    fn on_time_span() {
+        let s = span(10, 10, 20, 0.5);
+        assert_eq!(s.lateness(), SimDuration::ZERO);
+        assert!(!s.was_late());
+        assert!(s.was_capped());
+    }
+
+    #[test]
+    fn early_start_has_zero_lateness() {
+        // Delay-slot promotion can start spans *before* their plan.
+        let s = span(20, 12, 30, 1.0);
+        assert_eq!(s.lateness(), SimDuration::ZERO);
+        assert!(!s.was_late());
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic Alibaba-style container-utilization trace (Fig 3b).
+//!
+//! The paper analyzes an open-source Alibaba cluster log — an eight-day
+//! trace of containers from a production cluster — to show that workload
+//! fluctuations are significant and traffic surges frequent (Section II-B,
+//! Observation 2). We synthesize a trace with the same qualitative
+//! structure: a diurnal baseline, day-to-day modulation, bursty surge
+//! spikes, and sampling noise.
+
+use mlp_sim::SimRng;
+use mlp_stats::{Dist, TimeSeries};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic trace generator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlibabaTraceConfig {
+    /// Trace length in days (the paper's log covers 8 days).
+    pub days: f64,
+    /// Sample period in minutes (cluster logs sample at minute scale).
+    pub sample_minutes: f64,
+    /// Mean utilization level (fraction of capacity, 0–1).
+    pub base_level: f64,
+    /// Amplitude of the diurnal swing (fraction of capacity).
+    pub diurnal_amplitude: f64,
+    /// Expected number of surge events per day.
+    pub surges_per_day: f64,
+    /// Measurement / scheduling noise level (std-dev, fraction).
+    pub noise: f64,
+}
+
+impl Default for AlibabaTraceConfig {
+    fn default() -> Self {
+        AlibabaTraceConfig {
+            days: 8.0,
+            sample_minutes: 5.0,
+            base_level: 0.35,
+            diurnal_amplitude: 0.18,
+            surges_per_day: 6.0,
+            noise: 0.03,
+        }
+    }
+}
+
+impl AlibabaTraceConfig {
+    /// Generates the utilization trace (values in `[0,1]`, one sample per
+    /// `sample_minutes`).
+    pub fn generate(&self, rng: &mut SimRng) -> TimeSeries {
+        let step_min = self.sample_minutes.max(0.1);
+        let n = ((self.days * 24.0 * 60.0) / step_min).ceil() as usize;
+        let mut values = Vec::with_capacity(n);
+
+        // Pre-draw surge events: (center sample, height, width in samples).
+        let expected_surges = (self.surges_per_day * self.days).round() as usize;
+        let surge_height = Dist::Uniform { lo: 0.25, hi: 0.55 };
+        let mut surges: Vec<(f64, f64, f64)> = Vec::with_capacity(expected_surges);
+        for _ in 0..expected_surges {
+            let center = rng.rng().gen_range(0.0..n as f64);
+            let height = surge_height.sample(rng.rng());
+            let width = rng.rng().gen_range(2.0..10.0); // 10–50 minutes
+            surges.push((center, height, width));
+        }
+
+        for i in 0..n {
+            let minutes = i as f64 * step_min;
+            let day_phase = minutes / (24.0 * 60.0) * std::f64::consts::TAU;
+            // Diurnal swing peaking mid-day, plus a slower multi-day drift.
+            let diurnal = self.diurnal_amplitude * (day_phase - std::f64::consts::FRAC_PI_2).sin();
+            let drift = 0.05 * (minutes / (self.days * 24.0 * 60.0) * std::f64::consts::TAU * 1.7).sin();
+            let mut v = self.base_level + diurnal + drift;
+            // Surges: sharp Gaussian bumps.
+            for &(c, h, w) in &surges {
+                let d = (i as f64 - c) / w;
+                if d.abs() < 4.0 {
+                    v += h * (-0.5 * d * d).exp();
+                }
+            }
+            // Sampling noise.
+            v += Dist::Normal { mean: 0.0, std_dev: self.noise, min: -1.0 }.sample(rng.rng());
+            values.push(v.clamp(0.0, 1.0));
+        }
+        TimeSeries::from_values(step_min / 60.0, values) // step unit: hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seed: u64) -> TimeSeries {
+        AlibabaTraceConfig::default().generate(&mut SimRng::new(seed))
+    }
+
+    #[test]
+    fn eight_day_default_shape() {
+        let t = trace(1);
+        // 8 days at 5-minute samples = 2304 points.
+        assert_eq!(t.len(), 2304);
+        assert!((t.duration() - 8.0 * 24.0).abs() < 0.5, "duration {} h", t.duration());
+    }
+
+    #[test]
+    fn values_are_valid_fractions() {
+        let t = trace(2);
+        assert!(t.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn trace_fluctuates_significantly() {
+        // Observation 2: "workload fluctuations are significant".
+        let t = trace(3);
+        let spread = t.max() - t.values().iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.3, "spread only {spread}");
+    }
+
+    #[test]
+    fn surges_exist() {
+        // "many peaks caused by frequent traffic surges": peaks well above
+        // the mean should appear many times over 8 days.
+        let t = trace(4);
+        let threshold = t.mean() + 0.2;
+        let peaks = t.smoothed(3).peaks_above(threshold);
+        assert!(peaks.len() >= 10, "only {} surges", peaks.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(trace(7).values(), trace(7).values());
+        assert_ne!(trace(7).values(), trace(8).values());
+    }
+
+    #[test]
+    fn diurnal_rhythm_visible() {
+        // Autocorrelation at a 24 h lag should be clearly positive.
+        let t = trace(9);
+        let v = t.values();
+        let lag = (24.0 * 60.0 / 5.0) as usize; // samples per day
+        let mean = t.mean();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..v.len() - lag {
+            num += (v[i] - mean) * (v[i + lag] - mean);
+        }
+        for x in v {
+            den += (x - mean) * (x - mean);
+        }
+        let rho = num / den;
+        assert!(rho > 0.15, "daily autocorrelation {rho} too weak");
+    }
+}

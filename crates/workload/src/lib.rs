@@ -1,0 +1,16 @@
+//! # mlp-workload — workload patterns and request-stream generation
+//!
+//! Implements the paper's three realistic workload patterns (Fig 9, drawn
+//! from a production datacenter): **L1** pulse-like peak, **L2** fluctuating
+//! load, **L3** periodic wide peaks — plus the non-homogeneous Poisson
+//! arrival generator that turns a rate curve and a request mix into a
+//! concrete request stream, and a synthetic stand-in for the Alibaba
+//! cluster-trace container-utilization data of Fig 3b.
+
+pub mod alibaba;
+pub mod arrivals;
+pub mod patterns;
+
+pub use alibaba::AlibabaTraceConfig;
+pub use arrivals::{empirical_rate, generate_stream, Arrival};
+pub use patterns::WorkloadPattern;

@@ -1,0 +1,159 @@
+//! The three workload rate patterns of Fig 9.
+
+use mlp_stats::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// A workload rate pattern (requests/second over time). The three realistic
+/// patterns are scaled so their maximum equals the configured peak rate
+/// (the paper caps at 1000 req/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadPattern {
+    /// L1: mostly flat load with one pulse-like peak (arriving at the 40th
+    /// second of the standard 100 s run, per Section V-B).
+    L1Pulse,
+    /// L2: continuously fluctuating load (no steady state).
+    L2Fluctuating,
+    /// L3: periodic workload with wide peaks.
+    L3PeriodicWide,
+    /// Constant load at the peak rate (not in the paper; used for
+    /// calibration tests and QPS sweeps in Fig 12).
+    Constant,
+}
+
+impl WorkloadPattern {
+    /// All three paper patterns in figure order.
+    pub const PAPER: [WorkloadPattern; 3] =
+        [WorkloadPattern::L1Pulse, WorkloadPattern::L2Fluctuating, WorkloadPattern::L3PeriodicWide];
+
+    /// Short label used in reports ("L1", "L2", "L3", "CONST").
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadPattern::L1Pulse => "L1",
+            WorkloadPattern::L2Fluctuating => "L2",
+            WorkloadPattern::L3PeriodicWide => "L3",
+            WorkloadPattern::Constant => "CONST",
+        }
+    }
+
+    /// Instantaneous rate (req/s) at time `t` seconds into the run, for a
+    /// peak rate of `max_rate`. Deterministic (the fluctuations of L2 come
+    /// from incommensurate sinusoids, not an RNG) so every scheduler sees
+    /// the identical offered load.
+    pub fn rate_at(self, t: f64, max_rate: f64) -> f64 {
+        let shape = match self {
+            WorkloadPattern::Constant => 1.0,
+            WorkloadPattern::L1Pulse => {
+                // Baseline 35% with a sharp Gaussian pulse centered at 40 s
+                // (σ = 3 s) rising to 100%.
+                let base = 0.35;
+                let pulse = (-((t - 40.0) * (t - 40.0)) / (2.0 * 3.0 * 3.0)).exp();
+                base + (1.0 - base) * pulse
+            }
+            WorkloadPattern::L2Fluctuating => {
+                // Sum of incommensurate sinusoids: restless, never settles.
+                let s = 0.30 * (t * 0.9).sin()
+                    + 0.22 * (t * 0.23 + 1.3).sin()
+                    + 0.16 * (t * 2.9 + 0.4).sin();
+                (0.55 + s).clamp(0.05, 1.0)
+            }
+            WorkloadPattern::L3PeriodicWide => {
+                // 25 s period; over-driven and clipped sinusoid, which
+                // produces wide plateaus at both the crest and the trough.
+                let phase = (t * std::f64::consts::TAU / 25.0).sin();
+                let wide = (1.6 * phase).clamp(-1.0, 1.0);
+                0.25 + 0.75 * (0.5 + 0.5 * wide)
+            }
+        };
+        shape * max_rate
+    }
+
+    /// Samples the pattern into a [`TimeSeries`] (rate per `step` seconds
+    /// over `horizon` seconds), normalized so the max equals `max_rate`.
+    pub fn rate_series(self, horizon_s: f64, step_s: f64, max_rate: f64) -> TimeSeries {
+        let n = (horizon_s / step_s).ceil() as usize + 1;
+        let ts = TimeSeries::from_fn(step_s, n, |t| self.rate_at(t, max_rate));
+        ts.normalized_to(max_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: f64 = 1000.0;
+
+    #[test]
+    fn all_patterns_bounded() {
+        for p in WorkloadPattern::PAPER {
+            let ts = p.rate_series(100.0, 0.5, MAX);
+            assert!(ts.max() <= MAX + 1e-6, "{} exceeds max", p.label());
+            assert!(
+                ts.values().iter().all(|&v| v >= 0.0),
+                "{} has negative rates",
+                p.label()
+            );
+            // Realistic patterns carry nontrivial load on average.
+            assert!(ts.mean() > 0.1 * MAX, "{} mean too low: {}", p.label(), ts.mean());
+        }
+    }
+
+    #[test]
+    fn l1_peak_is_at_40s() {
+        let p = WorkloadPattern::L1Pulse;
+        let peak_rate = p.rate_at(40.0, MAX);
+        assert!((peak_rate - MAX).abs() < 1e-6);
+        // Away from the pulse the load sits near the baseline.
+        assert!(p.rate_at(5.0, MAX) < 0.4 * MAX);
+        assert!(p.rate_at(90.0, MAX) < 0.4 * MAX);
+    }
+
+    #[test]
+    fn l2_fluctuates_continuously() {
+        let p = WorkloadPattern::L2Fluctuating;
+        let ts = p.rate_series(100.0, 1.0, MAX);
+        // Count direction changes: a fluctuating pattern has many.
+        let v = ts.values();
+        let mut changes = 0;
+        for w in v.windows(3) {
+            if (w[1] - w[0]) * (w[2] - w[1]) < 0.0 {
+                changes += 1;
+            }
+        }
+        assert!(changes >= 8, "only {changes} direction changes");
+    }
+
+    #[test]
+    fn l3_is_periodic() {
+        let p = WorkloadPattern::L3PeriodicWide;
+        // Same phase one period (25 s) apart.
+        for t in [10.0, 22.0, 37.5] {
+            let a = p.rate_at(t, MAX);
+            let b = p.rate_at(t + 25.0, MAX);
+            assert!((a - b).abs() < 1e-6, "not periodic at t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn l3_has_wide_peaks() {
+        // A "wide peak" spends a substantial fraction of each period above
+        // 80% of max rate.
+        let ts = WorkloadPattern::L3PeriodicWide.rate_series(100.0, 0.25, MAX);
+        let above: usize = ts.values().iter().filter(|&&v| v > 0.8 * MAX).count();
+        let frac = above as f64 / ts.len() as f64;
+        assert!(frac > 0.2, "only {frac:.2} of time above 80%");
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let ts = WorkloadPattern::Constant.rate_series(10.0, 1.0, 500.0);
+        for &v in ts.values() {
+            assert_eq!(v, 500.0);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WorkloadPattern::L1Pulse.label(), "L1");
+        assert_eq!(WorkloadPattern::L3PeriodicWide.label(), "L3");
+    }
+}

@@ -1,0 +1,180 @@
+//! `vmlp` — command-line experiment runner.
+//!
+//! Runs one scheduling experiment from flags or a JSON config file and
+//! prints (or saves) the result — the "downstream user" entry point to the
+//! simulator.
+//!
+//! ```sh
+//! vmlp --scheme=v-mlp --pattern=l2 --machines=20 --rate=140 --horizon=60
+//! vmlp --config=experiment.json --out=result.json
+//! vmlp --help
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use v_mlp::engine::config::{ExperimentConfig, MixSpec};
+use v_mlp::engine::traceio;
+use v_mlp::model::VolatilityClass;
+use v_mlp::prelude::*;
+
+const HELP: &str = "\
+vmlp — run one v-MLP scheduling experiment
+
+USAGE:
+    vmlp [FLAGS]
+
+FLAGS:
+    --scheme=NAME     fairsched | cursched | partprofile | fullprofile | v-mlp (default)
+    --pattern=NAME    l1 | l2 | l3 | const   (default l1)
+    --mix=NAME        balanced | low | mid | high | ratio:<0..1>  (default balanced)
+    --machines=N      cluster size            (default 20)
+    --rate=R          peak req/s              (default 140)
+    --horizon=S       run length, seconds     (default 60)
+    --seed=N          RNG seed                (default 2022)
+    --small-tier=N:S  heterogeneous fleet: N machines at scale S (e.g. 5:0.5)
+    --config=FILE     load a JSON ExperimentConfig instead of flags
+    --out=FILE        save the result as JSON (traceio format)
+    --help            this text
+";
+
+fn parse_scheme(s: &str) -> Option<Scheme> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "fairsched" => Scheme::FairSched,
+        "cursched" => Scheme::CurSched,
+        "partprofile" => Scheme::PartProfile,
+        "fullprofile" => Scheme::FullProfile,
+        "v-mlp" | "vmlp" => Scheme::VMlp,
+        _ => return None,
+    })
+}
+
+fn parse_pattern(s: &str) -> Option<WorkloadPattern> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "l1" => WorkloadPattern::L1Pulse,
+        "l2" => WorkloadPattern::L2Fluctuating,
+        "l3" => WorkloadPattern::L3PeriodicWide,
+        "const" | "constant" => WorkloadPattern::Constant,
+        _ => return None,
+    })
+}
+
+fn parse_mix(s: &str) -> Option<MixSpec> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "balanced" => MixSpec::Balanced,
+        "low" => MixSpec::SingleClass(VolatilityClass::Low),
+        "mid" => MixSpec::SingleClass(VolatilityClass::Mid),
+        "high" => MixSpec::SingleClass(VolatilityClass::High),
+        other => {
+            let r = other.strip_prefix("ratio:")?.parse::<f64>().ok()?;
+            MixSpec::HighRatio(r)
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let mut config = ExperimentConfig {
+        machines: 20,
+        max_rate: 140.0,
+        horizon_s: 60.0,
+        ..ExperimentConfig::paper_default(Scheme::VMlp)
+    };
+    let mut out: Option<PathBuf> = None;
+
+    for arg in std::env::args().skip(1) {
+        let bad = |msg: &str| {
+            eprintln!("error: {msg}\n\n{HELP}");
+            ExitCode::FAILURE
+        };
+        if arg == "--help" || arg == "-h" {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            return bad(&format!("unrecognized argument '{arg}'"));
+        };
+        match key {
+            "--scheme" => match parse_scheme(value) {
+                Some(s) => config.scheme = s,
+                None => return bad(&format!("unknown scheme '{value}'")),
+            },
+            "--pattern" => match parse_pattern(value) {
+                Some(p) => config.pattern = p,
+                None => return bad(&format!("unknown pattern '{value}'")),
+            },
+            "--mix" => match parse_mix(value) {
+                Some(m) => config.mix = m,
+                None => return bad(&format!("unknown mix '{value}'")),
+            },
+            "--machines" => match value.parse() {
+                Ok(n) => config.machines = n,
+                Err(_) => return bad("machines must be an integer"),
+            },
+            "--rate" => match value.parse() {
+                Ok(r) => config.max_rate = r,
+                Err(_) => return bad("rate must be a number"),
+            },
+            "--horizon" => match value.parse() {
+                Ok(h) => config.horizon_s = h,
+                Err(_) => return bad("horizon must be a number"),
+            },
+            "--seed" => match value.parse() {
+                Ok(s) => config.seed = s,
+                Err(_) => return bad("seed must be an integer"),
+            },
+            "--small-tier" => {
+                let parsed = value
+                    .split_once(':')
+                    .and_then(|(n, s)| Some((n.parse().ok()?, s.parse().ok()?)));
+                match parsed {
+                    Some((n, s)) => config.small_tier = Some((n, s)),
+                    None => return bad("small-tier must be N:SCALE, e.g. 5:0.5"),
+                }
+            }
+            "--config" => match std::fs::read_to_string(value)
+                .map_err(|e| e.to_string())
+                .and_then(|j| serde_json::from_str(&j).map_err(|e| e.to_string()))
+            {
+                Ok(c) => config = c,
+                Err(e) => return bad(&format!("cannot load config: {e}")),
+            },
+            "--out" => out = Some(PathBuf::from(value)),
+            _ => return bad(&format!("unknown flag '{key}'")),
+        }
+    }
+
+    eprintln!(
+        "running {} on {} machines, {} @ {} req/s peak, {}s …",
+        config.scheme.label(),
+        config.machines,
+        config.pattern.label(),
+        config.max_rate,
+        config.horizon_s
+    );
+    let result = run_experiment(&config);
+
+    println!("arrived / completed:   {} / {}", result.arrived, result.completed);
+    println!("throughput:            {:.1} req/s", result.throughput());
+    println!(
+        "latency p50/p90/p99:   {:.1} / {:.1} / {:.1} ms",
+        result.latency_ms[0], result.latency_ms[1], result.latency_ms[2]
+    );
+    println!("SLO violations:        {:.2}%", result.violation_rate * 100.0);
+    println!(
+        "violations low/mid/high: {:.2}% / {:.2}% / {:.2}%",
+        result.violation_by_class[0] * 100.0,
+        result.violation_by_class[1] * 100.0,
+        result.violation_by_class[2] * 100.0
+    );
+    println!("mean utilization:      {:.1}%", result.mean_utilization * 100.0);
+    let (a, b, c) = result.healing;
+    println!("healing (slot/stretch/switch): {a}/{b}/{c}");
+
+    if let Some(path) = out {
+        if let Err(e) = traceio::save_experiment(&path, &result) {
+            eprintln!("error: cannot save result: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("saved result to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

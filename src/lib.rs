@@ -1,0 +1,49 @@
+//! # v-MLP — volatility-aware Microservice Level Parallelism
+//!
+//! Facade crate for the reproduction of Wang et al., *"Exploring Efficient
+//! Microservice Level Parallelism"* (IEEE IPDPS 2022). It re-exports every
+//! workspace crate under one roof so examples, integration tests, and
+//! downstream users have a single dependency:
+//!
+//! ```
+//! use v_mlp::prelude::*;
+//!
+//! // Volatility of a request is the paper's V_r metric.
+//! let v = Volatility::new(2.0 / 3.0);
+//! assert_eq!(v.band(), VolatilityBand::Medium);
+//! ```
+//!
+//! See the individual crates for details:
+//! - [`mlp_stats`] — statistics substrate (CDFs, histograms, distributions)
+//! - [`mlp_sim`] — discrete-event simulation kernel
+//! - [`mlp_model`] — microservice DAG & benchmark models
+//! - [`mlp_cluster`] — machine/container substrate with resource ledger
+//! - [`mlp_net`] — communication-latency model
+//! - [`mlp_workload`] — L1/L2/L3 workload patterns and arrival generation
+//! - [`mlp_trace`] — Zipkin-like tracing and profile store
+//! - [`mlp_sched`] — scheduler framework + the four baselines of Table VI
+//! - [`mlp_core`] — the paper's contribution: the v-MLP scheduler
+//! - [`mlp_engine`] — trace-driven evaluation engine and experiment sweeps
+
+pub use mlp_cluster as cluster;
+pub use mlp_core as core;
+pub use mlp_engine as engine;
+pub use mlp_model as model;
+pub use mlp_net as net;
+pub use mlp_sched as sched;
+pub use mlp_sim as sim;
+pub use mlp_stats as stats;
+pub use mlp_trace as trace;
+pub use mlp_workload as workload;
+
+/// Commonly used items, re-exported for examples and quick starts.
+pub mod prelude {
+    pub use mlp_core::volatility::{Volatility, VolatilityBand};
+    pub use mlp_core::VMlpScheduler;
+    pub use mlp_engine::config::ExperimentConfig;
+    pub use mlp_engine::runner::{run_experiment, ExperimentResult};
+    pub use mlp_engine::scheme::Scheme;
+    pub use mlp_model::benchmarks;
+    pub use mlp_model::requests::RequestCatalog;
+    pub use mlp_workload::patterns::WorkloadPattern;
+}

@@ -1,0 +1,93 @@
+//! Smoke tests for every figure/table regeneration path: each report
+//! renders, is non-trivial, and contains its identifying markers. The
+//! heavyweight grids run at tiny scale here; the binaries default to
+//! `--scale=small`.
+
+use mlp_bench::{
+    fig02_heterogeneity, fig03_resources, fig04_comm, fig05_challenge, fig09_patterns, fig10_qos,
+    fig11_utilization, fig12_latency, fig13_tail, fig14_throughput, tables, Scale,
+};
+
+#[test]
+fn fig02_report() {
+    let r = fig02_heterogeneity::report(1);
+    for svc in ["ts-order", "ts-ticketinfo", "ts-travel", "ts-basic", "ts-seat", "ts-station"] {
+        assert!(r.contains(svc), "missing {svc} in:\n{r}");
+    }
+}
+
+#[test]
+fn fig03_reports() {
+    assert!(fig03_resources::fig3a_report().contains("social-graph-service"));
+    assert!(fig03_resources::fig3b_report(1).contains("surge peaks"));
+    let c = fig03_resources::fig3c_report(1);
+    assert!(c.contains("High") && c.contains("Moderate") && c.contains("Less"));
+}
+
+#[test]
+fn fig04_report() {
+    let r = fig04_comm::report(1);
+    assert!(r.contains("single machine"));
+    assert!(r.contains("across machines"));
+}
+
+#[test]
+fn fig05_report() {
+    let r = fig05_challenge::report(1);
+    assert!(r.contains("late invocations"));
+    assert!(r.contains("v-MLP"));
+}
+
+#[test]
+fn fig09_report() {
+    let r = fig09_patterns::report(Scale::tiny(), 1);
+    assert!(r.contains("L1") && r.contains("L2") && r.contains("L3"));
+    assert!(r.contains("generated"));
+}
+
+#[test]
+fn fig10_report_tiny() {
+    let r = fig10_qos::report(Scale::tiny(), 1);
+    assert!(r.contains("normalized to v-MLP"));
+    assert!(r.contains("High V_r"));
+    // Three patterns × header rows.
+    assert_eq!(r.matches("Fig 10").count(), 3);
+}
+
+#[test]
+fn fig11_report_tiny() {
+    // Needs a horizon long enough to contain the 40 s peak.
+    let scale = Scale { machines: 6, max_rate: 30.0, horizon_s: 100.0, seeds: 1, label: "t" };
+    let r = fig11_utilization::report(scale, 1);
+    assert!(r.contains("peak @ 40s"));
+    assert!(r.contains("after/before"));
+}
+
+#[test]
+fn fig12_report_tiny() {
+    let r = fig12_latency::report(Scale::tiny(), 1);
+    assert_eq!(r.matches("Fig 12").count(), fig12_latency::LEVELS.len());
+    assert!(r.contains("p99"));
+}
+
+#[test]
+fn fig13_report_tiny() {
+    let r = fig13_tail::report(Scale::tiny(), 1);
+    assert_eq!(r.matches("Fig 13").count(), 3);
+    assert!(r.contains("normalized to FairSched"));
+}
+
+#[test]
+fn fig14_report_tiny() {
+    let r = fig14_throughput::report(Scale::tiny(), 1);
+    assert!(r.contains("100% high"));
+    assert!(r.contains("0% high"));
+}
+
+#[test]
+fn tables_report() {
+    let t = tables::all();
+    for marker in ["Table I", "Table II", "Table III", "Table V", "Table VI"] {
+        assert!(t.contains(marker));
+    }
+}

@@ -1,0 +1,116 @@
+//! Randomized whole-simulation property tests: whatever the (bounded)
+//! configuration, the engine never loses requests, never breaks causality,
+//! and stays deterministic.
+
+use proptest::prelude::*;
+use v_mlp::engine::config::{ExperimentConfig, MixSpec};
+use v_mlp::model::VolatilityClass;
+use v_mlp::prelude::*;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::FairSched),
+        Just(Scheme::CurSched),
+        Just(Scheme::PartProfile),
+        Just(Scheme::FullProfile),
+        Just(Scheme::VMlp),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = WorkloadPattern> {
+    prop_oneof![
+        Just(WorkloadPattern::L1Pulse),
+        Just(WorkloadPattern::L2Fluctuating),
+        Just(WorkloadPattern::L3PeriodicWide),
+        Just(WorkloadPattern::Constant),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = MixSpec> {
+    prop_oneof![
+        Just(MixSpec::Balanced),
+        Just(MixSpec::SingleClass(VolatilityClass::Low)),
+        Just(MixSpec::SingleClass(VolatilityClass::Mid)),
+        Just(MixSpec::SingleClass(VolatilityClass::High)),
+        (0.0f64..=1.0).prop_map(MixSpec::HighRatio),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ExperimentConfig> {
+    (
+        arb_scheme(),
+        arb_pattern(),
+        arb_mix(),
+        2usize..10,     // machines
+        5.0f64..40.0,   // peak rate
+        2.0f64..6.0,    // horizon seconds
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(scheme, pattern, mix, machines, rate, horizon, seed)| ExperimentConfig {
+            machines,
+            max_rate: rate,
+            horizon_s: horizon,
+            pattern,
+            mix,
+            warmup_cases: 10,
+            ..ExperimentConfig::paper_default(scheme)
+        }
+        .with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Conservation: arrived = completed + unfinished, and metrics stay in
+    /// their domains — for any scheme, pattern, mix, and seed.
+    #[test]
+    fn no_configuration_breaks_accounting(cfg in arb_config()) {
+        let r = run_experiment(&cfg);
+        prop_assert!(r.completed + r.unfinished >= r.arrived,
+            "{}: {} + {} < {}", cfg.scheme.label(), r.completed, r.unfinished, r.arrived);
+        prop_assert!((0.0..=1.0).contains(&r.violation_rate));
+        prop_assert!((0.0..=1.0).contains(&r.mean_utilization));
+        prop_assert!(r.latency_ms[0] <= r.latency_ms[1] + 1e-9);
+        prop_assert!(r.latency_ms[1] <= r.latency_ms[2] + 1e-9);
+        prop_assert!(r.completed_in_horizon <= r.completed);
+        for v in r.violation_by_class {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// Determinism under arbitrary configurations.
+    #[test]
+    fn any_configuration_is_reproducible(cfg in arb_config()) {
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.latency_ms, b.latency_ms);
+        prop_assert_eq!(a.healing, b.healing);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The heterogeneous-fleet extension holds the same invariants.
+    #[test]
+    fn two_tier_fleets_hold_invariants(
+        scheme in arb_scheme(),
+        small_count in 1usize..4,
+        scale in 0.4f64..0.9,
+        seed: u64,
+    ) {
+        let cfg = ExperimentConfig {
+            machines: 8,
+            max_rate: 20.0,
+            horizon_s: 4.0,
+            warmup_cases: 10,
+            ..ExperimentConfig::paper_default(scheme)
+        }
+        .with_seed(seed)
+        .with_small_tier(small_count, scale);
+        let r = run_experiment(&cfg);
+        prop_assert!(r.completed + r.unfinished >= r.arrived);
+        prop_assert!((0.0..=1.0).contains(&r.mean_utilization));
+    }
+}
