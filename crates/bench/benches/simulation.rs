@@ -32,13 +32,7 @@ fn bench_workflow_stages(c: &mut Criterion) {
     let mix = catalog.balanced_mix();
     g.bench_function("generate_stream_l2_40s", |b| {
         b.iter(|| {
-            generate_stream(
-                WorkloadPattern::L2Fluctuating,
-                140.0,
-                40.0,
-                &mix,
-                &mut SimRng::new(4),
-            )
+            generate_stream(WorkloadPattern::L2Fluctuating, 140.0, 40.0, &mix, &mut SimRng::new(4))
         });
     });
     g.finish();

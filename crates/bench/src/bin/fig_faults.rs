@@ -1,0 +1,6 @@
+//! Regenerates the fault-storm robustness scenario (extension figure).
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    eprintln!("running fault-storm scenario at --scale={} …", scale.label);
+    print!("{}", mlp_bench::fig_faults::report(scale, 2022));
+}

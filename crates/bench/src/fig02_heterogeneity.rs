@@ -39,12 +39,7 @@ pub struct ServiceRow {
 /// request does not stress it beyond nominal).
 fn work_factor_for(rt_name: &str, svc: ServiceId, catalog: &RequestCatalog) -> f64 {
     let rt = catalog.request_by_name(rt_name).expect("TT request exists");
-    rt.dag
-        .nodes()
-        .iter()
-        .find(|n| n.service == svc)
-        .map(|n| n.work_factor)
-        .unwrap_or(1.0)
+    rt.dag.nodes().iter().find(|n| n.service == svc).map(|n| n.work_factor).unwrap_or(1.0)
 }
 
 /// Generates the figure's data.

@@ -70,7 +70,11 @@ pub fn report(seed: u64) -> String {
         } else {
             "Fig 4b — communication time, across machines (ms, 100 requests/callee)"
         };
-        out.push_str(&report::table(title, &["callee", "mean", "stddev", "max", "spikes>3x"], &rows));
+        out.push_str(&report::table(
+            title,
+            &["callee", "mean", "stddev", "max", "spikes>3x"],
+            &rows,
+        ));
         out.push('\n');
     }
     out
@@ -105,10 +109,8 @@ mod tests {
     #[test]
     fn cross_machine_has_congestion_spikes() {
         let cells = data(11);
-        let remote_spikes: usize =
-            cells.iter().filter(|c| !c.same_machine).map(|c| c.spikes).sum();
-        let local_spikes: usize =
-            cells.iter().filter(|c| c.same_machine).map(|c| c.spikes).sum();
+        let remote_spikes: usize = cells.iter().filter(|c| !c.same_machine).map(|c| c.spikes).sum();
+        let local_spikes: usize = cells.iter().filter(|c| c.same_machine).map(|c| c.spikes).sum();
         assert!(remote_spikes > local_spikes, "{remote_spikes} vs {local_spikes}");
         assert!(remote_spikes >= 10, "expected visible green blocks, got {remote_spikes}");
     }

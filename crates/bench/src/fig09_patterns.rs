@@ -46,8 +46,7 @@ mod tests {
         for p in WorkloadPattern::PAPER {
             let series = p.rate_series(scale.horizon_s, 1.0, scale.max_rate);
             let mut rng = SimRng::new(9);
-            let arrivals =
-                generate_stream(p, scale.max_rate, scale.horizon_s, &mix, &mut rng);
+            let arrivals = generate_stream(p, scale.max_rate, scale.horizon_s, &mix, &mut rng);
             let achieved = arrivals.len() as f64 / scale.horizon_s;
             let target = series.mean();
             assert!(

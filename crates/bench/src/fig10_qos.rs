@@ -32,7 +32,12 @@ pub fn data(scale: Scale, seed: u64) -> Fig10Data {
     for pattern in WorkloadPattern::PAPER {
         for class in CLASSES {
             for scheme in Scheme::PAPER {
-                cells.push(Cell { scheme, pattern, mix: MixSpec::SingleClass(class), rate_mult: 1.0 });
+                cells.push(Cell {
+                    scheme,
+                    pattern,
+                    mix: MixSpec::SingleClass(class),
+                    rate_mult: 1.0,
+                });
             }
         }
     }

@@ -23,10 +23,7 @@ pub fn data(scale: Scale, seed: u64) -> Vec<(&'static str, TimeSeries)> {
         .into_iter()
         .map(|scheme| Cell { scheme, pattern: WorkloadPattern::L1Pulse, ..Cell::new(scheme) })
         .collect();
-    run_cells(scale, &cells, seed)
-        .into_iter()
-        .map(|r| (r.scheme, r.util_series))
-        .collect()
+    run_cells(scale, &cells, seed).into_iter().map(|r| (r.scheme, r.util_series)).collect()
 }
 
 /// Mean utilization of a series over `[from_s, to_s)`.

@@ -42,12 +42,7 @@ pub fn report(scale: Scale, seed: u64) -> String {
         let rows: Vec<Vec<String>> = per_scheme
             .iter()
             .map(|(scheme, l)| {
-                vec![
-                    scheme.to_string(),
-                    report::f(l[0]),
-                    report::f(l[1]),
-                    report::f(l[2]),
-                ]
+                vec![scheme.to_string(), report::f(l[0]), report::f(l[1]), report::f(l[2])]
             })
             .collect();
         out.push_str(&report::table(

@@ -62,9 +62,7 @@ pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, f64, f64, f64)>> 
         .chunks(Scheme::PAPER.len())
         .map(|res| {
             let vmlp = res[4].goodput.max(1e-9);
-            res.iter()
-                .map(|r| (r.scheme, r.throughput, r.goodput, r.goodput / vmlp))
-                .collect()
+            res.iter().map(|r| (r.scheme, r.throughput, r.goodput, r.goodput / vmlp)).collect()
         })
         .collect()
 }

@@ -12,6 +12,7 @@
 //! roughly what factor, where the crossovers sit — is what each report is
 //! asserted against (see EXPERIMENTS.md).
 
+pub mod evalrun;
 pub mod fig02_heterogeneity;
 pub mod fig03_resources;
 pub mod fig04_comm;
@@ -22,7 +23,7 @@ pub mod fig11_utilization;
 pub mod fig12_latency;
 pub mod fig13_tail;
 pub mod fig14_throughput;
-pub mod evalrun;
+pub mod fig_faults;
 pub mod loads;
 pub mod scale;
 pub mod tables;

@@ -34,7 +34,11 @@ pub fn table2() -> String {
         vec!["S".into(), "1 (low) – 3 (high)".into(), "Sensitivity to Resource".into()],
         vec!["C".into(), "1–3: Var(RTT) from 100 to 400".into(), "Communication Overhead".into()],
     ];
-    report::table("Table II — selection range of volatility terms", &["abbr", "range", "description"], &rows)
+    report::table(
+        "Table II — selection range of volatility terms",
+        &["abbr", "range", "description"],
+        &rows,
+    )
 }
 
 /// Table III — resource monitors and controllers.

@@ -74,13 +74,26 @@ impl ResourceLedger {
     }
 
     /// Resources guaranteed free over the whole window `[from, to)`.
+    ///
+    /// Peak usage is clamped at zero before subtracting: after a crash
+    /// wipes the ledger, a straggling `unreserve` for a pre-crash window
+    /// can leave net-negative deltas, and those must not inflate
+    /// availability beyond capacity.
     pub fn available(&self, from: SimTime, to: SimTime) -> ResourceVector {
-        (self.capacity - self.peak_usage(from, to)).clamp_non_negative()
+        (self.capacity - self.peak_usage(from, to).clamp_non_negative()).clamp_non_negative()
     }
 
     /// Whether `amount` fits on top of existing plans over `[from, to)`.
     pub fn fits(&self, from: SimTime, to: SimTime, amount: ResourceVector) -> bool {
         amount.fits_within(&self.available(from, to))
+    }
+
+    /// Forgets every reservation. Used when a machine crashes: the work
+    /// planned on it is void, and pre-crash reservations must not shadow
+    /// the recovered (empty) machine.
+    pub fn clear(&mut self) {
+        self.deltas.clear();
+        self.base = ResourceVector::ZERO;
     }
 
     /// Folds all deltas strictly before `t` into the base level, bounding
@@ -122,8 +135,10 @@ impl ResourceLedger {
             return None;
         }
         let free_needed = amount;
+        // Negative net usage (stale unreserve after a crash-time `clear`)
+        // counts as zero, never as extra headroom.
         let fits_usage = |usage: &ResourceVector| {
-            (free_needed + *usage).fits_within(&self.capacity)
+            (free_needed + usage.clamp_non_negative()).fits_within(&self.capacity)
         };
 
         // Usage level entering `from`.
@@ -251,6 +266,21 @@ mod tests {
         l.reserve(t(15), t(25), rv(4.0)); // 5ms gap at 10 is too short
         let dur = SimDuration::from_millis(10);
         assert_eq!(l.earliest_fit(t(0), t(1000), dur, rv(1.0)), Some(t(25)));
+    }
+
+    #[test]
+    fn clear_then_stale_unreserve_is_harmless() {
+        let mut l = ResourceLedger::new(rv(4.0));
+        l.reserve(t(10), t(20), rv(3.0));
+        l.clear();
+        assert_eq!(l.timeline_len(), 0);
+        // A release for a pre-crash reservation arrives late: availability
+        // must stay capped at capacity and slots must still be found sanely.
+        l.unreserve(t(10), t(20), rv(3.0));
+        assert_eq!(l.available(t(10), t(20)), rv(4.0));
+        assert!(!l.fits(t(10), t(20), rv(4.1)));
+        let slot = l.earliest_fit(t(0), t(100), SimDuration::from_millis(5), rv(4.0));
+        assert_eq!(slot, Some(t(0)));
     }
 
     #[test]

@@ -14,5 +14,5 @@ pub mod monitor;
 
 pub use controller::{proportional_satisfaction, ControllerTool};
 pub use ledger::ResourceLedger;
-pub use machine::{Cluster, Machine, MachineId};
+pub use machine::{Cluster, GrantId, Machine, MachineId};
 pub use monitor::{MonitorTool, UsageMonitor};

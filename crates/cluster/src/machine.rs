@@ -4,10 +4,20 @@ use crate::ledger::ResourceLedger;
 use mlp_model::{ResourceKind, ResourceVector};
 use mlp_sim::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Identifier of a machine in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MachineId(pub u32);
+
+/// Handle to one occupancy grant returned by [`Machine::occupy`].
+///
+/// Releases are by-handle and idempotent: releasing a grant twice (or a
+/// grant wiped by a [`Machine::crash`]) is a no-op, so the engine's
+/// failure-recovery paths can never drive `actual_used` negative or leak
+/// occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GrantId(u64);
 
 /// One worker node: capacity, a future-reservation plan, and the actual
 /// instantaneous usage of services currently executing on it.
@@ -20,9 +30,12 @@ pub struct Machine {
     /// Planned (future) occupancy — what schedulers consult.
     pub ledger: ResourceLedger,
     /// What is *actually* in use right now (running services).
-    pub actual_used: ResourceVector,
-    /// Number of services currently executing.
-    pub running: usize,
+    actual_used: ResourceVector,
+    /// Live grants by id; `actual_used` is always their sum.
+    grants: BTreeMap<u64, ResourceVector>,
+    next_grant: u64,
+    /// Whether the machine is alive (fault injection crashes machines).
+    up: bool,
 }
 
 impl Machine {
@@ -33,7 +46,9 @@ impl Machine {
             capacity,
             ledger: ResourceLedger::new(capacity),
             actual_used: ResourceVector::ZERO,
-            running: 0,
+            grants: BTreeMap::new(),
+            next_grant: 0,
+            up: true,
         }
     }
 
@@ -42,16 +57,72 @@ impl Machine {
         (self.capacity - self.actual_used).clamp_non_negative()
     }
 
-    /// Marks `demand` as actually occupied (service invocation).
-    pub fn occupy(&mut self, demand: ResourceVector) {
-        self.actual_used += demand;
-        self.running += 1;
+    /// What is actually in use right now.
+    pub fn actual_used(&self) -> ResourceVector {
+        self.actual_used
     }
 
-    /// Releases `demand` on service completion.
-    pub fn release(&mut self, demand: ResourceVector) {
-        self.actual_used = (self.actual_used - demand).clamp_non_negative();
-        self.running = self.running.saturating_sub(1);
+    /// Number of services currently executing.
+    pub fn running(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether the machine is alive.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Marks `demand` as actually occupied (service invocation) and hands
+    /// back the grant to release on completion.
+    #[must_use = "the grant handle is required to release the occupancy"]
+    pub fn occupy(&mut self, demand: ResourceVector) -> GrantId {
+        let id = GrantId(self.next_grant);
+        self.next_grant += 1;
+        self.grants.insert(id.0, demand);
+        self.actual_used += demand;
+        id
+    }
+
+    /// Releases a grant on service completion. Idempotent: returns `false`
+    /// (and changes nothing) when the grant was already released or wiped
+    /// by a crash.
+    pub fn release(&mut self, grant: GrantId) -> bool {
+        match self.grants.remove(&grant.0) {
+            Some(amount) => {
+                self.actual_used = (self.actual_used - amount).clamp_non_negative();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enlarges a live grant by `extra` (resource stretch). Returns `false`
+    /// when the grant no longer exists (completed or wiped by a crash).
+    pub fn grow(&mut self, grant: GrantId, extra: ResourceVector) -> bool {
+        match self.grants.get_mut(&grant.0) {
+            Some(amount) => {
+                *amount += extra;
+                self.actual_used += extra;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crashes the machine: every running service is killed, its actual
+    /// usage vanishes, and its planned future (the ledger) is void. The
+    /// machine stays in the cluster but reports `is_up() == false` until
+    /// [`recover`](Machine::recover).
+    pub fn crash(&mut self) {
+        self.up = false;
+        self.grants.clear();
+        self.actual_used = ResourceVector::ZERO;
+        self.ledger.clear();
+    }
+
+    /// Brings a crashed machine back, empty.
+    pub fn recover(&mut self) {
+        self.up = true;
     }
 
     /// Instantaneous utilization of this node:
@@ -81,9 +152,7 @@ pub struct Cluster {
 impl Cluster {
     /// Builds `n` identical machines of the given capacity.
     pub fn homogeneous(n: usize, capacity: ResourceVector) -> Self {
-        Cluster {
-            machines: (0..n).map(|i| Machine::new(MachineId(i as u32), capacity)).collect(),
-        }
+        Cluster { machines: (0..n).map(|i| Machine::new(MachineId(i as u32), capacity)).collect() }
     }
 
     /// The paper's simulated cluster: 100 nodes. Per-node capacity is a
@@ -111,7 +180,12 @@ impl Cluster {
 
     /// A two-tier fleet: `n_big` machines at `big` capacity and `n_small`
     /// at `small` capacity (the common old-generation/new-generation mix).
-    pub fn two_tier(n_big: usize, big: ResourceVector, n_small: usize, small: ResourceVector) -> Self {
+    pub fn two_tier(
+        n_big: usize,
+        big: ResourceVector,
+        n_small: usize,
+        small: ResourceVector,
+    ) -> Self {
         let mut caps = vec![big; n_big];
         caps.extend(std::iter::repeat_n(small, n_small));
         Cluster::heterogeneous(caps)
@@ -168,11 +242,12 @@ impl Cluster {
         }
     }
 
-    /// Id of the machine with the lowest instantaneous utilization
-    /// (CurSched's placement rule).
+    /// Id of the live machine with the lowest instantaneous utilization
+    /// (CurSched's placement rule). Crashed machines are skipped.
     pub fn least_loaded(&self) -> Option<MachineId> {
         self.machines
             .iter()
+            .filter(|m| m.is_up())
             .min_by(|a, b| a.utilization().partial_cmp(&b.utilization()).unwrap())
             .map(|m| m.id)
     }
@@ -190,27 +265,64 @@ mod tests {
     fn occupy_release_roundtrip() {
         let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
         let d = rv(1.0, 250.0, 25.0);
-        m.occupy(d);
-        assert_eq!(m.running, 1);
+        let g = m.occupy(d);
+        assert_eq!(m.running(), 1);
         assert!((m.utilization() - 0.25).abs() < 1e-12);
-        m.release(d);
-        assert_eq!(m.running, 0);
-        assert_eq!(m.actual_used, ResourceVector::ZERO);
+        assert!(m.release(g));
+        assert_eq!(m.running(), 0);
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
         assert_eq!(m.utilization(), 0.0);
     }
 
     #[test]
-    fn release_clamps_at_zero() {
+    fn double_release_is_a_noop() {
         let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
-        m.release(rv(1.0, 1.0, 1.0));
-        assert!(!m.actual_used.has_negative());
-        assert_eq!(m.running, 0);
+        let a = m.occupy(rv(1.0, 100.0, 10.0));
+        let b = m.occupy(rv(2.0, 200.0, 20.0));
+        assert!(m.release(a));
+        assert!(!m.release(a), "second release must be rejected");
+        // The other grant is untouched by the double release.
+        assert_eq!(m.actual_used(), rv(2.0, 200.0, 20.0));
+        assert_eq!(m.running(), 1);
+        assert!(m.release(b));
+        assert!(!m.actual_used().has_negative());
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn grow_enlarges_grant_and_release_returns_all_of_it() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        let g = m.occupy(rv(1.0, 100.0, 10.0));
+        assert!(m.grow(g, rv(0.5, 50.0, 5.0)));
+        assert_eq!(m.actual_used(), rv(1.5, 150.0, 15.0));
+        assert!(m.release(g));
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
+        // Growing a released grant does nothing.
+        assert!(!m.grow(g, rv(1.0, 1.0, 1.0)));
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn crash_wipes_grants_and_release_after_crash_is_safe() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        let g = m.occupy(rv(2.0, 500.0, 50.0));
+        m.ledger.reserve(SimTime::ZERO, SimTime::from_secs(1), rv(1.0, 100.0, 10.0));
+        m.crash();
+        assert!(!m.is_up());
+        assert_eq!(m.running(), 0);
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
+        assert_eq!(m.ledger.timeline_len(), 0, "crash voids the planned future");
+        // The dangling grant from before the crash is dead.
+        assert!(!m.release(g));
+        assert_eq!(m.actual_used(), ResourceVector::ZERO);
+        m.recover();
+        assert!(m.is_up());
     }
 
     #[test]
     fn cluster_utilization_is_average() {
         let mut c = Cluster::homogeneous(2, rv(4.0, 1000.0, 100.0));
-        c.machine_mut(MachineId(0)).occupy(rv(4.0, 1000.0, 100.0)); // 100%
+        let _ = c.machine_mut(MachineId(0)).occupy(rv(4.0, 1000.0, 100.0)); // 100%
         assert!((c.utilization() - 0.5).abs() < 1e-12); // other idle
     }
 
@@ -224,15 +336,25 @@ mod tests {
     #[test]
     fn least_loaded_prefers_idle() {
         let mut c = Cluster::homogeneous(3, rv(4.0, 1000.0, 100.0));
-        c.machine_mut(MachineId(0)).occupy(rv(2.0, 0.0, 0.0));
-        c.machine_mut(MachineId(2)).occupy(rv(1.0, 0.0, 0.0));
+        let _ = c.machine_mut(MachineId(0)).occupy(rv(2.0, 0.0, 0.0));
+        let _ = c.machine_mut(MachineId(2)).occupy(rv(1.0, 0.0, 0.0));
         assert_eq!(c.least_loaded(), Some(MachineId(1)));
+    }
+
+    #[test]
+    fn least_loaded_skips_crashed_machines() {
+        let mut c = Cluster::homogeneous(2, rv(4.0, 1000.0, 100.0));
+        let _ = c.machine_mut(MachineId(1)).occupy(rv(3.0, 0.0, 0.0));
+        c.machine_mut(MachineId(0)).crash();
+        assert_eq!(c.least_loaded(), Some(MachineId(1)), "idle machine is down");
+        c.machine_mut(MachineId(0)).recover();
+        assert_eq!(c.least_loaded(), Some(MachineId(0)));
     }
 
     #[test]
     fn load_per_kind() {
         let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
-        m.occupy(rv(1.0, 500.0, 0.0));
+        let _ = m.occupy(rv(1.0, 500.0, 0.0));
         assert!((m.load(ResourceKind::Cpu) - 0.25).abs() < 1e-12);
         assert!((m.load(ResourceKind::Memory) - 0.5).abs() < 1e-12);
         assert_eq!(m.load(ResourceKind::Io), 0.0);
@@ -240,12 +362,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_cluster_keeps_per_machine_capacity() {
-        let c = Cluster::two_tier(
-            2,
-            rv(8.0, 2000.0, 200.0),
-            3,
-            rv(2.0, 500.0, 50.0),
-        );
+        let c = Cluster::two_tier(2, rv(8.0, 2000.0, 200.0), 3, rv(2.0, 500.0, 50.0));
         assert_eq!(c.len(), 5);
         assert_eq!(c.machine(MachineId(0)).capacity.cpu, 8.0);
         assert_eq!(c.machine(MachineId(4)).capacity.cpu, 2.0);
@@ -260,7 +377,7 @@ mod tests {
         // U averages per-node utilization (paper formula), so a saturated
         // small machine counts as much as a saturated big one.
         let mut c = Cluster::two_tier(1, rv(8.0, 800.0, 80.0), 1, rv(2.0, 200.0, 20.0));
-        c.machine_mut(MachineId(1)).occupy(rv(2.0, 200.0, 20.0));
+        let _ = c.machine_mut(MachineId(1)).occupy(rv(2.0, 200.0, 20.0));
         assert!((c.utilization() - 0.5).abs() < 1e-12);
     }
 

@@ -169,6 +169,22 @@ pub fn stretch_is_useful(sens: ResourceSensitivity) -> bool {
     sens != ResourceSensitivity::Less
 }
 
+/// Ideal (noise-free, fully satisfied) critical-path milliseconds over the
+/// not-yet-done nodes of a request — the minimum wall-clock a fault-free
+/// re-execution still needs. The deadline-aware shedding rule abandons a
+/// request when even this optimistic bound overshoots its SLO deadline.
+pub fn remaining_ideal_ms(ar: &ActiveRequest, catalog: &RequestCatalog) -> f64 {
+    let dag = &catalog.request(ar.info.rtype).dag;
+    dag.critical_path(|i| {
+        if ar.state[i] == NodeState::Done {
+            0.0
+        } else {
+            let node = dag.node(i);
+            catalog.services.get(node.service).base_ms * node.work_factor
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,11 +204,7 @@ mod tests {
             })
             .collect();
         ActiveRequest {
-            info: RequestInfo {
-                id: RequestId(rid),
-                rtype: rt.id,
-                arrival: SimTime::ZERO,
-            },
+            info: RequestInfo { id: RequestId(rid), rtype: rt.id, arrival: SimTime::ZERO },
             plan: RequestPlan { request: RequestId(rid), nodes },
             state: vec![NodeState::Planned; n],
             ready_at: vec![None; n],
@@ -212,8 +224,7 @@ mod tests {
         ar.state[1] = NodeState::Planned; // parent done ⇒ candidate
         map.insert(RequestId(1), ar);
 
-        let cands =
-            delay_slot_candidates(&map, (RequestId(99), 0), SimTime::from_millis(5), &cat);
+        let cands = delay_slot_candidates(&map, (RequestId(99), 0), SimTime::from_millis(5), &cat);
         let pairs: Vec<(RequestId, usize)> = cands.iter().map(|c| (c.request, c.node)).collect();
         assert!(pairs.contains(&(RequestId(1), 1)), "{pairs:?}");
         // Node 2's parent (1) is not done: excluded.
@@ -230,8 +241,7 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(RequestId(1), ar);
         // now = 50ms is beyond node 1's planned start of 20ms.
-        let cands =
-            delay_slot_candidates(&map, (RequestId(99), 0), SimTime::from_millis(50), &cat);
+        let cands = delay_slot_candidates(&map, (RequestId(99), 0), SimTime::from_millis(50), &cat);
         assert!(cands.is_empty());
     }
 
@@ -271,7 +281,8 @@ mod tests {
         let last_r2 = cands.iter().rposition(|c| c.request == RequestId(2)).unwrap();
         assert!(last_r2 < first_r1, "EDF violated");
         // Within request 2, higher sensitivity first.
-        let r2: Vec<&StretchCandidate> = cands.iter().filter(|c| c.request == RequestId(2)).collect();
+        let r2: Vec<&StretchCandidate> =
+            cands.iter().filter(|c| c.request == RequestId(2)).collect();
         for w in r2.windows(2) {
             assert!(w[0].sensitivity >= w[1].sensitivity);
         }
@@ -307,6 +318,23 @@ mod tests {
         assert!(!stretch_is_useful(ResourceSensitivity::Less));
         assert!(stretch_is_useful(ResourceSensitivity::Moderate));
         assert!(stretch_is_useful(ResourceSensitivity::High));
+    }
+
+    #[test]
+    fn remaining_ideal_shrinks_as_nodes_finish() {
+        let cat = RequestCatalog::paper();
+        let mut ar = active(&cat, 1, "read-user-timeline"); // chain 0→1→2
+        let full = remaining_ideal_ms(&ar, &cat);
+        let rt = cat.request_by_name("read-user-timeline").unwrap();
+        assert!((full - rt.ideal_latency_ms(&cat.services)).abs() < 1e-9);
+        ar.state[0] = NodeState::Done;
+        let partial = remaining_ideal_ms(&ar, &cat);
+        assert!(partial < full, "finishing a node must shrink the bound");
+        assert!(partial > 0.0);
+        for st in &mut ar.state {
+            *st = NodeState::Done;
+        }
+        assert_eq!(remaining_ideal_ms(&ar, &cat), 0.0);
     }
 
     #[test]

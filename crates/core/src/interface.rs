@@ -10,8 +10,8 @@
 //! usage monitors plus constant-memory live latency quantiles per service
 //! — and the cgroups-style control actions it can emit (Table III).
 
-use mlp_cluster::{ControllerTool, UsageMonitor};
 use mlp_cluster::controller::ContainerCaps;
+use mlp_cluster::{ControllerTool, UsageMonitor};
 use mlp_model::{ResourceKind, ResourceVector, ServiceId};
 use mlp_sim::SimTime;
 use mlp_stats::P2Quantile;
@@ -150,7 +150,11 @@ mod tests {
     fn accumulates_telemetry_per_service() {
         let mut layer = InterfaceLayer::new();
         for d in [10, 20, 30] {
-            layer.observe_span(&span(1, d, 1.0), ResourceVector::new(1.0, 100.0, 10.0), SimTime::ZERO);
+            layer.observe_span(
+                &span(1, d, 1.0),
+                ResourceVector::new(1.0, 100.0, 10.0),
+                SimTime::ZERO,
+            );
         }
         layer.observe_span(&span(2, 5, 0.5), ResourceVector::new(0.5, 50.0, 5.0), SimTime::ZERO);
 

@@ -104,7 +104,12 @@ impl PlanPolicy for OrganizerPolicy {
         SimDuration::from_millis_f64(self.delta_t_ms(svc, work_factor, ctx))
     }
 
-    fn grant(&self, _node: usize, svc: &Microservice, _ctx: &SchedulerCtx<'_>) -> mlp_model::ResourceVector {
+    fn grant(
+        &self,
+        _node: usize,
+        svc: &Microservice,
+        _ctx: &SchedulerCtx<'_>,
+    ) -> mlp_model::ResourceVector {
         svc.demand
     }
 
@@ -153,11 +158,7 @@ mod tests {
             for &ms in times {
                 h.profiles.record(
                     svc,
-                    ExecutionCase {
-                        usage: ResourceVector::ZERO,
-                        machine_load: 0.0,
-                        exec_ms: ms,
-                    },
+                    ExecutionCase { usage: ResourceVector::ZERO, machine_load: 0.0, exec_ms: ms },
                 );
             }
             h

@@ -45,9 +45,7 @@ pub fn reorder_ratio(req: &RequestInfo, now: SimTime, ctx: &SchedulerCtx<'_>) ->
         .first()
         .map(|&r| {
             let svc = rt.dag.node(r).service;
-            ctx.profiles
-                .min_exec_ms(svc)
-                .unwrap_or_else(|| ctx.catalog.services.get(svc).base_ms)
+            ctx.profiles.min_exec_ms(svc).unwrap_or_else(|| ctx.catalog.services.get(svc).base_ms)
         })
         .unwrap_or(1.0)
         .max(0.1);

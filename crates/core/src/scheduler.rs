@@ -2,16 +2,20 @@
 //! [`Scheduler`] trait.
 
 use crate::healer::{
-    delay_slot_candidates, stretch_candidates, stretch_factor, stretch_is_useful, ActiveRequest,
-    NodeState,
+    delay_slot_candidates, remaining_ideal_ms, stretch_candidates, stretch_factor,
+    stretch_is_useful, ActiveRequest, NodeState,
 };
 use crate::interface::InterfaceLayer;
 use crate::organizer::{DtPolicy, OrganizerPolicy};
 use crate::reorder::sort_by_reorder_ratio;
 use crate::volatility::Volatility;
+use mlp_cluster::MachineId;
+use mlp_model::VolatilityClass;
 use mlp_sched::placement::{plan_request, unreserve_plan};
-use mlp_sched::{HealingAction, LateInfo, RequestInfo, RequestPlan, Scheduler, SchedulerCtx};
-use mlp_sim::SimDuration;
+use mlp_sched::{
+    HealingAction, LateInfo, NodeFailure, RequestInfo, RequestPlan, Scheduler, SchedulerCtx,
+};
+use mlp_sim::{SimDuration, SimTime};
 use mlp_trace::metrics::names;
 use mlp_trace::{RequestId, Span};
 use serde::{Deserialize, Serialize};
@@ -167,12 +171,7 @@ impl VMlpScheduler {
             // slot found before `planned_start` is therefore additional
             // free capacity.
             let machine = ctx.cluster.machine(np.machine);
-            let slot = machine.ledger.earliest_fit(
-                floor,
-                np.planned_start,
-                np.budget,
-                np.grant,
-            );
+            let slot = machine.ledger.earliest_fit(floor, np.planned_start, np.budget, np.grant);
             let Some(new_start) = slot else { continue };
             if new_start >= np.planned_start {
                 continue;
@@ -328,8 +327,7 @@ impl Scheduler for VMlpScheduler {
         let rtype = ar.info.rtype;
         let rid = span.request;
         let children = ctx.catalog.request(rtype).dag.children(span.dag_node);
-        let candidates: Vec<(RequestId, usize)> =
-            children.into_iter().map(|c| (rid, c)).collect();
+        let candidates: Vec<(RequestId, usize)> = children.into_iter().map(|c| (rid, c)).collect();
         self.promote_candidates(&candidates, ctx)
     }
 
@@ -399,6 +397,141 @@ impl Scheduler for VMlpScheduler {
         actions
     }
 
+    fn on_node_failure(
+        &mut self,
+        failure: NodeFailure,
+        ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        let Some(ar) = self.active.get_mut(&failure.request) else { return Vec::new() };
+        // The engine already reset the node to ready; mirror that here.
+        ar.state[failure.node] = NodeState::Planned;
+        let ar = &self.active[&failure.request];
+
+        // Deadline-aware shedding: if even an ideal fault-free re-execution
+        // cannot meet the SLO, the request is dead weight — drop it now so
+        // its reservations fund salvageable work instead.
+        let remaining = SimDuration::from_millis_f64(remaining_ideal_ms(ar, ctx.catalog));
+        if ctx.now + remaining > ar.deadline {
+            return vec![HealingAction::Abandon { request: failure.request }];
+        }
+
+        // Volatility-aware retry budget: a high-V_r node re-runs with a
+        // long, uncertain tail, so its retries are rationed and backed off
+        // harder; a low-V_r node re-runs predictably and cheaply.
+        let rt = ctx.catalog.request(ar.info.rtype);
+        let (budget, base_ms) = match rt.class() {
+            VolatilityClass::Low => (4u32, 1.0),
+            VolatilityClass::Mid => (3u32, 2.0),
+            VolatilityClass::High => (2u32, 4.0),
+        };
+        if failure.attempt + 1 >= budget {
+            return vec![HealingAction::Abandon { request: failure.request }];
+        }
+        let backoff =
+            SimDuration::from_millis_f64(base_ms * (1u64 << failure.attempt.min(6)) as f64);
+        vec![HealingAction::Retry { request: failure.request, node: failure.node, backoff }]
+    }
+
+    fn on_machine_failure(
+        &mut self,
+        machine: MachineId,
+        orphans: &[(RequestId, usize)],
+        ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        // Orphaned spans are no longer running anywhere; their dependencies
+        // were complete when they started, so they are ready again now.
+        for &(rid, node) in orphans {
+            if let Some(ar) = self.active.get_mut(&rid) {
+                ar.state[node] = NodeState::Planned;
+                ar.ready_at[node] = Some(ctx.now);
+            }
+        }
+        // Every not-done node planned on the dead machine lost its
+        // reservation when the engine wiped the ledger. Clear the flags so
+        // later trims/rollbacks cannot double-free, then re-admit each node
+        // through the ledger placement pass over the surviving machines.
+        let mut displaced: Vec<(RequestId, usize)> = Vec::new();
+        for (&rid, ar) in self.active.iter_mut() {
+            for (node, np) in ar.plan.nodes.iter_mut().enumerate() {
+                if np.machine == machine && ar.state[node] != NodeState::Done {
+                    np.reserved = false;
+                    displaced.push((rid, node));
+                }
+            }
+        }
+        displaced.sort(); // HashMap iteration order is nondeterministic
+
+        let mut actions = Vec::new();
+        for (rid, node) in displaced {
+            let (np, floor, state) = {
+                let ar = &self.active[&rid];
+                let floor = match ar.ready_at[node] {
+                    Some(at) => at.max(ctx.now),
+                    None => ctx.now,
+                };
+                (ar.plan.nodes[node], floor, ar.state[node])
+            };
+            if state != NodeState::Planned {
+                continue;
+            }
+            // Earliest slot on a live machine (same worst-fit-free search
+            // window the admission pass uses).
+            let horizon = ctx.now + SimDuration::from_secs(10);
+            let mut best: Option<(MachineId, SimTime)> = None;
+            for m in ctx.cluster.machines() {
+                if !m.is_up() {
+                    continue;
+                }
+                if let Some(slot) = m.ledger.earliest_fit(floor, horizon, np.budget, np.grant) {
+                    let better = match best {
+                        None => true,
+                        Some((_, t)) => slot < t,
+                    };
+                    if better {
+                        best = Some((m.id, slot));
+                    }
+                }
+            }
+            // No live machine fits: leave the node to the engine's naive
+            // wait-for-recovery path.
+            let Some((new_machine, new_start)) = best else { continue };
+            let reserve = np.budget > SimDuration::ZERO;
+            if reserve {
+                ctx.cluster.machine_mut(new_machine).ledger.reserve(
+                    new_start,
+                    new_start + np.budget,
+                    np.grant,
+                );
+            }
+            let ar = self.active.get_mut(&rid).expect("present above");
+            ar.plan.nodes[node].machine = new_machine;
+            ar.plan.nodes[node].planned_start = new_start;
+            ar.plan.nodes[node].reserved = reserve;
+            ctx.metrics.inc(names::CRASH_REPLANS);
+            actions.push(HealingAction::Replan {
+                request: rid,
+                node,
+                machine: new_machine,
+                new_start,
+            });
+        }
+        actions
+    }
+
+    fn on_request_abandoned(&mut self, request: RequestId, ctx: &mut SchedulerCtx<'_>) {
+        let Some(ar) = self.active.remove(&request) else { return };
+        // Give back the future reservations of nodes that will never run.
+        for (node, np) in ar.plan.nodes.iter().enumerate() {
+            if ar.state[node] != NodeState::Done && np.reserved && np.budget > SimDuration::ZERO {
+                ctx.cluster.machine_mut(np.machine).ledger.unreserve(
+                    np.planned_start,
+                    np.planned_end(),
+                    np.grant,
+                );
+            }
+        }
+    }
+
     fn waiting(&self) -> usize {
         self.queue.len()
     }
@@ -414,10 +547,10 @@ pub fn release_active_plan(plan: &RequestPlan, ctx: &mut SchedulerCtx<'_>) {
 mod tests {
     use super::*;
     use mlp_cluster::{Cluster, MachineId};
+    use mlp_model::RequestTypeId;
     use mlp_model::{RequestCatalog, ResourceVector};
     use mlp_net::NetworkModel;
     use mlp_sim::SimTime;
-    use mlp_model::RequestTypeId;
     use mlp_trace::{MetricsRegistry, ProfileStore};
 
     struct H {
@@ -431,7 +564,10 @@ mod tests {
     impl H {
         fn new(machines: usize) -> Self {
             H {
-                cluster: Cluster::homogeneous(machines, ResourceVector::new(6.0, 32_000.0, 1_000.0)),
+                cluster: Cluster::homogeneous(
+                    machines,
+                    ResourceVector::new(6.0, 32_000.0, 1_000.0),
+                ),
                 catalog: RequestCatalog::paper(),
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
@@ -532,11 +668,7 @@ mod tests {
         };
         s.on_span_complete(&span, &mut ctx);
         // The tail of the window is free again.
-        let avail = ctx
-            .cluster
-            .machine(np.machine)
-            .ledger
-            .available(early_end, np.planned_end());
+        let avail = ctx.cluster.machine(np.machine).ledger.available(early_end, np.planned_end());
         assert!(np.grant.fits_within(&avail), "trimmed tail should be free");
     }
 
@@ -593,10 +725,10 @@ mod tests {
             satisfaction: 1.0,
         };
         let actions = s.on_span_complete(&span, &mut ctx);
-        let promoted = actions
-            .iter()
-            .any(|a| matches!(a, HealingAction::PromoteNode { request, node, .. }
-                if *request == RequestId(1) && *node == 1));
+        let promoted = actions.iter().any(|a| {
+            matches!(a, HealingAction::PromoteNode { request, node, .. }
+                if *request == RequestId(1) && *node == 1)
+        });
         assert!(promoted, "expected a delay-slot promotion, got {actions:?}");
         assert!(ctx.metrics.counter(names::DELAY_SLOT_FILLS) >= 1);
 
@@ -635,7 +767,8 @@ mod tests {
         // Stretch only engages once the late request is at deadline risk
         // (more than half its SLO budget burned).
         let mut ctx = h.ctx((slo_ms * 0.75) as u64);
-        ctx.cluster
+        let _ = ctx
+            .cluster
             .machine_mut(plan.nodes[0].machine)
             .occupy(ResourceVector::new(0.5, 128.0, 25.0));
         let late = LateInfo {
@@ -646,9 +779,9 @@ mod tests {
         };
         let actions = s.on_late_invocation(late, &mut ctx);
         assert!(
-            actions
-                .iter()
-                .any(|a| matches!(a, HealingAction::StretchRunning { factor, .. } if *factor > 1.0)),
+            actions.iter().any(
+                |a| matches!(a, HealingAction::StretchRunning { factor, .. } if *factor > 1.0)
+            ),
             "expected a stretch, got {actions:?}"
         );
         assert!(h.metrics.counter(names::RESOURCE_STRETCHES) >= 1);
@@ -694,5 +827,115 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(VMlpScheduler::new().name(), "v-MLP");
+    }
+
+    fn admit_one(h: &mut H, s: &mut VMlpScheduler, id: u64, name: &str) -> RequestPlan {
+        let r = h.req(id, name, 0);
+        let mut ctx = h.ctx(0);
+        s.on_arrival(r, &mut ctx);
+        let plans = s.schedule(&mut ctx);
+        assert_eq!(plans.len(), 1, "request must admit");
+        plans.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn first_node_failure_retries_with_backoff() {
+        let mut h = H::new(8);
+        let mut s = VMlpScheduler::new();
+        let _ = admit_one(&mut h, &mut s, 1, "basicSearch");
+        let mut ctx = h.ctx(10);
+        let failure = NodeFailure {
+            request: RequestId(1),
+            node: 0,
+            machine: MachineId(0),
+            attempt: 0,
+            at: SimTime::from_millis(10),
+        };
+        let actions = s.on_node_failure(failure, &mut ctx);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            HealingAction::Retry { request, node, backoff } => {
+                assert_eq!(request, RequestId(1));
+                assert_eq!(node, 0);
+                assert!(backoff > SimDuration::ZERO, "retry must back off");
+            }
+            ref other => panic!("expected Retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_abandons() {
+        let mut h = H::new(8);
+        let mut s = VMlpScheduler::new();
+        let _ = admit_one(&mut h, &mut s, 1, "basicSearch");
+        let mut ctx = h.ctx(10);
+        let failure = NodeFailure {
+            request: RequestId(1),
+            node: 0,
+            machine: MachineId(0),
+            attempt: 9, // well past any volatility class's budget
+            at: SimTime::from_millis(10),
+        };
+        let actions = s.on_node_failure(failure, &mut ctx);
+        assert_eq!(actions, vec![HealingAction::Abandon { request: RequestId(1) }]);
+    }
+
+    #[test]
+    fn hopeless_deadline_sheds_immediately() {
+        let mut h = H::new(8);
+        let mut s = VMlpScheduler::new();
+        let _ = admit_one(&mut h, &mut s, 1, "compose-post");
+        // An hour after arrival every SLO is blown even under ideal re-run.
+        let mut ctx = h.ctx(3_600_000);
+        let failure = NodeFailure {
+            request: RequestId(1),
+            node: 0,
+            machine: MachineId(0),
+            attempt: 0,
+            at: SimTime::from_millis(3_600_000),
+        };
+        let actions = s.on_node_failure(failure, &mut ctx);
+        assert_eq!(actions, vec![HealingAction::Abandon { request: RequestId(1) }]);
+    }
+
+    #[test]
+    fn machine_failure_replans_onto_survivors() {
+        let mut h = H::new(4);
+        let mut s = VMlpScheduler::new();
+        let plan = admit_one(&mut h, &mut s, 1, "read-user-timeline");
+        let dead = plan.nodes[0].machine;
+        h.cluster.machine_mut(dead).crash();
+        let mut ctx = h.ctx(50);
+        let actions = s.on_machine_failure(dead, &[], &mut ctx);
+        assert!(!actions.is_empty(), "displaced nodes must be replanned");
+        for a in &actions {
+            match *a {
+                HealingAction::Replan { machine, .. } => {
+                    assert_ne!(machine, dead, "replan must avoid the dead machine");
+                    assert!(ctx.cluster.machine(machine).is_up());
+                }
+                ref other => panic!("expected Replan, got {other:?}"),
+            }
+        }
+        assert!(h.metrics.counter(names::CRASH_REPLANS) > 0);
+        // The scheduler's own book must agree with the actions it emitted.
+        for np in &s.active[&RequestId(1)].plan.nodes {
+            assert_ne!(np.machine, dead);
+        }
+    }
+
+    #[test]
+    fn abandoned_request_leaves_no_active_state() {
+        let mut h = H::new(8);
+        let mut s = VMlpScheduler::new();
+        let _ = admit_one(&mut h, &mut s, 1, "basicSearch");
+        assert_eq!(s.active_requests(), 1);
+        let mut ctx = h.ctx(20);
+        s.on_request_abandoned(RequestId(1), &mut ctx);
+        assert_eq!(s.active_requests(), 0);
+        // Abandoning twice is harmless.
+        let mut ctx = h.ctx(21);
+        s.on_request_abandoned(RequestId(1), &mut ctx);
+        assert_eq!(s.active_requests(), 0);
     }
 }

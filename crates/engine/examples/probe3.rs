@@ -19,21 +19,28 @@ fn main() {
     ];
     let configs: Vec<ExperimentConfig> = variants
         .iter()
-        .map(|(_, s)| ExperimentConfig {
-            machines: 12,
-            max_rate: 160.0,
-            horizon_s: 40.0,
-            pattern: WorkloadPattern::L2Fluctuating,
-            mix: MixSpec::SingleClass(VolatilityClass::Mid),
-            ..ExperimentConfig::paper_default(*s)
-        }
-        .with_seed(7))
+        .map(|(_, s)| {
+            ExperimentConfig {
+                machines: 12,
+                max_rate: 160.0,
+                horizon_s: 40.0,
+                pattern: WorkloadPattern::L2Fluctuating,
+                mix: MixSpec::SingleClass(VolatilityClass::Mid),
+                ..ExperimentConfig::paper_default(*s)
+            }
+            .with_seed(7)
+        })
         .collect();
     for ((name, _), r) in variants.iter().zip(run_all(&configs, 0)) {
         println!(
             "{:10} p50={:7.1} p99={:8.1} viol={:.3} capped={:.3} late={:.3} heal={:?}",
-            name, r.latency_ms[0], r.latency_ms[2], r.violation_rate,
-            r.capped_fraction, r.late_fraction, r.healing
+            name,
+            r.latency_ms[0],
+            r.latency_ms[2],
+            r.violation_rate,
+            r.capped_fraction,
+            r.late_fraction,
+            r.healing
         );
     }
 }

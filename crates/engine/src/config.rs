@@ -2,6 +2,7 @@
 //! run parameters).
 
 use crate::scheme::Scheme;
+use mlp_faults::FaultConfig;
 use mlp_model::{RequestTypeId, ResourceVector, VolatilityClass};
 use mlp_workload::WorkloadPattern;
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,10 @@ pub struct ExperimentConfig {
     /// machines into a small tier with `capacity × scale`. `None` keeps
     /// the homogeneous setup.
     pub small_tier: Option<(usize, f64)>,
+    /// Fault-injection model (robustness extension beyond the paper).
+    /// Disabled by default: runs are byte-identical to pre-fault builds.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl ExperimentConfig {
@@ -85,6 +90,7 @@ impl ExperimentConfig {
             sample_period_s: 1.0,
             drain_factor: 3.0,
             small_tier: None,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -141,6 +147,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the fault-injection model.
+    pub fn with_faults(mut self, f: FaultConfig) -> Self {
+        self.faults = f;
+        self
+    }
+
     /// Builds the cluster this config describes.
     pub fn build_cluster(&self) -> mlp_cluster::Cluster {
         match self.small_tier {
@@ -187,11 +199,9 @@ mod tests {
     #[test]
     fn mixes_resolve_to_weights() {
         let cat = RequestCatalog::paper();
-        for mix in [
-            MixSpec::Balanced,
-            MixSpec::SingleClass(VolatilityClass::Mid),
-            MixSpec::HighRatio(0.5),
-        ] {
+        for mix in
+            [MixSpec::Balanced, MixSpec::SingleClass(VolatilityClass::Mid), MixSpec::HighRatio(0.5)]
+        {
             let resolved = mix.resolve(&cat);
             assert!(!resolved.is_empty());
             let total: f64 = resolved.iter().map(|(_, w)| w).sum();
@@ -215,5 +225,16 @@ mod tests {
         let js = serde_json::to_string(&c).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn faults_default_disabled_and_roundtrip() {
+        let c = ExperimentConfig::smoke(Scheme::VMlp);
+        assert!(!c.faults.is_active());
+        let stormy = c.with_faults(FaultConfig::storm());
+        assert!(stormy.faults.is_active());
+        let js = serde_json::to_string(&stormy).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, stormy);
     }
 }

@@ -7,7 +7,7 @@
 //! [`runner`] extracts the figures' metrics (QoS-violation rate,
 //! utilization timeline, latency distribution, tail latency, throughput).
 //!
-//! Experiment sweeps fan out across CPU cores via [`parallel`] (crossbeam
+//! Experiment sweeps fan out across CPU cores via [`parallel`] (std
 //! scoped threads with deterministically forked seeds).
 
 pub mod config;

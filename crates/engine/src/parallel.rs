@@ -1,4 +1,4 @@
-//! Parallel experiment sweeps (crossbeam scoped threads).
+//! Parallel experiment sweeps (std scoped threads).
 //!
 //! The evaluation grid — 5 schemes × 3 patterns × 3 volatility streams ×
 //! seeds — is embarrassingly parallel. Each configuration carries its own
@@ -24,22 +24,21 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
     slots.resize_with(configs.len(), || None);
-    let slot_refs: Vec<parking_lot::Mutex<&mut Option<ExperimentResult>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<ExperimentResult>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
                 let result = run_experiment_with_catalog(&configs[i], &catalog);
-                **slot_refs[i].lock() = Some(result);
+                **slot_refs[i].lock().expect("experiment worker panicked") = Some(result);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
 
     drop(slot_refs);
     slots.into_iter().map(|r| r.expect("every config produces a result")).collect()
@@ -47,11 +46,11 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
 
 /// Convenience: run one scheme-per-config comparison and pair each result
 /// with its scheme label.
-pub fn run_labeled(configs: &[ExperimentConfig], workers: usize) -> Vec<(&'static str, ExperimentResult)> {
-    run_all(configs, workers)
-        .into_iter()
-        .map(|r| (r.config.scheme.label(), r))
-        .collect()
+pub fn run_labeled(
+    configs: &[ExperimentConfig],
+    workers: usize,
+) -> Vec<(&'static str, ExperimentResult)> {
+    run_all(configs, workers).into_iter().map(|r| (r.config.scheme.label(), r)).collect()
 }
 
 #[cfg(test)]
@@ -75,10 +74,8 @@ mod tests {
 
     #[test]
     fn results_preserve_input_order() {
-        let configs: Vec<ExperimentConfig> = Scheme::PAPER
-            .into_iter()
-            .map(|s| ExperimentConfig::smoke(s).with_seed(1))
-            .collect();
+        let configs: Vec<ExperimentConfig> =
+            Scheme::PAPER.into_iter().map(|s| ExperimentConfig::smoke(s).with_seed(1)).collect();
         let labeled = run_labeled(&configs, 0);
         let labels: Vec<&str> = labeled.iter().map(|(l, _)| *l).collect();
         assert_eq!(labels, vec!["FairSched", "CurSched", "PartProfile", "FullProfile", "v-MLP"]);

@@ -91,10 +91,7 @@ mod tests {
         let t = table(
             "Demo",
             &["scheme", "p99"],
-            &[
-                vec!["FairSched".into(), "123".into()],
-                vec!["v-MLP".into(), "7".into()],
-            ],
+            &[vec!["FairSched".into(), "123".into()], vec!["v-MLP".into(), "7".into()]],
         );
         assert!(t.contains("== Demo =="));
         assert!(t.contains("FairSched"));

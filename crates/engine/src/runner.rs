@@ -51,6 +51,19 @@ pub struct ExperimentResult {
     /// Self-healing counters: (delay-slot fills, resource stretches,
     /// queue switches).
     pub healing: (u64, u64, u64),
+    /// Requests abandoned by failure recovery (a subset of `unfinished`;
+    /// 0 when fault injection is disabled).
+    pub abandoned: usize,
+    /// Running invocations killed by fault injection.
+    pub node_failures: u64,
+    /// Failed nodes re-attempted (scheduler retries plus engine fallback).
+    pub fault_retries: u64,
+    /// Machine crash events injected.
+    pub machine_crashes: u64,
+    /// Nodes re-planned onto surviving machines after a crash.
+    pub crash_replans: u64,
+    /// Mean time-to-recover crash-orphaned nodes, ms (0 with no crashes).
+    pub mttr_ms: f64,
 }
 
 impl ExperimentResult {
@@ -107,13 +120,8 @@ pub fn run_experiment_full(
 
     let profiles = warm_profiles(catalog, config.warmup_cases, &mut warm_rng);
     let mix = config.mix.resolve(catalog);
-    let arrivals = generate_stream(
-        config.pattern,
-        config.max_rate,
-        config.horizon_s,
-        &mix,
-        &mut arrival_rng,
-    );
+    let arrivals =
+        generate_stream(config.pattern, config.max_rate, config.horizon_s, &mix, &mut arrival_rng);
 
     let mut scheduler = config.scheme.build();
     let out = simulate(config, catalog, profiles, &arrivals, scheduler.as_mut(), &mut sim_rng);
@@ -129,13 +137,11 @@ fn summarize(
     let horizon = SimTime::from_secs_f64(config.horizon_s);
     let completed = out.collector.completed();
     let completed_in_horizon = out.collector.completed_where(|r| r.end <= horizon);
-    let good_in_horizon =
-        out.collector.completed_where(|r| r.end <= horizon && !r.violated());
+    let good_in_horizon = out.collector.completed_where(|r| r.end <= horizon && !r.violated());
 
     // Violations: completed-and-violated plus everything unfinished.
     let total = completed + out.unfinished;
-    let violated =
-        out.collector.completed_where(|r| r.violated()) + out.unfinished;
+    let violated = out.collector.completed_where(|r| r.violated()) + out.unfinished;
     let violation_rate = if total == 0 { 0.0 } else { violated as f64 / total as f64 };
 
     // Per-class violations: unfinished requests cannot be attributed to a
@@ -185,6 +191,12 @@ fn summarize(
         late_fraction,
         capped_fraction,
         healing,
+        abandoned: out.abandoned,
+        node_failures: out.metrics.counter(names::NODE_FAILURES),
+        fault_retries: out.metrics.counter(names::RETRIES),
+        machine_crashes: out.metrics.counter(names::MACHINE_CRASHES),
+        crash_replans: out.metrics.counter(names::CRASH_REPLANS),
+        mttr_ms: out.metrics.gauge(names::MTTR_MS).unwrap_or(0.0),
     }
 }
 

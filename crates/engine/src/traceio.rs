@@ -67,7 +67,10 @@ pub fn load_profiles(path: &Path) -> io::Result<ProfileTrace> {
     if trace.version != TRACE_FORMAT_VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unsupported trace version {} (expected {TRACE_FORMAT_VERSION})", trace.version),
+            format!(
+                "unsupported trace version {} (expected {TRACE_FORMAT_VERSION})",
+                trace.version
+            ),
         ));
     }
     Ok(trace)

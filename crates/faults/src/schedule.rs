@@ -1,0 +1,251 @@
+//! Compiled fault schedules: concrete machine outages and windowed
+//! failure/degradation rates, derived deterministically from
+//! `(FaultConfig, machine_count, seed)`.
+
+use crate::{hash_unit, splitmix64, FaultConfig};
+use mlp_cluster::MachineId;
+use mlp_sim::time::SimTime;
+
+/// One machine crash/recover window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineOutage {
+    /// The machine that crashes.
+    pub machine: MachineId,
+    /// Crash instant.
+    pub down_at: SimTime,
+    /// Recovery instant (machine rejoins empty).
+    pub up_at: SimTime,
+}
+
+/// A fully materialized fault plan for one simulation run.
+///
+/// The schedule is immutable; the engine reads outages up front (to
+/// schedule crash/recover events) and queries the windowed rates as the
+/// run progresses.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    active: bool,
+    transient_fail_prob: f64,
+    /// Window in which transient failures apply; `None` = whole run.
+    transient_window: Option<(SimTime, SimTime)>,
+    outages: Vec<MachineOutage>,
+    degrade_window: (SimTime, SimTime),
+    degrade_factor: f64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (faults disabled).
+    pub fn empty() -> Self {
+        FaultSchedule {
+            seed: 0,
+            active: false,
+            transient_fail_prob: 0.0,
+            transient_window: None,
+            outages: Vec::new(),
+            degrade_window: (SimTime::ZERO, SimTime::ZERO),
+            degrade_factor: 1.0,
+        }
+    }
+
+    /// Compiles `config` for a cluster of `machine_count` machines.
+    ///
+    /// Crash windows are spread evenly across the storm window with
+    /// hash-derived jitter, and crash victims are distinct machines (the
+    /// crash count is capped at `machine_count - 1` so the cluster always
+    /// keeps at least one machine up).
+    pub fn compile(config: &FaultConfig, machine_count: usize, seed: u64) -> Self {
+        if !config.is_active() || machine_count == 0 {
+            return FaultSchedule::empty();
+        }
+
+        let storm_start = SimTime::from_millis(config.storm_start_ms);
+        let storm_end = SimTime::from_millis(config.storm_start_ms + config.storm_duration_ms);
+
+        let crash_budget = (config.machine_crashes as usize).min(machine_count.saturating_sub(1));
+        let mut outages = Vec::with_capacity(crash_budget);
+        if crash_budget > 0 {
+            // Distinct victims via a seeded partial Fisher-Yates over the
+            // machine index space.
+            let mut victims: Vec<usize> = (0..machine_count).collect();
+            for i in 0..crash_budget {
+                let h = splitmix64(seed ^ 0xc4a5_0000 ^ i as u64);
+                let j = i + (h as usize % (machine_count - i));
+                victims.swap(i, j);
+            }
+            let span_us = storm_end.as_micros().saturating_sub(storm_start.as_micros());
+            let slot_us = span_us / crash_budget as u64;
+            for (i, &victim) in victims.iter().take(crash_budget).enumerate() {
+                let jitter = if slot_us > 0 {
+                    (hash_unit(splitmix64(seed ^ 0x717e_0000 ^ i as u64)) * slot_us as f64) as u64
+                } else {
+                    0
+                };
+                let down_at =
+                    SimTime::from_micros(storm_start.as_micros() + slot_us * i as u64 + jitter);
+                let up_at = down_at + mlp_sim::time::SimDuration::from_millis(config.outage_ms);
+                outages.push(MachineOutage { machine: MachineId(victim as u32), down_at, up_at });
+            }
+            outages.sort_by_key(|o| (o.down_at, o.machine.0));
+        }
+
+        let transient_window =
+            if config.storm_duration_ms > 0 { Some((storm_start, storm_end)) } else { None };
+
+        let degrade_window = (
+            SimTime::from_millis(config.degrade_start_ms),
+            SimTime::from_millis(config.degrade_start_ms + config.degrade_duration_ms),
+        );
+
+        FaultSchedule {
+            seed,
+            active: true,
+            transient_fail_prob: config.transient_fail_prob.clamp(0.0, 1.0),
+            transient_window,
+            outages,
+            degrade_window,
+            degrade_factor: config.degrade_factor.max(0.0),
+        }
+    }
+
+    /// The seed all deterministic per-attempt decisions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether this schedule can affect a run at all.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// All machine outages, sorted by crash time.
+    pub fn outages(&self) -> &[MachineOutage] {
+        &self.outages
+    }
+
+    /// Whether `machine` is inside one of its crash windows at `t`.
+    pub fn is_down(&self, machine: MachineId, t: SimTime) -> bool {
+        self.outages.iter().any(|o| o.machine == machine && o.down_at <= t && t < o.up_at)
+    }
+
+    /// When `machine` next recovers, if it is down at `t`.
+    pub fn next_recovery(&self, machine: MachineId, t: SimTime) -> Option<SimTime> {
+        self.outages
+            .iter()
+            .find(|o| o.machine == machine && o.down_at <= t && t < o.up_at)
+            .map(|o| o.up_at)
+    }
+
+    /// The transient-failure probability in effect at `t`.
+    pub fn transient_fail_prob_at(&self, t: SimTime) -> f64 {
+        if !self.active {
+            return 0.0;
+        }
+        match self.transient_window {
+            Some((start, end)) if t < start || t >= end => 0.0,
+            _ => self.transient_fail_prob,
+        }
+    }
+
+    /// The network-degradation multiplier at `t` (1.0 = unaffected).
+    pub fn degradation_at(&self, t: SimTime) -> f64 {
+        let (start, end) = self.degrade_window;
+        if self.active && start <= t && t < end {
+            self.degrade_factor
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storm() -> FaultConfig {
+        FaultConfig::storm()
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        let s = FaultSchedule::empty();
+        assert!(!s.is_active());
+        assert!(s.outages().is_empty());
+        assert!(!s.is_down(MachineId(0), SimTime::from_millis(10_000)));
+        assert_eq!(s.degradation_at(SimTime::from_millis(10_000)), 1.0);
+        assert_eq!(s.transient_fail_prob_at(SimTime::from_millis(10_000)), 0.0);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let a = FaultSchedule::compile(&storm(), 16, 99);
+        let b = FaultSchedule::compile(&storm(), 16, 99);
+        assert_eq!(a.outages(), b.outages());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::compile(&storm(), 16, 1);
+        let b = FaultSchedule::compile(&storm(), 16, 2);
+        assert_ne!(a.outages(), b.outages());
+    }
+
+    #[test]
+    fn victims_are_distinct_and_in_range() {
+        let s = FaultSchedule::compile(&storm(), 16, 5);
+        let mut seen = std::collections::HashSet::new();
+        for o in s.outages() {
+            assert!((o.machine.0 as usize) < 16);
+            assert!(seen.insert(o.machine), "machine crashed twice: {:?}", o.machine);
+            assert!(o.down_at < o.up_at);
+        }
+        assert_eq!(s.outages().len(), 3);
+    }
+
+    #[test]
+    fn crash_count_capped_below_cluster_size() {
+        let cfg = FaultConfig { machine_crashes: 10, ..storm() };
+        let s = FaultSchedule::compile(&cfg, 4, 5);
+        assert_eq!(s.outages().len(), 3, "must keep at least one machine up");
+    }
+
+    #[test]
+    fn outage_windows_answer_is_down() {
+        let s = FaultSchedule::compile(&storm(), 16, 5);
+        let o = s.outages()[0];
+        assert!(
+            !s.is_down(o.machine, o.down_at.saturating_sub(mlp_sim::SimDuration::from_micros(1)))
+        );
+        assert!(s.is_down(o.machine, o.down_at));
+        assert!(s.is_down(
+            o.machine,
+            o.down_at
+                + mlp_sim::SimDuration::from_micros(
+                    (o.up_at.as_micros() - o.down_at.as_micros()) / 2
+                )
+        ));
+        assert!(!s.is_down(o.machine, o.up_at));
+        assert_eq!(s.next_recovery(o.machine, o.down_at), Some(o.up_at));
+        assert_eq!(s.next_recovery(o.machine, o.up_at), None);
+    }
+
+    #[test]
+    fn windows_scope_transients_and_degradation() {
+        let s = FaultSchedule::compile(&storm(), 16, 5);
+        // Before the storm: clean.
+        assert_eq!(s.transient_fail_prob_at(SimTime::from_millis(1_000)), 0.0);
+        assert_eq!(s.degradation_at(SimTime::from_millis(1_000)), 1.0);
+        // Inside the windows.
+        assert!(s.transient_fail_prob_at(SimTime::from_millis(9_000)) > 0.0);
+        assert!(s.degradation_at(SimTime::from_millis(11_000)) > 1.0);
+        // Long after: clean again.
+        assert_eq!(s.transient_fail_prob_at(SimTime::from_millis(60_000)), 0.0);
+        assert_eq!(s.degradation_at(SimTime::from_millis(60_000)), 1.0);
+    }
+
+    #[test]
+    fn single_machine_cluster_never_crashes() {
+        let s = FaultSchedule::compile(&storm(), 1, 5);
+        assert!(s.outages().is_empty());
+    }
+}

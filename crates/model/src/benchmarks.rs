@@ -123,31 +123,247 @@ pub fn combined_catalog() -> ServiceCatalog {
     // ---- SocialNetwork (ids 0–14) -------------------------------------
     // (id, name, demand(cpu cores, mem MB, io MB/s), base ms, I, S, C, intensity)
     let defs: Vec<Microservice> = vec![
-        Microservice::new(0, "nginx-frontend", rv(0.5, 128.0, 30.0), 5.0, I::Low, S::Moderate, C::Light, RI::Io),
-        Microservice::new(1, "compose-post-service", rv(1.5, 512.0, 40.0), 75.0, I::High, S::High, C::Heavy, RI::CpuIo),
-        Microservice::new(2, "text-service", rv(1.0, 256.0, 10.0), 25.0, I::Mid, S::High, C::Heavy, RI::Cpu),
-        Microservice::new(3, "media-service", rv(1.5, 512.0, 120.0), 62.5, I::High, S::High, C::Heavy, RI::CpuIo),
-        Microservice::new(4, "unique-id-service", rv(0.2, 64.0, 2.0), 2.5, I::Low, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(5, "user-service", rv(0.5, 256.0, 8.0), 12.5, I::Low, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(6, "url-shorten-service", rv(0.4, 128.0, 5.0), 10.0, I::Mid, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(7, "user-mention-service", rv(0.6, 192.0, 8.0), 20.0, I::Mid, S::Moderate, C::Heavy, RI::Cpu),
-        Microservice::new(8, "post-storage-write", rv(1.0, 768.0, 150.0), 50.0, I::High, S::High, C::Heavy, RI::Io),
-        Microservice::new(9, "post-storage-read", rv(0.5, 768.0, 40.0), 12.5, I::Low, S::Moderate, C::Medium, RI::Io),
-        Microservice::new(10, "user-timeline-write", rv(0.6, 384.0, 60.0), 25.0, I::Mid, S::Moderate, C::Medium, RI::Io),
-        Microservice::new(11, "user-timeline-read", rv(0.4, 384.0, 20.0), 20.0, I::Low, S::Moderate, C::Light, RI::Io),
-        Microservice::new(12, "home-timeline-write", rv(0.6, 384.0, 60.0), 25.0, I::Mid, S::Moderate, C::Medium, RI::Io),
-        Microservice::new(13, "home-timeline-read", rv(0.4, 384.0, 20.0), 20.0, I::Low, S::Moderate, C::Light, RI::Io),
-        Microservice::new(14, "social-graph-service", rv(0.5, 512.0, 15.0), 15.0, I::Low, S::Moderate, C::Light, RI::Cpu),
+        Microservice::new(
+            0,
+            "nginx-frontend",
+            rv(0.5, 128.0, 30.0),
+            5.0,
+            I::Low,
+            S::Moderate,
+            C::Light,
+            RI::Io,
+        ),
+        Microservice::new(
+            1,
+            "compose-post-service",
+            rv(1.5, 512.0, 40.0),
+            75.0,
+            I::High,
+            S::High,
+            C::Heavy,
+            RI::CpuIo,
+        ),
+        Microservice::new(
+            2,
+            "text-service",
+            rv(1.0, 256.0, 10.0),
+            25.0,
+            I::Mid,
+            S::High,
+            C::Heavy,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            3,
+            "media-service",
+            rv(1.5, 512.0, 120.0),
+            62.5,
+            I::High,
+            S::High,
+            C::Heavy,
+            RI::CpuIo,
+        ),
+        Microservice::new(
+            4,
+            "unique-id-service",
+            rv(0.2, 64.0, 2.0),
+            2.5,
+            I::Low,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            5,
+            "user-service",
+            rv(0.5, 256.0, 8.0),
+            12.5,
+            I::Low,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            6,
+            "url-shorten-service",
+            rv(0.4, 128.0, 5.0),
+            10.0,
+            I::Mid,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            7,
+            "user-mention-service",
+            rv(0.6, 192.0, 8.0),
+            20.0,
+            I::Mid,
+            S::Moderate,
+            C::Heavy,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            8,
+            "post-storage-write",
+            rv(1.0, 768.0, 150.0),
+            50.0,
+            I::High,
+            S::High,
+            C::Heavy,
+            RI::Io,
+        ),
+        Microservice::new(
+            9,
+            "post-storage-read",
+            rv(0.5, 768.0, 40.0),
+            12.5,
+            I::Low,
+            S::Moderate,
+            C::Medium,
+            RI::Io,
+        ),
+        Microservice::new(
+            10,
+            "user-timeline-write",
+            rv(0.6, 384.0, 60.0),
+            25.0,
+            I::Mid,
+            S::Moderate,
+            C::Medium,
+            RI::Io,
+        ),
+        Microservice::new(
+            11,
+            "user-timeline-read",
+            rv(0.4, 384.0, 20.0),
+            20.0,
+            I::Low,
+            S::Moderate,
+            C::Light,
+            RI::Io,
+        ),
+        Microservice::new(
+            12,
+            "home-timeline-write",
+            rv(0.6, 384.0, 60.0),
+            25.0,
+            I::Mid,
+            S::Moderate,
+            C::Medium,
+            RI::Io,
+        ),
+        Microservice::new(
+            13,
+            "home-timeline-read",
+            rv(0.4, 384.0, 20.0),
+            20.0,
+            I::Low,
+            S::Moderate,
+            C::Light,
+            RI::Io,
+        ),
+        Microservice::new(
+            14,
+            "social-graph-service",
+            rv(0.5, 512.0, 15.0),
+            15.0,
+            I::Low,
+            S::Moderate,
+            C::Light,
+            RI::Cpu,
+        ),
         // ---- TrainTicket (ids 15–23) -----------------------------------
-        Microservice::new(15, "ts-ui-dashboard", rv(0.5, 128.0, 25.0), 7.5, I::Low, S::Moderate, C::Light, RI::Io),
-        Microservice::new(16, "ts-basic-service", rv(0.8, 384.0, 20.0), 37.5, I::Mid, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(17, "ts-station-service", rv(0.4, 256.0, 10.0), 20.0, I::Low, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(18, "ts-travel-service", rv(1.2, 512.0, 30.0), 62.5, I::Mid, S::High, C::Medium, RI::CpuIo),
-        Microservice::new(19, "ts-ticketinfo-service", rv(0.8, 384.0, 25.0), 30.0, I::Mid, S::Moderate, C::Medium, RI::Cpu),
-        Microservice::new(20, "ts-order-service", rv(1.5, 768.0, 100.0), 75.0, I::High, S::High, C::Heavy, RI::CpuIo),
-        Microservice::new(21, "ts-seat-service", rv(0.8, 256.0, 40.0), 37.5, I::Mid, S::High, C::Heavy, RI::Io),
-        Microservice::new(22, "ts-price-service", rv(0.6, 256.0, 15.0), 25.0, I::Mid, S::High, C::Heavy, RI::Cpu),
-        Microservice::new(23, "ts-route-service", rv(0.5, 256.0, 10.0), 20.0, I::Low, S::Moderate, C::Medium, RI::Cpu),
+        Microservice::new(
+            15,
+            "ts-ui-dashboard",
+            rv(0.5, 128.0, 25.0),
+            7.5,
+            I::Low,
+            S::Moderate,
+            C::Light,
+            RI::Io,
+        ),
+        Microservice::new(
+            16,
+            "ts-basic-service",
+            rv(0.8, 384.0, 20.0),
+            37.5,
+            I::Mid,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            17,
+            "ts-station-service",
+            rv(0.4, 256.0, 10.0),
+            20.0,
+            I::Low,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            18,
+            "ts-travel-service",
+            rv(1.2, 512.0, 30.0),
+            62.5,
+            I::Mid,
+            S::High,
+            C::Medium,
+            RI::CpuIo,
+        ),
+        Microservice::new(
+            19,
+            "ts-ticketinfo-service",
+            rv(0.8, 384.0, 25.0),
+            30.0,
+            I::Mid,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            20,
+            "ts-order-service",
+            rv(1.5, 768.0, 100.0),
+            75.0,
+            I::High,
+            S::High,
+            C::Heavy,
+            RI::CpuIo,
+        ),
+        Microservice::new(
+            21,
+            "ts-seat-service",
+            rv(0.8, 256.0, 40.0),
+            37.5,
+            I::Mid,
+            S::High,
+            C::Heavy,
+            RI::Io,
+        ),
+        Microservice::new(
+            22,
+            "ts-price-service",
+            rv(0.6, 256.0, 15.0),
+            25.0,
+            I::Mid,
+            S::High,
+            C::Heavy,
+            RI::Cpu,
+        ),
+        Microservice::new(
+            23,
+            "ts-route-service",
+            rv(0.5, 256.0, 10.0),
+            20.0,
+            I::Low,
+            S::Moderate,
+            C::Medium,
+            RI::Cpu,
+        ),
     ];
     for d in defs {
         cat.push(d);

@@ -185,11 +185,7 @@ impl ServiceDag {
         };
         let mut dist = vec![0.0f64; self.nodes.len()];
         for &i in &order {
-            let best_parent = self
-                .parents(i)
-                .into_iter()
-                .map(|p| dist[p])
-                .fold(0.0f64, f64::max);
+            let best_parent = self.parents(i).into_iter().map(|p| dist[p]).fold(0.0f64, f64::max);
             dist[i] = best_parent + node_cost(i);
         }
         dist.into_iter().fold(0.0, f64::max)

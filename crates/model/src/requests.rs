@@ -113,7 +113,8 @@ impl RequestCatalog {
         let mut add = |name: &str, benchmark: Benchmark, dag: ServiceDag| {
             let volatility = raw_volatility(&dag, &services);
             let id = RequestTypeId(requests.len() as u32);
-            let mut rt = RequestType { id, name: name.to_string(), benchmark, dag, slo_ms: 0.0, volatility };
+            let mut rt =
+                RequestType { id, name: name.to_string(), benchmark, dag, slo_ms: 0.0, volatility };
             rt.slo_ms = rt.ideal_latency_ms(&services) * SLO_FACTOR;
             requests.push(rt);
         };

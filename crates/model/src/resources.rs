@@ -64,7 +64,9 @@ impl ResourceVector {
     /// (with a small epsilon for float accumulation).
     pub fn fits_within(&self, capacity: &ResourceVector) -> bool {
         const EPS: f64 = 1e-9;
-        self.cpu <= capacity.cpu + EPS && self.mem <= capacity.mem + EPS && self.io <= capacity.io + EPS
+        self.cpu <= capacity.cpu + EPS
+            && self.mem <= capacity.mem + EPS
+            && self.io <= capacity.io + EPS
     }
 
     /// Component-wise minimum.

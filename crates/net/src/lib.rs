@@ -101,7 +101,12 @@ impl NetworkModel {
     ///
     /// * `same_machine` — whether caller and callee are co-located.
     /// * `class` — the *callee's* communication class.
-    pub fn sample_delay(&self, same_machine: bool, class: CommClass, rng: &mut SimRng) -> SimDuration {
+    pub fn sample_delay(
+        &self,
+        same_machine: bool,
+        class: CommClass,
+        rng: &mut SimRng,
+    ) -> SimDuration {
         let base = if same_machine { &self.local } else { &self.remote };
         let ms = base.sample(rng.rng()) * Self::class_factor(class);
         SimDuration::from_millis_f64(ms)

@@ -185,7 +185,13 @@ impl PartProfile {
 struct PartPolicy;
 
 impl PlanPolicy for PartPolicy {
-    fn budget(&self, _n: usize, svc: &Microservice, wf: f64, ctx: &SchedulerCtx<'_>) -> SimDuration {
+    fn budget(
+        &self,
+        _n: usize,
+        svc: &Microservice,
+        wf: f64,
+        ctx: &SchedulerCtx<'_>,
+    ) -> SimDuration {
         let mean = ctx.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
         SimDuration::from_millis_f64(mean * wf)
     }
@@ -262,7 +268,13 @@ impl FullProfile {
 struct FullPolicy;
 
 impl PlanPolicy for FullPolicy {
-    fn budget(&self, _n: usize, svc: &Microservice, wf: f64, ctx: &SchedulerCtx<'_>) -> SimDuration {
+    fn budget(
+        &self,
+        _n: usize,
+        svc: &Microservice,
+        wf: f64,
+        ctx: &SchedulerCtx<'_>,
+    ) -> SimDuration {
         let mean = ctx.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
         // Small engineering margin over the mean; still far short of tails.
         SimDuration::from_millis_f64(mean * wf * 1.1)
@@ -340,7 +352,10 @@ mod tests {
     impl Harness {
         fn new(machines: usize) -> Self {
             Harness {
-                cluster: Cluster::homogeneous(machines, ResourceVector::new(6.0, 32_000.0, 1_000.0)),
+                cluster: Cluster::homogeneous(
+                    machines,
+                    ResourceVector::new(6.0, 32_000.0, 1_000.0),
+                ),
                 catalog: RequestCatalog::paper(),
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
@@ -393,8 +408,14 @@ mod tests {
     #[test]
     fn cursched_places_on_least_loaded() {
         let mut h = Harness::new(3);
-        h.cluster.machine_mut(mlp_cluster::MachineId(0)).occupy(ResourceVector::new(5.0, 0.0, 0.0));
-        h.cluster.machine_mut(mlp_cluster::MachineId(2)).occupy(ResourceVector::new(3.0, 0.0, 0.0));
+        let _ = h
+            .cluster
+            .machine_mut(mlp_cluster::MachineId(0))
+            .occupy(ResourceVector::new(5.0, 0.0, 0.0));
+        let _ = h
+            .cluster
+            .machine_mut(mlp_cluster::MachineId(2))
+            .occupy(ResourceVector::new(3.0, 0.0, 0.0));
         let r = h.req(1, "read-user-timeline", 0);
         let mut s = CurSched::new();
         let mut ctx = h.ctx(0);

@@ -21,4 +21,4 @@ pub mod scheduler;
 
 pub use baselines::{CurSched, FairSched, FullProfile, PartProfile};
 pub use plan::{NodePlan, RequestInfo, RequestPlan};
-pub use scheduler::{HealingAction, LateInfo, Scheduler, SchedulerCtx};
+pub use scheduler::{HealingAction, LateInfo, NodeFailure, Scheduler, SchedulerCtx};

@@ -22,7 +22,13 @@ pub enum MachinePolicy {
 /// Per-node planning inputs a scheme provides to the builder.
 pub trait PlanPolicy {
     /// Execution-time budget Δt for a node.
-    fn budget(&self, node: usize, svc: &Microservice, work_factor: f64, ctx: &SchedulerCtx<'_>) -> SimDuration;
+    fn budget(
+        &self,
+        node: usize,
+        svc: &Microservice,
+        work_factor: f64,
+        ctx: &SchedulerCtx<'_>,
+    ) -> SimDuration;
 
     /// Resource grant for a node.
     fn grant(&self, node: usize, svc: &Microservice, ctx: &SchedulerCtx<'_>) -> ResourceVector;
@@ -93,9 +99,7 @@ pub fn plan_request(
                 *rr_cursor += 1;
                 Some((m, ready))
             }
-            MachinePolicy::LeastLoaded => {
-                ctx.cluster.least_loaded().map(|m| (m, ready))
-            }
+            MachinePolicy::LeastLoaded => ctx.cluster.least_loaded().map(|m| (m, ready)),
             MachinePolicy::LedgerEarliestFit => {
                 // Earliest start wins; among machines that can start at the
                 // same instant, prefer the one with the most planned
@@ -105,9 +109,10 @@ pub fn plan_request(
                 // Fig 5 contention.
                 let mut best: Option<(MachineId, SimTime, f64)> = None;
                 for m in ctx.cluster.machines() {
-                    if let Some(slot) =
-                        m.ledger.earliest_fit(ready, horizon_end, budget, grant)
-                    {
+                    if !m.is_up() {
+                        continue; // crashed machines take no new plans
+                    }
+                    if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant) {
                         let headroom = m
                             .ledger
                             .available(slot, slot + budget)
@@ -162,10 +167,11 @@ pub fn plan_request(
 pub fn unreserve_plan(plan: &RequestPlan, ctx: &mut SchedulerCtx<'_>) {
     for np in &plan.nodes {
         if np.reserved && np.budget > SimDuration::ZERO {
-            ctx.cluster
-                .machine_mut(np.machine)
-                .ledger
-                .unreserve(np.planned_start, np.planned_end(), np.grant);
+            ctx.cluster.machine_mut(np.machine).ledger.unreserve(
+                np.planned_start,
+                np.planned_end(),
+                np.grant,
+            );
         }
     }
 }
@@ -186,7 +192,13 @@ mod tests {
     }
 
     impl PlanPolicy for TestPolicy {
-        fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _c: &SchedulerCtx<'_>) -> SimDuration {
+        fn budget(
+            &self,
+            _n: usize,
+            _s: &Microservice,
+            _wf: f64,
+            _c: &SchedulerCtx<'_>,
+        ) -> SimDuration {
             SimDuration::from_millis(self.budget_ms)
         }
         fn grant(&self, _n: usize, _s: &Microservice, _c: &SchedulerCtx<'_>) -> ResourceVector {

@@ -64,9 +64,7 @@ impl RequestPlan {
         if self.nodes.len() != dag.len() {
             return false;
         }
-        dag.edges().iter().all(|&(p, c)| {
-            self.nodes[c].planned_start >= self.nodes[p].planned_start
-        })
+        dag.edges().iter().all(|&(p, c)| self.nodes[c].planned_start >= self.nodes[p].planned_start)
     }
 }
 

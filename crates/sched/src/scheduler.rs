@@ -4,7 +4,7 @@ use crate::plan::{RequestInfo, RequestPlan};
 use mlp_cluster::{Cluster, MachineId};
 use mlp_model::RequestCatalog;
 use mlp_net::NetworkModel;
-use mlp_sim::SimTime;
+use mlp_sim::{SimDuration, SimTime};
 use mlp_trace::{MetricsRegistry, ProfileStore, RequestId, Span};
 
 /// Everything a scheduler may consult (and the ledgers it may write)
@@ -39,8 +39,28 @@ pub struct LateInfo {
     pub planned_start: SimTime,
 }
 
+/// Raised by the engine when a running service invocation *fails* (fault
+/// injection: a transient fault or an executing-machine crash killed it).
+/// The node is back in the ready state; the scheduler decides what to do
+/// with it via [`Scheduler::on_node_failure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// The request whose node failed.
+    pub request: RequestId,
+    /// DAG node index that failed.
+    pub node: usize,
+    /// Machine it was executing on.
+    pub machine: MachineId,
+    /// How many times this node had already been attempted *before* this
+    /// failure (0 on the first failure).
+    pub attempt: u32,
+    /// When the failure surfaced.
+    pub at: SimTime,
+}
+
 /// Corrective actions a self-healing scheduler may return from
-/// [`Scheduler::on_late_invocation`]. The engine applies them immediately.
+/// [`Scheduler::on_late_invocation`], [`Scheduler::on_node_failure`], or
+/// [`Scheduler::on_machine_failure`]. The engine applies them immediately.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HealingAction {
     /// Pull a planned-but-not-yet-invoked node forward: start it as soon
@@ -64,6 +84,36 @@ pub enum HealingAction {
         node: usize,
         /// Grant multiplier (> 1).
         factor: f64,
+    },
+    /// Re-attempt a failed node on its planned machine after a backoff.
+    Retry {
+        /// Request owning the failed node.
+        request: RequestId,
+        /// DAG node index.
+        node: usize,
+        /// How long to wait before the re-attempt.
+        backoff: SimDuration,
+    },
+    /// Move a node to a different machine with a new planned start. The
+    /// scheduler has already rewritten its own ledgers/plan; this action
+    /// synchronizes the engine's copy of the plan and re-arms the node's
+    /// invocation events.
+    Replan {
+        /// Request owning the node.
+        request: RequestId,
+        /// DAG node index.
+        node: usize,
+        /// Destination machine.
+        machine: MachineId,
+        /// New planned start on that machine.
+        new_start: SimTime,
+    },
+    /// Give up on a request entirely (deadline-aware load shedding or an
+    /// exhausted retry budget). Running grants are released, all pending
+    /// events are cancelled, and the request counts as unfinished.
+    Abandon {
+        /// The request to drop.
+        request: RequestId,
     },
 }
 
@@ -130,6 +180,38 @@ pub trait Scheduler {
     ) -> Vec<HealingAction> {
         Vec::new()
     }
+
+    /// A running invocation failed (fault injection). The engine has
+    /// already released its grant and reset the node to ready. Return
+    /// corrective actions ([`HealingAction::Retry`] / [`Replan`](HealingAction::Replan) /
+    /// [`Abandon`](HealingAction::Abandon)); if none reference the failed
+    /// node or its request, the engine falls back to a bounded blind retry.
+    fn on_node_failure(
+        &mut self,
+        _failure: NodeFailure,
+        _ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        Vec::new()
+    }
+
+    /// A machine crashed. Its ledger has been wiped, every span running on
+    /// it was killed (`orphans` lists them as `(request, node)` pairs), and
+    /// the machine reports `is_up() == false` until it recovers. Fault-
+    /// aware schemes re-plan displaced work onto surviving machines here;
+    /// the default leaves recovery to the engine (wait for the machine).
+    fn on_machine_failure(
+        &mut self,
+        _machine: MachineId,
+        _orphans: &[(RequestId, usize)],
+        _ctx: &mut SchedulerCtx<'_>,
+    ) -> Vec<HealingAction> {
+        Vec::new()
+    }
+
+    /// A request was abandoned (by this scheduler's own action or the
+    /// engine's retry-budget fallback). Drop internal state and release any
+    /// reservations still held for it.
+    fn on_request_abandoned(&mut self, _request: RequestId, _ctx: &mut SchedulerCtx<'_>) {}
 
     /// Number of requests still waiting for admission.
     fn waiting(&self) -> usize;

@@ -11,11 +11,15 @@ use std::ops::{Add, AddAssign, Sub};
 /// (communication times in Fig 4 are reported in fractions of a
 /// millisecond) while `u64` arithmetic keeps the event loop allocation- and
 /// float-free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in whole microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

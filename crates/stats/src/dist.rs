@@ -76,9 +76,7 @@ impl Dist {
                 -(1.0 - u).ln() / lambda
             }
             Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
-            Dist::Normal { mean, std_dev, min } => {
-                (mean + std_dev * standard_normal(rng)).max(min)
-            }
+            Dist::Normal { mean, std_dev, min } => (mean + std_dev * standard_normal(rng)).max(min),
             Dist::Pareto { xm, alpha } => {
                 let u: f64 = rng.gen_range(0.0..1.0);
                 xm / (1.0 - u).powf(1.0 / alpha)

@@ -175,7 +175,10 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_variance() {
-        let ts = TimeSeries::from_values(1.0, (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect());
+        let ts = TimeSeries::from_values(
+            1.0,
+            (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect(),
+        );
         let sm = ts.smoothed(5);
         let raw_spread = ts.max() - ts.values().iter().copied().fold(f64::INFINITY, f64::min);
         let sm_spread = sm.max() - sm.values().iter().copied().fold(f64::INFINITY, f64::min);

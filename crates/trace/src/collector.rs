@@ -185,7 +185,13 @@ mod tests {
     use mlp_cluster::MachineId;
     use mlp_model::ServiceId;
 
-    fn req(id: u64, class: VolatilityClass, arrival_ms: u64, end_ms: u64, slo: f64) -> RequestRecord {
+    fn req(
+        id: u64,
+        class: VolatilityClass,
+        arrival_ms: u64,
+        end_ms: u64,
+        slo: f64,
+    ) -> RequestRecord {
         RequestRecord {
             id: RequestId(id),
             request_type: RequestTypeId(0),

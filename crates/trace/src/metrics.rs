@@ -6,9 +6,8 @@
 //! experiments and ablations can introspect *why* a scheme behaved as it
 //! did, not just its end metrics.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A thread-safe registry of named counters and gauges.
 ///
@@ -31,6 +30,12 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Locks the shared state; a poisoned lock (publisher panicked) still
+    /// yields the data — metrics must never compound a failure.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Increments a counter by 1.
     pub fn inc(&self, name: &str) {
         self.add(name, 1);
@@ -38,38 +43,38 @@ impl MetricsRegistry {
 
     /// Increments a counter by `n`.
     pub fn add(&self, name: &str, n: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         *inner.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
     /// Reads a counter (0 when never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+        self.locked().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Sets a gauge.
     pub fn set_gauge(&self, name: &str, v: f64) {
-        self.inner.lock().gauges.insert(name.to_string(), v);
+        self.locked().gauges.insert(name.to_string(), v);
     }
 
     /// Reads a gauge (`None` when never set).
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.inner.lock().gauges.get(name).copied()
+        self.locked().gauges.get(name).copied()
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.locked().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Snapshot of all gauges, sorted by name.
     pub fn gauges(&self) -> Vec<(String, f64)> {
-        self.inner.lock().gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        self.locked().gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Clears everything (between experiment repetitions).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         inner.counters.clear();
         inner.gauges.clear();
     }
@@ -89,6 +94,20 @@ pub mod names {
     pub const QUEUE_SWITCHES: &str = "queue_switches";
     /// Spans that invoked later than planned.
     pub const LATE_INVOCATIONS: &str = "late_invocations";
+    /// Running invocations killed by fault injection (transient or crash).
+    pub const NODE_FAILURES: &str = "node_failures";
+    /// Failed nodes re-attempted (scheduler retry or engine fallback).
+    pub const RETRIES: &str = "retries";
+    /// Requests given up on (load shedding / exhausted retry budget).
+    pub const ABANDONS: &str = "abandons";
+    /// Machine crash events injected.
+    pub const MACHINE_CRASHES: &str = "machine_crashes";
+    /// Nodes moved to a surviving machine after a crash.
+    pub const CRASH_REPLANS: &str = "crash_replans";
+    /// Recoverable bookkeeping invariant violations (should stay 0).
+    pub const INVARIANT_VIOLATIONS: &str = "invariant_violations";
+    /// Gauge: mean time-to-recover crash-orphaned nodes, in ms.
+    pub const MTTR_MS: &str = "mttr_ms";
 }
 
 #[cfg(test)]

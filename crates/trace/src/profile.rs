@@ -163,10 +163,7 @@ impl ProfileStore {
 
     /// Smallest retained execution time (the `Δt₀` of the reorder ratio).
     pub fn min_exec_ms(&self, service: ServiceId) -> Option<f64> {
-        self.cases(service)
-            .iter()
-            .map(|c| c.exec_ms)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.cases(service).iter().map(|c| c.exec_ms).min_by(|a, b| a.partial_cmp(b).unwrap())
     }
 
     /// Services with any history.
@@ -182,11 +179,7 @@ mod tests {
     use super::*;
 
     fn case(exec_ms: f64) -> ExecutionCase {
-        ExecutionCase {
-            usage: ResourceVector::new(1.0, 100.0, 10.0),
-            machine_load: 0.5,
-            exec_ms,
-        }
+        ExecutionCase { usage: ResourceVector::new(1.0, 100.0, 10.0), machine_load: 0.5, exec_ms }
     }
 
     const S: ServiceId = ServiceId(7);

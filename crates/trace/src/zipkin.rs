@@ -56,10 +56,7 @@ fn convert(span: &Span, parent: Option<&Span>, catalog: &RequestCatalog) -> Zipk
     tags.insert("machine".to_string(), format!("m{}", span.machine.0));
     tags.insert("dag.node".to_string(), span.dag_node.to_string());
     tags.insert("satisfaction".to_string(), format!("{:.3}", span.satisfaction));
-    tags.insert(
-        "planned.start.us".to_string(),
-        span.planned_start.as_micros().to_string(),
-    );
+    tags.insert("planned.start.us".to_string(), span.planned_start.as_micros().to_string());
     ZipkinSpan {
         trace_id: hex16(span.request.0, 0xC0DE),
         id: hex16(span.request.0, span.dag_node as u64 + 1),

@@ -66,7 +66,8 @@ impl AlibabaTraceConfig {
             let day_phase = minutes / (24.0 * 60.0) * std::f64::consts::TAU;
             // Diurnal swing peaking mid-day, plus a slower multi-day drift.
             let diurnal = self.diurnal_amplitude * (day_phase - std::f64::consts::FRAC_PI_2).sin();
-            let drift = 0.05 * (minutes / (self.days * 24.0 * 60.0) * std::f64::consts::TAU * 1.7).sin();
+            let drift =
+                0.05 * (minutes / (self.days * 24.0 * 60.0) * std::f64::consts::TAU * 1.7).sin();
             let mut v = self.base_level + diurnal + drift;
             // Surges: sharp Gaussian bumps.
             for &(c, h, w) in &surges {

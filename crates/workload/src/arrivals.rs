@@ -69,7 +69,11 @@ fn sample_mix(mix: &[(RequestTypeId, f64)], total_w: f64, rng: &mut SimRng) -> R
 
 /// Empirical arrival rate (req/s) of a stream in `bucket_s`-second buckets,
 /// for plotting generated streams against their target pattern (Fig 9).
-pub fn empirical_rate(arrivals: &[Arrival], horizon_s: f64, bucket_s: f64) -> mlp_stats::TimeSeries {
+pub fn empirical_rate(
+    arrivals: &[Arrival],
+    horizon_s: f64,
+    bucket_s: f64,
+) -> mlp_stats::TimeSeries {
     let n = (horizon_s / bucket_s).ceil() as usize;
     let mut counts = vec![0.0f64; n.max(1)];
     for a in arrivals {
@@ -109,10 +113,7 @@ mod tests {
         let rate = 800.0;
         let s = generate_stream(WorkloadPattern::Constant, rate, 60.0, &mix2(), &mut rng);
         let achieved = s.len() as f64 / 60.0;
-        assert!(
-            (achieved - rate).abs() / rate < 0.05,
-            "achieved {achieved} req/s, wanted {rate}"
-        );
+        assert!((achieved - rate).abs() / rate < 0.05, "achieved {achieved} req/s, wanted {rate}");
     }
 
     #[test]

@@ -87,11 +87,7 @@ mod tests {
         for p in WorkloadPattern::PAPER {
             let ts = p.rate_series(100.0, 0.5, MAX);
             assert!(ts.max() <= MAX + 1e-6, "{} exceeds max", p.label());
-            assert!(
-                ts.values().iter().all(|&v| v >= 0.0),
-                "{} has negative rates",
-                p.label()
-            );
+            assert!(ts.values().iter().all(|&v| v >= 0.0), "{} has negative rates", p.label());
             // Realistic patterns carry nontrivial load on average.
             assert!(ts.mean() > 0.1 * MAX, "{} mean too low: {}", p.label(), ts.mean());
         }

@@ -29,7 +29,11 @@ fn main() -> std::io::Result<()> {
 
     // 2. Reload the stored traces (a later session, a different machine…).
     let loaded = traceio::load_profiles(&profile_path)?;
-    println!("reloaded trace v{} with {} services", loaded.version, loaded.profiles.services().len());
+    println!(
+        "reloaded trace v{} with {} services",
+        loaded.version,
+        loaded.profiles.services().len()
+    );
 
     // 3. Trace-driven simulation (the right half of Fig 8).
     let cfg = ExperimentConfig {

@@ -30,9 +30,10 @@ fn main() {
     }
     println!();
 
-    for (label, class) in
-        [("mid-V_r stream (basicSearch)", VolatilityClass::Mid), ("high-V_r stream (getCheapest + compose-post)", VolatilityClass::High)]
-    {
+    for (label, class) in [
+        ("mid-V_r stream (basicSearch)", VolatilityClass::Mid),
+        ("high-V_r stream (getCheapest + compose-post)", VolatilityClass::High),
+    ] {
         println!("--- {label} ---");
         for scheme in [Scheme::PartProfile, Scheme::VMlp] {
             let config = ExperimentConfig {

@@ -47,7 +47,8 @@ fn main() {
             },
         );
     }
-    let mut cluster = v_mlp::cluster::Cluster::homogeneous(1, ResourceVector::new(2.4, 2500.0, 350.0));
+    let mut cluster =
+        v_mlp::cluster::Cluster::homogeneous(1, ResourceVector::new(2.4, 2500.0, 350.0));
     let net = v_mlp::net::NetworkModel::paper_default();
     let metrics = MetricsRegistry::new();
     let ctx = SchedulerCtx {
@@ -62,10 +63,7 @@ fn main() {
     for vr in [0.2, 0.5, 0.8] {
         let policy = OrganizerPolicy::new(Volatility::new(vr));
         let dt = policy.delta_t_ms(&svc, 1.0, &ctx);
-        println!(
-            "    V_r = {vr:.1} ({:?}) → Δt = {dt:.1} ms",
-            Volatility::new(vr).band()
-        );
+        println!("    V_r = {vr:.1} ({:?}) → Δt = {dt:.1} ms", Volatility::new(vr).band());
     }
     println!("\n(low uses the most recent observation, medium the median, high the p99 —\n Algorithm 1's conservative-with-volatility rule)");
 }

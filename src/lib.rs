@@ -23,11 +23,13 @@
 //! - [`mlp_trace`] — Zipkin-like tracing and profile store
 //! - [`mlp_sched`] — scheduler framework + the four baselines of Table VI
 //! - [`mlp_core`] — the paper's contribution: the v-MLP scheduler
+//! - [`mlp_faults`] — deterministic fault injection (crashes, transients)
 //! - [`mlp_engine`] — trace-driven evaluation engine and experiment sweeps
 
 pub use mlp_cluster as cluster;
 pub use mlp_core as core;
 pub use mlp_engine as engine;
+pub use mlp_faults as faults;
 pub use mlp_model as model;
 pub use mlp_net as net;
 pub use mlp_sched as sched;
@@ -43,6 +45,7 @@ pub mod prelude {
     pub use mlp_engine::config::ExperimentConfig;
     pub use mlp_engine::runner::{run_experiment, ExperimentResult};
     pub use mlp_engine::scheme::Scheme;
+    pub use mlp_faults::FaultConfig;
     pub use mlp_model::benchmarks;
     pub use mlp_model::requests::RequestCatalog;
     pub use mlp_workload::patterns::WorkloadPattern;

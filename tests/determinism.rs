@@ -59,6 +59,72 @@ fn all_schemes_face_the_same_arrival_stream() {
 }
 
 #[test]
+fn disabled_faults_leave_runs_byte_identical() {
+    // A disabled FaultConfig must be inert no matter what junk the storm
+    // fields carry: every fault code path is gated on `is_active()`, so the
+    // run must be byte-identical to the plain config's.
+    let junk = FaultConfig {
+        enabled: false,
+        machine_crashes: 7,
+        storm_start_ms: 1,
+        storm_duration_ms: 99_999,
+        outage_ms: 12_345,
+        transient_fail_prob: 0.9,
+        degrade_start_ms: 0,
+        degrade_duration_ms: 99_999,
+        degrade_factor: 10.0,
+    };
+    for scheme in [Scheme::VMlp, Scheme::CurSched] {
+        let plain = ExperimentConfig::smoke(scheme).with_seed(77);
+        let gated = plain.with_faults(junk);
+        let a = run_experiment(&plain);
+        let b = run_experiment(&gated);
+        assert_eq!(a.completed, b.completed, "{}", scheme.label());
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.violation_rate, b.violation_rate);
+        assert_eq!(a.mean_utilization, b.mean_utilization);
+        assert_eq!(a.healing, b.healing);
+        assert_eq!(a.utilization.values(), b.utilization.values());
+        assert_eq!(b.abandoned, 0);
+        assert_eq!(b.node_failures, 0);
+        assert_eq!(b.machine_crashes, 0);
+    }
+}
+
+#[test]
+fn fault_storms_are_bit_reproducible() {
+    let storm = FaultConfig {
+        enabled: true,
+        machine_crashes: 2,
+        storm_start_ms: 1_500,
+        storm_duration_ms: 3_000,
+        outage_ms: 1_000,
+        transient_fail_prob: 0.05,
+        degrade_start_ms: 2_000,
+        degrade_duration_ms: 2_000,
+        degrade_factor: 3.0,
+    };
+    for scheme in [Scheme::VMlp, Scheme::CurSched] {
+        let cfg = ExperimentConfig::smoke(scheme).with_seed(13).with_faults(storm);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.completed, b.completed, "{}", scheme.label());
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.violation_rate, b.violation_rate);
+        assert_eq!(a.utilization.values(), b.utilization.values());
+        assert_eq!(a.abandoned, b.abandoned);
+        assert_eq!(a.node_failures, b.node_failures);
+        assert_eq!(a.fault_retries, b.fault_retries);
+        assert_eq!(a.machine_crashes, b.machine_crashes);
+        assert_eq!(a.crash_replans, b.crash_replans);
+        assert_eq!(a.mttr_ms, b.mttr_ms);
+        // The storm must actually do something at these settings.
+        assert!(a.machine_crashes > 0, "{}: storm injected no crashes", scheme.label());
+        assert!(a.node_failures > 0, "{}: storm killed no nodes", scheme.label());
+    }
+}
+
+#[test]
 fn parallel_sweep_is_deterministic() {
     use v_mlp::engine::parallel::run_all;
     let configs: Vec<ExperimentConfig> =

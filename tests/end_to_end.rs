@@ -168,7 +168,9 @@ fn saturated_runs_terminate_and_account() {
         }
         .with_seed(31);
         let r = v_mlp::engine::runner::run_experiment(&cfg);
-        assert!(r.arrived > 100, "{}", scheme.label());
+        // ≈105 arrivals expected (Poisson, σ≈10); assert well below the
+        // mean so the check is about overload, not the RNG stream.
+        assert!(r.arrived > 60, "{}: only {} arrivals", scheme.label(), r.arrived);
         assert!(
             r.completed + r.unfinished >= r.arrived,
             "{}: lost requests under saturation",

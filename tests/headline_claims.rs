@@ -25,8 +25,16 @@ fn cell(scheme: Scheme, mix: MixSpec, pattern: WorkloadPattern) -> Cell {
 #[test]
 fn vmlp_cuts_tail_latency_versus_fairsched_on_high_vr() {
     let cells = [
-        cell(Scheme::FairSched, MixSpec::SingleClass(VolatilityClass::High), WorkloadPattern::L2Fluctuating),
-        cell(Scheme::VMlp, MixSpec::SingleClass(VolatilityClass::High), WorkloadPattern::L2Fluctuating),
+        cell(
+            Scheme::FairSched,
+            MixSpec::SingleClass(VolatilityClass::High),
+            WorkloadPattern::L2Fluctuating,
+        ),
+        cell(
+            Scheme::VMlp,
+            MixSpec::SingleClass(VolatilityClass::High),
+            WorkloadPattern::L2Fluctuating,
+        ),
     ];
     let res = run_cells(scale(), &cells, 11);
     let fair = res[0].latency_ms[2];
@@ -129,8 +137,5 @@ fn healing_actions_only_come_from_vmlp() {
         assert_eq!(r.healing.0, 0.0, "{} should not delay-slot fill", r.scheme);
         assert_eq!(r.healing.1, 0.0, "{} should not stretch", r.scheme);
     }
-    assert!(
-        res[4].healing.0 > 0.0,
-        "v-MLP should be actively healing under the pulse"
-    );
+    assert!(res[4].healing.0 > 0.0, "v-MLP should be actively healing under the pulse");
 }

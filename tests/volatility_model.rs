@@ -63,11 +63,7 @@ fn delta_t_is_monotone_in_volatility_on_live_profiles() {
         let Some(fastest) = profiles.min_exec_ms(svc.id) else { continue };
         let mid = OrganizerPolicy::new(Volatility::new(0.5)).delta_t_ms(svc, 1.0, &ctx);
         let high = OrganizerPolicy::new(Volatility::new(0.8)).delta_t_ms(svc, 1.0, &ctx);
-        assert!(
-            high >= mid,
-            "{}: high-band Δt {high:.1} < medium-band {mid:.1}",
-            svc.name
-        );
+        assert!(high >= mid, "{}: high-band Δt {high:.1} < medium-band {mid:.1}", svc.name);
         assert!(high >= fastest, "{}", svc.name);
     }
 }
@@ -123,14 +119,8 @@ fn run_enriches_profiles_with_contended_cases() {
         &mut arr_rng,
     );
     let mut sched = cfg.scheme.build();
-    let out = v_mlp::engine::sim::simulate(
-        &cfg,
-        &catalog,
-        warm,
-        &arrivals,
-        sched.as_mut(),
-        &mut sim_rng,
-    );
+    let out =
+        v_mlp::engine::sim::simulate(&cfg, &catalog, warm, &arrivals, sched.as_mut(), &mut sim_rng);
     let after = out.profiles.case_count(v_mlp::model::benchmarks::sn::NGINX);
     assert!(after > warm_count, "run should append execution cases: {after} vs {warm_count}");
 }

@@ -1,0 +1,212 @@
+//! Offline vendored minimal stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop (short warm-up, fixed sample count,
+//! mean/min reported to stdout). No plotting, no statistics beyond that.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, results: Vec::new() }
+    }
+
+    /// Times `routine`, recording `samples` measurements after a short
+    /// warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration sizing: aim for samples that
+        // are long enough to time, without letting fast routines run for
+        // seconds.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let iters_per_sample = if once < Duration::from_micros(50) {
+            100
+        } else if once < Duration::from_millis(5) {
+            10
+        } else {
+            1
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.results.is_empty() {
+            return;
+        }
+        let total: Duration = self.results.iter().sum();
+        let mean = total / self.results.len() as u32;
+        let min = self.results.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {name:<40} mean {mean:>12.3?}  min {min:>12.3?}  ({} samples)",
+            self.results.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (reporting already happened per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored here;
+    /// `cargo bench` passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(20);
+        routine(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Final reporting hook (per-bench output already printed).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut b = Bencher::new(3);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(count > 3);
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

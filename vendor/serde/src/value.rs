@@ -1,0 +1,121 @@
+//! The JSON value tree shared by `serde` (lowering) and `serde_json`
+//! (text encoding).
+
+use std::fmt;
+
+/// A JSON number. Integers are kept exact (`u64`/`i64`) so identifiers
+/// and seeds survive round-trips that would lose precision through `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+/// A JSON value. Objects preserve insertion order (derive output matches
+/// field declaration order, like upstream `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(n)) => Some(*n),
+            Value::Num(Number::I(n)) if *n >= 0 => Some(*n as u64),
+            Value::Num(Number::F(f)) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::I(n)) => Some(*n),
+            Value::Num(Number::U(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            Value::Num(Number::F(f))
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(f) =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::F(f)) => Some(*f),
+            Value::Num(Number::U(n)) => Some(*n as f64),
+            Value::Num(Number::I(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that parses
+                    // back to the same f64, and always includes `.0` for
+                    // integral values — matching serde_json's output.
+                    write!(f, "{x:?}")
+                } else {
+                    // JSON has no NaN/Infinity; upstream serde_json emits
+                    // null for them.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}

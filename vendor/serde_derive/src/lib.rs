@@ -1,0 +1,517 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored,
+//! JSON-backed `serde`.
+//!
+//! Implemented directly on `proc_macro` token trees (the build
+//! environment has no `syn`/`quote`). Supports the shapes this workspace
+//! uses: unit/tuple/named structs and enums with unit, tuple, and named
+//! variants, plus the field attributes `#[serde(skip)]`,
+//! `#[serde(rename = "...")]`, and
+//! `#[serde(skip_serializing_if = "path")]`. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String, // identifier, or tuple index as a string
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn json_name(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading outer attributes, returning parsed serde attrs.
+    fn take_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected attribute body after `#`");
+            };
+            parse_serde_attr(&g.stream(), &mut attrs);
+        }
+        attrs
+    }
+
+    /// Consumes a visibility marker (`pub`, `pub(crate)`, …) if present.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips a type expression: everything up to a top-level `,` (angle
+    /// brackets tracked so `Map<K, V>` commas don't terminate early).
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses one attribute body (`[serde(...)]`, `[doc = "..."]`, …) and
+/// folds any serde settings into `attrs`.
+fn parse_serde_attr(body: &TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let Some(TokenTree::Ident(head)) = tokens.first() else { return };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                // `key = "literal"` or bare `key`
+                let value = match (inner.get(i + 1), inner.get(i + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        i += 2;
+                        Some(unquote(&lit.to_string()))
+                    }
+                    _ => None,
+                };
+                match (key.as_str(), value) {
+                    ("skip", None) => attrs.skip = true,
+                    ("rename", Some(v)) => attrs.rename = Some(v),
+                    ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+                    ("default", _) => {} // absent handling already defaults
+                    (other, _) => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token in #[serde(...)]: {other:?}"),
+        }
+        i += 1;
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses the fields of a brace-delimited body into named fields.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.take_attrs();
+        cur.skip_vis();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        cur.skip_type();
+        // Separator comma, if any.
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.next();
+            }
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0;
+    while !cur.at_end() {
+        let _ = cur.take_attrs();
+        cur.skip_vis();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_type();
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == ',' {
+                cur.next();
+            }
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let _ = cur.take_attrs();
+    cur.skip_vis();
+    let kw = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = cur.next() else {
+                panic!("expected enum body");
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                let _ = vc.take_attrs();
+                let vname = vc.expect_ident("variant name");
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                        vc.next();
+                        s
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let s = Shape::Named(parse_named_fields(g.stream()));
+                        vc.next();
+                        s
+                    }
+                    _ => Shape::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = vc.peek() {
+                    if p.as_char() == ',' {
+                        vc.next();
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_named_ser(fields: &[Field], access: &dyn Fn(&str) -> String, out: &mut String) {
+    out.push_str("{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let expr = access(&f.name);
+        let push = format!(
+            "__fields.push((\"{}\".to_string(), ::serde::Serialize::to_value(&{expr})));\n",
+            f.json_name()
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}(&{expr}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+}
+
+fn gen_named_de(type_ctx: &str, fields: &[Field], src: &str, out: &mut String) {
+    out.push('{');
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+            continue;
+        }
+        out.push_str(&format!(
+            "{field}: match {src}.get(\"{json}\") {{\n\
+               Some(__x) => ::serde::Deserialize::from_value(__x)\
+                 .map_err(|e| e.in_context(\"{ctx}.{field}\"))?,\n\
+               None => ::serde::Deserialize::absent(\"{json}\")\
+                 .map_err(|e| e.in_context(\"{ctx}.{field}\"))?,\n\
+             }},\n",
+            field = f.name,
+            json = f.json_name(),
+            ctx = type_ctx,
+            src = src,
+        ));
+    }
+    out.push('}');
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str("::serde::Value::Null\n"),
+                Shape::Tuple(1) => out.push_str("::serde::Serialize::to_value(&self.0)\n"),
+                Shape::Tuple(n) => {
+                    out.push_str("::serde::Value::Array(vec![");
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+                    }
+                    out.push_str("])\n");
+                }
+                Shape::Named(fields) => {
+                    gen_named_ser(fields, &|f| format!("self.{f}"), &mut out);
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!("{name}::{vn} {{ {} }} => {{", binds.join(", ")));
+                        out.push_str("let __inner = ");
+                        gen_named_ser(fields, &|f| f.to_string(), &mut out);
+                        out.push_str(&format!(
+                            "; ::serde::Value::Object(vec![(\"{vn}\".to_string(), __inner)]) }},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str(&format!("let _ = __v; Ok({name})\n")),
+                Shape::Tuple(1) => out.push_str(&format!(
+                    "Ok({name}(::serde::Deserialize::from_value(__v)\
+                     .map_err(|e| e.in_context(\"{name}\"))?))\n"
+                )),
+                Shape::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let __items = match __v {{\n\
+                           ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                           other => return Err(::serde::Error::custom(format!(\n\
+                             \"{name}: expected array of {n}, got {{}}\", other.kind()))),\n\
+                         }};\nOk({name}("
+                    ));
+                    for i in 0..*n {
+                        out.push_str(&format!(
+                            "::serde::Deserialize::from_value(&__items[{i}])\
+                             .map_err(|e| e.in_context(\"{name}.{i}\"))?,"
+                        ));
+                    }
+                    out.push_str("))\n");
+                }
+                Shape::Named(fields) => {
+                    out.push_str(&format!(
+                        "if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+                           return Err(::serde::Error::custom(format!(\n\
+                             \"{name}: expected object, got {{}}\", __v.kind())));\n\
+                         }}\nOk({name} "
+                    ));
+                    gen_named_de(name, fields, "__v", &mut out);
+                    out.push_str(")\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n"
+            ));
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\n\
+                   \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\nmatch __tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)\
+                         .map_err(|e| e.in_context(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __items = match __inner {{\n\
+                               ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                               other => return Err(::serde::Error::custom(format!(\n\
+                                 \"{name}::{vn}: expected array of {n}, got {{}}\", other.kind()))),\n\
+                             }};\nOk({name}::{vn}("
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{i}])\
+                                 .map_err(|e| e.in_context(\"{name}::{vn}.{i}\"))?,"
+                            ));
+                        }
+                        out.push_str("))\n},\n");
+                    }
+                    Shape::Named(fields) => {
+                        out.push_str(&format!("\"{vn}\" => Ok({name}::{vn} "));
+                        gen_named_de(&format!("{name}::{vn}"), fields, "__inner", &mut out);
+                        out.push_str("),\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\n\
+                   \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\n\
+                   \"{name}: expected string or single-key object, got {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item).parse().expect("serde_derive produced invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item).parse().expect("serde_derive produced invalid Rust")
+}
