@@ -53,6 +53,38 @@ fn bench_ledger(c: &mut Criterion) {
     g.bench_function("peak_usage_loaded", |b| {
         b.iter(|| loaded.peak_usage(black_box(SimTime::ZERO), SimTime::from_secs(1)));
     });
+
+    // Query scaling with timeline length: ledgers pre-filled with 10 / 100
+    // / 1000 overlapping reservations. The indexed profile should hold
+    // query cost near-flat as n grows (binary search + bucket summaries)
+    // where the naive rescan grew linearly.
+    for n in [10usize, 100, 1000] {
+        let mut ledger = ResourceLedger::new(cap);
+        let mut rng = SimRng::new(11);
+        let span_us = 1_000_000u64.max(n as u64 * 5_000);
+        for _ in 0..n {
+            let from = SimTime::from_micros(rng.rng().gen_range(0..span_us));
+            let dur = SimDuration::from_micros(rng.rng().gen_range(5_000..50_000));
+            ledger.reserve(from, from + dur, amt * 0.1);
+        }
+        let horizon = SimTime::from_micros(span_us + 100_000);
+        g.bench_function(&format!("usage_at_{n}"), |b| {
+            b.iter(|| ledger.usage_at(black_box(SimTime::from_micros(span_us / 2))));
+        });
+        g.bench_function(&format!("peak_usage_{n}"), |b| {
+            b.iter(|| ledger.peak_usage(black_box(SimTime::ZERO), horizon));
+        });
+        g.bench_function(&format!("earliest_fit_{n}"), |b| {
+            b.iter(|| {
+                ledger.earliest_fit(
+                    black_box(SimTime::from_micros(1000)),
+                    horizon,
+                    SimDuration::from_millis(25),
+                    black_box(amt),
+                )
+            });
+        });
+    }
     g.finish();
 }
 

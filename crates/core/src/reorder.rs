@@ -19,47 +19,92 @@
 //! * **α** — a normalization into `(0, 1)` via `r / (1 + r)`.
 
 use crate::volatility::Volatility;
+use mlp_model::RequestTypeId;
 use mlp_sched::{RequestInfo, SchedulerCtx};
-use mlp_sim::SimTime;
+use mlp_sim::{SimDuration, SimTime};
+
+/// The per-request-*type* inputs to the reorder ratio. They depend only on
+/// the catalog entry and the (immutable-within-a-round) profile store, so a
+/// sort round computes them once per type instead of once per request.
+#[derive(Debug, Clone, Copy)]
+struct RatioTerms {
+    /// `V_r` (floored).
+    vr: f64,
+    /// The type's SLO in milliseconds (the urgency numerator).
+    slo_ms: f64,
+    /// The same SLO as a duration (the deadline offset).
+    slo: SimDuration,
+    /// Δt₀: smallest historical execution time of the first microservice
+    /// (fallback: its nominal base time), floored.
+    dt0: f64,
+}
+
+impl RatioTerms {
+    fn for_type(rtype: RequestTypeId, ctx: &SchedulerCtx<'_>) -> Self {
+        let rt = ctx.catalog.request(rtype);
+        let vr = Volatility::new(rt.volatility).value().max(1e-3);
+        let dt0 = rt
+            .dag
+            .roots()
+            .first()
+            .map(|&r| {
+                let svc = rt.dag.node(r).service;
+                ctx.profiles
+                    .min_exec_ms(svc)
+                    .unwrap_or_else(|| ctx.catalog.services.get(svc).base_ms)
+            })
+            .unwrap_or(1.0)
+            .max(0.1);
+        RatioTerms { vr, slo_ms: rt.slo_ms, slo: SimDuration::from_millis_f64(rt.slo_ms), dt0 }
+    }
+
+    /// The ratio for one request given its type's terms. The arithmetic —
+    /// operand values and evaluation order — is exactly the uncached
+    /// computation's, so cached and uncached ranks agree bit-for-bit.
+    fn ratio(&self, req: &RequestInfo, now: SimTime) -> f64 {
+        // FCFS term: milliseconds waited (≥ a small epsilon so new arrivals
+        // still get nonzero priority).
+        let waited_ms = now.since(req.arrival).as_millis_f64().max(0.1);
+
+        // SLA term: inverse remaining slack before the deadline, in (0, ∞);
+        // overdue requests saturate high.
+        let deadline = req.arrival + self.slo;
+        let slack_ms = if deadline > now { deadline.since(now).as_millis_f64() } else { 0.1 };
+        let urgency = self.slo_ms / slack_ms.max(0.1);
+
+        let raw = self.vr * urgency * waited_ms / self.dt0;
+        // α-normalization into (0, 1).
+        raw / (1.0 + raw)
+    }
+}
 
 /// Computes the reorder ratio `R ∈ (0, 1)` for a waiting request.
 pub fn reorder_ratio(req: &RequestInfo, now: SimTime, ctx: &SchedulerCtx<'_>) -> f64 {
-    let rt = ctx.catalog.request(req.rtype);
-    let vr = Volatility::new(rt.volatility).value().max(1e-3);
-
-    // FCFS term: milliseconds waited (≥ a small epsilon so new arrivals
-    // still get nonzero priority).
-    let waited_ms = now.since(req.arrival).as_millis_f64().max(0.1);
-
-    // SLA term: inverse remaining slack before the deadline, in (0, ∞);
-    // overdue requests saturate high.
-    let deadline = req.arrival + mlp_sim::SimDuration::from_millis_f64(rt.slo_ms);
-    let slack_ms = if deadline > now { deadline.since(now).as_millis_f64() } else { 0.1 };
-    let urgency = rt.slo_ms / slack_ms.max(0.1);
-
-    // SJF term: Δt₀ = smallest historical execution time of the request's
-    // first microservice (fallback: its nominal base time).
-    let dt0 = rt
-        .dag
-        .roots()
-        .first()
-        .map(|&r| {
-            let svc = rt.dag.node(r).service;
-            ctx.profiles.min_exec_ms(svc).unwrap_or_else(|| ctx.catalog.services.get(svc).base_ms)
-        })
-        .unwrap_or(1.0)
-        .max(0.1);
-
-    let raw = vr * urgency * waited_ms / dt0;
-    // α-normalization into (0, 1).
-    raw / (1.0 + raw)
+    RatioTerms::for_type(req.rtype, ctx).ratio(req, now)
 }
 
 /// Sorts a waiting queue by descending `R` (highest priority first), with
 /// arrival order as a deterministic tie-break.
+///
+/// The catalog/profile-derived terms are looked up once per request *type*
+/// (the catalog has a handful of types; queues have hundreds of requests),
+/// so per-request work is a few flops plus the comparison.
 pub fn sort_by_reorder_ratio(queue: &mut [RequestInfo], now: SimTime, ctx: &SchedulerCtx<'_>) {
-    let mut keyed: Vec<(f64, RequestInfo)> =
-        queue.iter().map(|r| (reorder_ratio(r, now, ctx), *r)).collect();
+    let mut terms: Vec<(RequestTypeId, RatioTerms)> = Vec::new();
+    let mut keyed: Vec<(f64, RequestInfo)> = queue
+        .iter()
+        .map(|r| {
+            let t = match terms.iter().find(|(id, _)| *id == r.rtype) {
+                Some(&(_, t)) => t,
+                None => {
+                    let t = RatioTerms::for_type(r.rtype, ctx);
+                    terms.push((r.rtype, t));
+                    t
+                }
+            };
+            (t.ratio(r, now), *r)
+        })
+        .collect();
     keyed.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .unwrap()

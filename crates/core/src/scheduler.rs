@@ -219,16 +219,25 @@ impl Scheduler for VMlpScheduler {
     }
 
     fn on_arrival(&mut self, req: RequestInfo, _ctx: &mut SchedulerCtx<'_>) {
-        self.queue.push(req);
+        // Keep the queue sorted by (arrival, id) on insert: the FCFS
+        // ablation then needs no per-round sort at all, and the reorder
+        // sort's (arrival, id) tie-break makes its result independent of
+        // input order either way. (arrival, id) is a strict total order —
+        // ids are unique — so upper-bound insertion is exactly what the old
+        // per-round stable sort produced.
+        let key = (req.arrival, req.id);
+        let at = self.queue.partition_point(|r| (r.arrival, r.id) <= key);
+        self.queue.insert(at, req);
     }
 
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
         // Line 1–2 of Algorithm 1: the machine status "refresh" is the
         // ledger state itself, which completions and trims keep current.
-        if self.cfg.reorder {
+        // The queue is maintained in (arrival, id) order by `on_arrival`
+        // (deferrals below preserve it), so FCFS admits as-is; only the
+        // reorder ratio — a function of `now` — must be re-scored per round.
+        if self.cfg.reorder && self.queue.len() > 1 {
             sort_by_reorder_ratio(&mut self.queue, ctx.now, ctx);
-        } else {
-            self.queue.sort_by_key(|r| (r.arrival, r.id));
         }
 
         let mut plans = Vec::new();
@@ -480,6 +489,12 @@ impl Scheduler for VMlpScheduler {
             let mut best: Option<(MachineId, SimTime)> = None;
             for m in ctx.cluster.machines() {
                 if !m.is_up() {
+                    continue;
+                }
+                // Same availability-index prune as the admission pass: a
+                // machine whose cached minimum level cannot host the grant
+                // has no feasible window at all.
+                if !m.ledger.might_fit(np.grant) {
                     continue;
                 }
                 if let Some(slot) = m.ledger.earliest_fit(floor, horizon, np.budget, np.grant) {

@@ -21,26 +21,34 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
     let workers = workers.min(configs.len().max(1));
     let catalog = RequestCatalog::paper();
 
+    // Workers pull indices from a shared counter and send `(index, result)`
+    // pairs over a channel; the scope exit joins every worker, after which
+    // results are reassembled into input order.
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
-    slots.resize_with(configs.len(), || None);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<ExperimentResult>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, ExperimentResult)>();
 
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let catalog = &catalog;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
                 }
                 let result = run_experiment_with_catalog(&configs[i], &catalog);
-                **slot_refs[i].lock().expect("experiment worker panicked") = Some(result);
+                tx.send((i, result)).expect("collector outlives the scope");
             });
         }
     });
+    drop(tx); // the scope's workers are joined; close our own sender
 
-    drop(slot_refs);
+    let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
+    slots.resize_with(configs.len(), || None);
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
     slots.into_iter().map(|r| r.expect("every config produces a result")).collect()
 }
 

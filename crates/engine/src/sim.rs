@@ -285,6 +285,26 @@ impl<'c> Sim<'c> {
                     }
                     self.cluster
                         .prune_ledgers_before(now.saturating_sub(SimDuration::from_secs(2)));
+                    // Publish how much timeline pruning left behind: the
+                    // per-machine gauges plus a cluster max (a high-water
+                    // mark across ticks) and per-tick total. Long runs
+                    // assert on these to prove retained breakpoints stay
+                    // bounded.
+                    let mut total = 0usize;
+                    let mut largest = 0usize;
+                    for m in self.cluster.machines() {
+                        let len = m.ledger.timeline_len();
+                        total += len;
+                        largest = largest.max(len);
+                        self.metrics.set_gauge(&names::ledger_timeline(m.id.0), len as f64);
+                    }
+                    let max_seen = self
+                        .metrics
+                        .gauge(names::LEDGER_TIMELINE_MAX)
+                        .unwrap_or(0.0)
+                        .max(largest as f64);
+                    self.metrics.set_gauge(names::LEDGER_TIMELINE_MAX, max_seen);
+                    self.metrics.set_gauge(names::LEDGER_TIMELINE_TOTAL, total as f64);
                     self.run_round(now, scheduler);
                     let more_work = scheduler.waiting() > 0
                         || self.reqs.iter().any(|r| r.remaining > 0 && !r.abandoned)

@@ -151,13 +151,23 @@ impl Scheduler for CurSched {
 // Priority queue shared by the advanced schemes ("Prior." in Table VI).
 // ---------------------------------------------------------------------------
 
-/// Orders waiting requests by earliest SLO deadline (`arrival + SLO`), the
+/// The priority key: earliest SLO deadline (`arrival + SLO`), the
 /// conventional priority for SLA-driven schedulers.
-fn sort_by_deadline(queue: &mut [RequestInfo], ctx: &SchedulerCtx<'_>) {
-    queue.sort_by_key(|r| {
-        let slo = ctx.catalog.request(r.rtype).slo_ms;
-        r.arrival + SimDuration::from_millis_f64(slo)
-    });
+fn deadline_key(r: &RequestInfo, ctx: &SchedulerCtx<'_>) -> mlp_sim::SimTime {
+    let slo = ctx.catalog.request(r.rtype).slo_ms;
+    r.arrival + SimDuration::from_millis_f64(slo)
+}
+
+/// Inserts an arrival into a deadline-sorted queue at the upper bound of
+/// its key. A deadline never changes once a request exists and deferrals
+/// preserve relative order, so maintaining the order on insert is exactly
+/// equivalent to the old per-round *stable* sort (a new arrival sat at the
+/// back, i.e. after every equal-deadline request) — at O(log n) search +
+/// one memmove instead of an O(n log n) sort every round.
+fn insert_by_deadline(queue: &mut Vec<RequestInfo>, req: RequestInfo, ctx: &SchedulerCtx<'_>) {
+    let key = deadline_key(&req, ctx);
+    let at = queue.partition_point(|r| deadline_key(r, ctx) <= key);
+    queue.insert(at, req);
 }
 
 // ---------------------------------------------------------------------------
@@ -211,12 +221,13 @@ impl Scheduler for PartProfile {
         "PartProfile"
     }
 
-    fn on_arrival(&mut self, req: RequestInfo, _ctx: &mut SchedulerCtx<'_>) {
-        self.queue.push(req);
+    fn on_arrival(&mut self, req: RequestInfo, ctx: &mut SchedulerCtx<'_>) {
+        insert_by_deadline(&mut self.queue, req, ctx);
     }
 
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
-        sort_by_deadline(&mut self.queue, ctx);
+        // The queue is deadline-sorted by construction (`on_arrival`
+        // inserts in order; deferrals below keep it).
         let mut plans = Vec::new();
         let mut deferred = Vec::new();
         let pending = std::mem::take(&mut self.queue);
@@ -300,12 +311,12 @@ impl Scheduler for FullProfile {
         "FullProfile"
     }
 
-    fn on_arrival(&mut self, req: RequestInfo, _ctx: &mut SchedulerCtx<'_>) {
-        self.queue.push(req);
+    fn on_arrival(&mut self, req: RequestInfo, ctx: &mut SchedulerCtx<'_>) {
+        insert_by_deadline(&mut self.queue, req, ctx);
     }
 
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
-        sort_by_deadline(&mut self.queue, ctx);
+        // Deadline-sorted by construction, exactly like `PartProfile`.
         let mut plans = Vec::new();
         let mut deferred = Vec::new();
         let pending = std::mem::take(&mut self.queue);

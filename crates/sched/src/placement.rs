@@ -112,6 +112,15 @@ pub fn plan_request(
                     if !m.is_up() {
                         continue; // crashed machines take no new plans
                     }
+                    // Availability index: the ledger caches the lowest usage
+                    // level of its retained future (invalidated only on
+                    // writes and crash-clears). If even that level cannot
+                    // host the grant, no window can — skip the machine
+                    // without walking its timeline. `might_fit` is
+                    // conservative, so this cannot change which machine wins.
+                    if !m.ledger.might_fit(grant) {
+                        continue;
+                    }
                     if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant) {
                         let headroom = m
                             .ledger

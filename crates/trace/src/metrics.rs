@@ -108,6 +108,17 @@ pub mod names {
     pub const INVARIANT_VIOLATIONS: &str = "invariant_violations";
     /// Gauge: mean time-to-recover crash-orphaned nodes, in ms.
     pub const MTTR_MS: &str = "mttr_ms";
+    /// Gauge: largest per-machine ledger timeline (retained breakpoints)
+    /// seen at any sampling tick — the figure pruning must keep bounded.
+    pub const LEDGER_TIMELINE_MAX: &str = "ledger_timeline_max";
+    /// Gauge: total retained ledger breakpoints across the cluster at the
+    /// latest sampling tick.
+    pub const LEDGER_TIMELINE_TOTAL: &str = "ledger_timeline_total";
+
+    /// Gauge name for one machine's retained ledger timeline length.
+    pub fn ledger_timeline(machine: u32) -> String {
+        format!("ledger_timeline_m{machine}")
+    }
 }
 
 #[cfg(test)]
