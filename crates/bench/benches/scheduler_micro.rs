@@ -12,7 +12,7 @@ use mlp_net::NetworkModel;
 use mlp_sched::{RequestInfo, SchedulerCtx};
 use mlp_sim::{SimDuration, SimRng, SimTime};
 use mlp_stats::Dist;
-use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId};
 use rand::Rng;
 
 fn bench_ledger(c: &mut Criterion) {
@@ -121,6 +121,7 @@ fn bench_scheduling(c: &mut Criterion) {
     let net = NetworkModel::paper_default();
     let profiles = ProfileStore::new();
     let metrics = MetricsRegistry::new();
+    let audit = AuditLog::disabled();
 
     // Reorder-ratio sort of a 256-request waiting queue.
     let queue: Vec<RequestInfo> = (0..256)
@@ -141,6 +142,7 @@ fn bench_scheduling(c: &mut Criterion) {
                 catalog: &catalog,
                 net: &net,
                 metrics: &metrics,
+                audit: &audit,
             };
             sort_by_reorder_ratio(&mut q, SimTime::from_secs(2), &ctx);
         });
@@ -164,6 +166,7 @@ fn bench_scheduling(c: &mut Criterion) {
                 catalog: &catalog,
                 net: &net,
                 metrics: &metrics,
+                audit: &audit,
             };
             let plan = mlp_sched::placement::plan_request(&req, &policy, &mut cursor, &mut ctx)
                 .expect("placeable");

@@ -3,4 +3,13 @@ fn main() {
     let scale = mlp_bench::scale_from_args();
     eprintln!("running Fig 14 sweep at --scale={} …", scale.label);
     print!("{}", mlp_bench::fig14_throughput::report(scale, 2022));
+    if let Some(path) = mlp_bench::audit_from_args() {
+        // Audited companion run: the sweep's most contended cell (v-MLP at
+        // the 50% high-V_r mid-point of the ratio axis).
+        let cfg = scale
+            .config(mlp_engine::scheme::Scheme::VMlp)
+            .with_pattern(mlp_workload::WorkloadPattern::Constant)
+            .with_mix(mlp_engine::config::MixSpec::HighRatio(0.5));
+        mlp_bench::audit_run(cfg, &path);
+    }
 }

@@ -3,4 +3,12 @@ fn main() {
     let scale = mlp_bench::scale_from_args();
     eprintln!("running fault-storm scenario at --scale={} …", scale.label);
     print!("{}", mlp_bench::fig_faults::report(scale, 2022));
+    if let Some(path) = mlp_bench::audit_from_args() {
+        // Audited companion run: v-MLP riding out the same storm, so the
+        // trail captures crash-replans, sheds, and retries.
+        let cfg = scale
+            .config(mlp_engine::scheme::Scheme::VMlp)
+            .with_faults(mlp_bench::fig_faults::storm_for(&scale));
+        mlp_bench::audit_run(cfg, &path);
+    }
 }

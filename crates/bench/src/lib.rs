@@ -30,6 +30,38 @@ pub mod tables;
 
 pub use scale::Scale;
 
+/// Parses `--audit=FILE` from argv for the figure binaries. When present,
+/// the binary runs an audited companion experiment via [`audit_run`] after
+/// printing its report.
+pub fn audit_from_args() -> Option<std::path::PathBuf> {
+    std::env::args().find_map(|a| a.strip_prefix("--audit=").map(std::path::PathBuf::from))
+}
+
+/// Runs one audited experiment (decision trail + invariant auditor) and
+/// writes the JSONL trail to `path`, reporting auditor status to stderr.
+/// Kept separate from the figure sweeps so their reports stay
+/// byte-identical whether or not auditing was requested.
+pub fn audit_run(config: mlp_engine::config::ExperimentConfig, path: &std::path::Path) {
+    let cfg = config.with_audit(true).with_auditor(true);
+    let catalog = mlp_model::RequestCatalog::paper();
+    let (result, sim) = mlp_engine::runner::run_experiment_full(&cfg, &catalog);
+    match sim.audit.write_jsonl(path) {
+        Ok(()) => eprintln!(
+            "audit: {} decisions saved to {} ({} dropped by the ring buffer)",
+            sim.audit.len(),
+            path.display(),
+            sim.audit.dropped(),
+        ),
+        Err(e) => eprintln!("audit: cannot save trail: {e}"),
+    }
+    match &sim.invariant_report {
+        None => eprintln!("auditor: no invariant violations"),
+        Some(report) => {
+            eprintln!("auditor: {} VIOLATIONS\n{report}", result.invariant_violations)
+        }
+    }
+}
+
 /// Parses `--scale=tiny|small|paper` from argv (default: small) for the
 /// figure binaries.
 pub fn scale_from_args() -> Scale {

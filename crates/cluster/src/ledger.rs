@@ -452,7 +452,7 @@ impl ResourceLedger {
         let hi = self.times.partition_point(|&x| x < limit);
         let mut j = i;
         while j < hi {
-            if j % BUCKET == 0 {
+            if j.is_multiple_of(BUCKET) {
                 let b = j / BUCKET;
                 if fits(&self.bucket_max[b]) {
                     j = (b + 1) * BUCKET;
@@ -467,6 +467,70 @@ impl ResourceLedger {
         None
     }
 
+    /// Cross-checks every index invariant against a from-scratch rebuild
+    /// and returns the first discrepancy found, if any. Used by the
+    /// engine's invariant auditor; O(n), so only called when auditing is
+    /// enabled.
+    ///
+    /// Checks, in order: `times` strictly sorted; `times`/`deltas`/`prefix`
+    /// aligned; `prefix` bit-identical to the left-to-right fold of `base`
+    /// and `deltas` (the fold order every incremental rebuild uses);
+    /// bucket min/max summaries matching their chunks; and `min_level`
+    /// equal to the component-wise min over `base` and all levels.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let n = self.times.len();
+        if self.deltas.len() != n || self.prefix.len() != n {
+            return Err(format!(
+                "misaligned arrays: {} times, {} deltas, {} prefix",
+                n,
+                self.deltas.len(),
+                self.prefix.len()
+            ));
+        }
+        for w in self.times.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("times not strictly sorted: {} then {}", w[0], w[1]));
+            }
+        }
+        let mut acc = self.base;
+        for i in 0..n {
+            acc += self.deltas[i];
+            if self.prefix[i] != acc {
+                return Err(format!("prefix[{i}] = {:?} but fold gives {:?}", self.prefix[i], acc));
+            }
+        }
+        let n_buckets = n.div_ceil(BUCKET);
+        if self.bucket_max.len() != n_buckets || self.bucket_min.len() != n_buckets {
+            return Err(format!(
+                "bucket summaries sized {}/{}, expected {n_buckets}",
+                self.bucket_max.len(),
+                self.bucket_min.len()
+            ));
+        }
+        let mut min_level = self.base;
+        for b in 0..n_buckets {
+            let lo = b * BUCKET;
+            let hi = ((b + 1) * BUCKET).min(n);
+            let mut mx = self.prefix[lo];
+            let mut mn = self.prefix[lo];
+            for level in &self.prefix[lo + 1..hi] {
+                mx = mx.max(level);
+                mn = mn.min(level);
+            }
+            if self.bucket_max[b] != mx {
+                return Err(format!("bucket_max[{b}] = {:?}, expected {mx:?}", self.bucket_max[b]));
+            }
+            if self.bucket_min[b] != mn {
+                return Err(format!("bucket_min[{b}] = {:?}, expected {mn:?}", self.bucket_min[b]));
+            }
+            min_level = min_level.min(&mn);
+        }
+        if self.min_level != min_level {
+            return Err(format!("min_level = {:?}, expected {min_level:?}", self.min_level));
+        }
+        Ok(())
+    }
+
     /// First index `j >= i` with `times[j] < limit` whose level fits.
     /// Skips whole buckets whose component-wise min already fails on some
     /// component (then every level inside fails on that component).
@@ -479,7 +543,7 @@ impl ResourceLedger {
         let hi = self.times.partition_point(|&x| x < limit);
         let mut j = i;
         while j < hi {
-            if j % BUCKET == 0 {
+            if j.is_multiple_of(BUCKET) {
                 let b = j / BUCKET;
                 if !fits(&self.bucket_min[b]) {
                     j = (b + 1) * BUCKET;
@@ -548,6 +612,26 @@ mod tests {
         l.unreserve(t(10), t(20), rv(3.0));
         assert!(l.fits(t(10), t(20), rv(4.0)));
         assert_eq!(l.usage_at(t(15)), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn consistency_check_passes_through_churn_and_catches_corruption() {
+        let mut l = ResourceLedger::new(rv(8.0));
+        assert_eq!(l.check_consistency(), Ok(()));
+        // Enough churn to exercise inserts, cancellations, and pruning
+        // across more than one summary bucket.
+        for i in 0..200u64 {
+            l.reserve(t(i * 3), t(i * 3 + 10), rv(0.25));
+        }
+        for i in 0..50u64 {
+            l.unreserve(t(i * 3), t(i * 3 + 10), rv(0.25));
+        }
+        l.prune_before(t(120));
+        assert_eq!(l.check_consistency(), Ok(()));
+        // Corrupt one cached level; the check must name it.
+        let mid = l.prefix.len() / 2;
+        l.prefix[mid] += rv(1.0);
+        assert!(l.check_consistency().is_err());
     }
 
     #[test]

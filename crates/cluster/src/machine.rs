@@ -67,6 +67,26 @@ impl Machine {
         self.grants.len()
     }
 
+    /// Amount held by a live grant (`None` once released or crash-wiped).
+    /// Introspection for the invariant auditor: the engine's view of a
+    /// running node's occupancy must match the machine's.
+    pub fn grant_amount(&self, grant: GrantId) -> Option<ResourceVector> {
+        self.grants.get(&grant.0).copied()
+    }
+
+    /// Sum of all live grants. By construction this always equals
+    /// [`actual_used`](Machine::actual_used) up to float rounding — the
+    /// invariant auditor cross-checks the two independently.
+    pub fn grants_total(&self) -> ResourceVector {
+        self.grants.values().fold(ResourceVector::ZERO, |acc, &g| acc + g)
+    }
+
+    /// Occupancy snapshot: `(grants in flight, total granted, actual
+    /// used, actual free)` — one consistent view for observability layers.
+    pub fn occupancy(&self) -> (usize, ResourceVector, ResourceVector, ResourceVector) {
+        (self.grants.len(), self.grants_total(), self.actual_used, self.actual_free())
+    }
+
     /// Whether the machine is alive.
     pub fn is_up(&self) -> bool {
         self.up
@@ -300,6 +320,25 @@ mod tests {
         // Growing a released grant does nothing.
         assert!(!m.grow(g, rv(1.0, 1.0, 1.0)));
         assert_eq!(m.actual_used(), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn occupancy_introspection_matches_grants() {
+        let mut m = Machine::new(MachineId(0), rv(4.0, 1000.0, 100.0));
+        let a = m.occupy(rv(1.0, 100.0, 10.0));
+        let b = m.occupy(rv(0.5, 50.0, 5.0));
+        assert_eq!(m.grant_amount(a), Some(rv(1.0, 100.0, 10.0)));
+        assert_eq!(m.grants_total(), rv(1.5, 150.0, 15.0));
+        assert_eq!(m.grants_total(), m.actual_used());
+        let (n, granted, used, free) = m.occupancy();
+        assert_eq!(n, 2);
+        assert_eq!(granted, used);
+        assert_eq!(free, rv(2.5, 850.0, 85.0));
+        assert!(m.release(a));
+        assert_eq!(m.grant_amount(a), None, "released grant is gone");
+        assert!(m.grow(b, rv(0.5, 0.0, 0.0)));
+        assert_eq!(m.grant_amount(b), Some(rv(1.0, 50.0, 5.0)));
+        assert_eq!(m.grants_total(), m.actual_used());
     }
 
     #[test]

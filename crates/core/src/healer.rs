@@ -159,8 +159,15 @@ pub fn stretch_candidates(
 /// free ("we monitor the idle resources … and reassign them").
 pub fn stretch_factor(free: mlp_model::ResourceVector, demand: mlp_model::ResourceVector) -> f64 {
     // Fraction of one extra `demand` that fits in the free resources.
+    // A degenerate headroom (NaN from a 0/0 component ratio, or a negative
+    // value from a transiently oversubscribed machine snapshot) must never
+    // escape into a running node's grant — a NaN factor would poison the
+    // stretched grant and every satisfaction computed from it.
     let headroom = free.satisfaction_of(&demand);
-    1.0 + headroom.min(0.5)
+    if !headroom.is_finite() {
+        return 1.0;
+    }
+    1.0 + headroom.clamp(0.0, 0.5)
 }
 
 /// Stretch applies only to services that respond to resources at all:
@@ -311,6 +318,26 @@ mod tests {
         assert_eq!(stretch_factor(demand * 0.25, demand), 1.25);
         // Nothing free: no stretch.
         assert_eq!(stretch_factor(ResourceVector::ZERO, demand), 1.0);
+    }
+
+    #[test]
+    fn stretch_factor_survives_degenerate_inputs() {
+        // Zero-component demand: the satisfaction ratio degenerates; the
+        // factor must stay a finite no-op multiplier, never NaN.
+        let flat = ResourceVector::ZERO;
+        let f = stretch_factor(ResourceVector::new(1.0, 100.0, 10.0), flat);
+        assert!(f.is_finite());
+        assert!((1.0..=1.5).contains(&f), "factor {f} out of bounds");
+        // NaN leaking in from a poisoned snapshot is neutralized.
+        let poisoned = ResourceVector::new(f64::NAN, 100.0, 10.0);
+        let f = stretch_factor(poisoned, ResourceVector::new(1.0, 100.0, 10.0));
+        assert_eq!(f, 1.0, "non-finite headroom must collapse to no-op");
+        // Negative free (transient oversubscription) clamps to no stretch.
+        let f = stretch_factor(
+            ResourceVector::new(-1.0, -100.0, -10.0),
+            ResourceVector::new(1.0, 100.0, 10.0),
+        );
+        assert_eq!(f, 1.0);
     }
 
     #[test]

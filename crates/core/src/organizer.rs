@@ -133,7 +133,7 @@ mod tests {
     use mlp_model::{RequestCatalog, ResourceVector, ServiceId};
     use mlp_net::NetworkModel;
     use mlp_sim::SimTime;
-    use mlp_trace::{ExecutionCase, MetricsRegistry, ProfileStore};
+    use mlp_trace::{AuditLog, ExecutionCase, MetricsRegistry, ProfileStore};
 
     struct H {
         cluster: Cluster,
@@ -141,6 +141,7 @@ mod tests {
         net: NetworkModel,
         profiles: ProfileStore,
         metrics: MetricsRegistry,
+        audit: AuditLog,
     }
 
     impl H {
@@ -151,6 +152,7 @@ mod tests {
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
                 metrics: MetricsRegistry::new(),
+                audit: AuditLog::disabled(),
             }
         }
         fn with_history(svc: ServiceId, times: &[f64]) -> Self {
@@ -171,6 +173,7 @@ mod tests {
                 catalog: &self.catalog,
                 net: &self.net,
                 metrics: &self.metrics,
+                audit: &self.audit,
             }
         }
     }

@@ -122,7 +122,7 @@ mod tests {
     use mlp_cluster::Cluster;
     use mlp_model::{RequestCatalog, ResourceVector};
     use mlp_net::NetworkModel;
-    use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+    use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId};
 
     struct H {
         cluster: Cluster,
@@ -130,6 +130,7 @@ mod tests {
         net: NetworkModel,
         profiles: ProfileStore,
         metrics: MetricsRegistry,
+        audit: AuditLog,
     }
 
     impl H {
@@ -140,6 +141,7 @@ mod tests {
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
                 metrics: MetricsRegistry::new(),
+                audit: AuditLog::disabled(),
             }
         }
         fn ctx(&mut self) -> SchedulerCtx<'_> {
@@ -150,6 +152,7 @@ mod tests {
                 catalog: &self.catalog,
                 net: &self.net,
                 metrics: &self.metrics,
+                audit: &self.audit,
             }
         }
         fn req(&self, id: u64, name: &str, arrival_ms: u64) -> RequestInfo {

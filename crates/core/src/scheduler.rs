@@ -17,7 +17,7 @@ use mlp_sched::{
 };
 use mlp_sim::{SimDuration, SimTime};
 use mlp_trace::metrics::names;
-use mlp_trace::{RequestId, Span};
+use mlp_trace::{Decision, DecisionKind, RequestId, Span};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -201,6 +201,13 @@ impl VMlpScheduler {
             ar.plan.nodes[node].planned_start = new_start;
             ar.plan.nodes[node].reserved = true;
             ctx.metrics.inc(names::DELAY_SLOT_FILLS);
+            ctx.audit.record(
+                Decision::new(ctx.now, DecisionKind::DelaySlotFill, "promoted-into-stall")
+                    .request(rid)
+                    .node(node)
+                    .machine(np.machine)
+                    .value(gain.as_millis_f64()),
+            );
             actions.push(HealingAction::PromoteNode { request: rid, node, new_start });
         }
         actions
@@ -238,6 +245,18 @@ impl Scheduler for VMlpScheduler {
         // reorder ratio — a function of `now` — must be re-scored per round.
         if self.cfg.reorder && self.queue.len() > 1 {
             sort_by_reorder_ratio(&mut self.queue, ctx.now, ctx);
+            if ctx.audit.is_enabled() {
+                // Name the request the sort moved to the head, with the
+                // rank that put it there.
+                let head = self.queue[0];
+                let rank = crate::reorder::reorder_ratio(&head, ctx.now, ctx);
+                ctx.audit.record(
+                    Decision::new(ctx.now, DecisionKind::Reorder, "reorder-ratio-sort")
+                        .request(head.id)
+                        .rank(rank)
+                        .value(self.queue.len() as f64),
+                );
+            }
         }
 
         let mut plans = Vec::new();
@@ -261,6 +280,18 @@ impl Scheduler for VMlpScheduler {
             };
             match plan_request(&req, &policy, &mut self.rr_cursor, ctx) {
                 Some(plan) => {
+                    if ctx.audit.is_enabled() {
+                        // The Δt tier that shaped this plan: the band is a
+                        // pure function of V_r, the root budget its output.
+                        let root_budget =
+                            plan.nodes.first().map_or(0.0, |np| np.budget.as_millis_f64());
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::BudgetTier, "banded-dt")
+                                .request(req.id)
+                                .vr(policy.vr.value())
+                                .budget_ms(root_budget),
+                        );
+                    }
                     self.admit(req, plan.clone(), ctx);
                     plans.push(plan);
                 }
@@ -271,7 +302,17 @@ impl Scheduler for VMlpScheduler {
                     deferred.push(req);
                     if self.cfg.queue_switch {
                         ctx.metrics.inc(names::QUEUE_SWITCHES);
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::Defer, "queue-switch")
+                                .request(req.id)
+                                .vr(policy.vr.value()),
+                        );
                     } else {
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::Defer, "head-of-line-block")
+                                .request(req.id)
+                                .vr(policy.vr.value()),
+                        );
                         // Head-of-line blocking ablation: stop admitting;
                         // everything behind the blocked head stays queued.
                         deferred.extend_from_slice(&pending[idx..]);
@@ -394,6 +435,13 @@ impl Scheduler for VMlpScheduler {
                 let factor = stretch_factor(free, svc.demand);
                 if factor > 1.05 {
                     ctx.metrics.inc(names::RESOURCE_STRETCHES);
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Stretch, "idle-headroom-stretch")
+                            .request(c.request)
+                            .node(c.node)
+                            .machine(late.machine)
+                            .value(factor),
+                    );
                     actions.push(HealingAction::StretchRunning {
                         request: c.request,
                         node: c.node,
@@ -421,6 +469,12 @@ impl Scheduler for VMlpScheduler {
         // its reservations fund salvageable work instead.
         let remaining = SimDuration::from_millis_f64(remaining_ideal_ms(ar, ctx.catalog));
         if ctx.now + remaining > ar.deadline {
+            ctx.audit.record(
+                Decision::new(ctx.now, DecisionKind::Shed, "deadline-hopeless")
+                    .request(failure.request)
+                    .node(failure.node)
+                    .budget_ms(remaining.as_millis_f64()),
+            );
             return vec![HealingAction::Abandon { request: failure.request }];
         }
 
@@ -434,10 +488,22 @@ impl Scheduler for VMlpScheduler {
             VolatilityClass::High => (2u32, 4.0),
         };
         if failure.attempt + 1 >= budget {
+            ctx.audit.record(
+                Decision::new(ctx.now, DecisionKind::Shed, "volatility-retry-budget")
+                    .request(failure.request)
+                    .node(failure.node)
+                    .value((failure.attempt + 1) as f64),
+            );
             return vec![HealingAction::Abandon { request: failure.request }];
         }
         let backoff =
             SimDuration::from_millis_f64(base_ms * (1u64 << failure.attempt.min(6)) as f64);
+        ctx.audit.record(
+            Decision::new(ctx.now, DecisionKind::Retry, "volatility-backoff")
+                .request(failure.request)
+                .node(failure.node)
+                .value(backoff.as_millis_f64()),
+        );
         vec![HealingAction::Retry { request: failure.request, node: failure.node, backoff }]
     }
 
@@ -523,6 +589,12 @@ impl Scheduler for VMlpScheduler {
             ar.plan.nodes[node].planned_start = new_start;
             ar.plan.nodes[node].reserved = reserve;
             ctx.metrics.inc(names::CRASH_REPLANS);
+            ctx.audit.record(
+                Decision::new(ctx.now, DecisionKind::CrashReplan, "moved-off-dead-machine")
+                    .request(rid)
+                    .node(node)
+                    .machine(new_machine),
+            );
             actions.push(HealingAction::Replan {
                 request: rid,
                 node,
@@ -566,7 +638,7 @@ mod tests {
     use mlp_model::{RequestCatalog, ResourceVector};
     use mlp_net::NetworkModel;
     use mlp_sim::SimTime;
-    use mlp_trace::{MetricsRegistry, ProfileStore};
+    use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore};
 
     struct H {
         cluster: Cluster,
@@ -574,6 +646,7 @@ mod tests {
         net: NetworkModel,
         profiles: ProfileStore,
         metrics: MetricsRegistry,
+        audit: AuditLog,
     }
 
     impl H {
@@ -587,6 +660,7 @@ mod tests {
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
                 metrics: MetricsRegistry::new(),
+                audit: AuditLog::enabled(),
             }
         }
         fn ctx(&mut self, now_ms: u64) -> SchedulerCtx<'_> {
@@ -597,6 +671,7 @@ mod tests {
                 catalog: &self.catalog,
                 net: &self.net,
                 metrics: &self.metrics,
+                audit: &self.audit,
             }
         }
         fn req(&self, id: u64, name: &str, arrival_ms: u64) -> RequestInfo {
@@ -706,6 +781,8 @@ mod tests {
         assert!(plans.is_empty());
         assert_eq!(s.waiting(), 2, "both deferred");
         assert_eq!(h.metrics.counter(names::QUEUE_SWITCHES), 2);
+        assert_eq!(h.audit.count(DecisionKind::Defer), 2, "each deferral audited");
+        assert_eq!(h.audit.count(DecisionKind::BudgetTier), 0, "nothing admitted");
     }
 
     #[test]
@@ -746,6 +823,7 @@ mod tests {
         });
         assert!(promoted, "expected a delay-slot promotion, got {actions:?}");
         assert!(ctx.metrics.counter(names::DELAY_SLOT_FILLS) >= 1);
+        assert!(ctx.audit.count(DecisionKind::DelaySlotFill) >= 1, "promotion audited");
 
         // A later deviation of request 2 finds node 1 already promoted
         // (its planned start is at its readiness floor), so the delay
@@ -933,6 +1011,7 @@ mod tests {
             }
         }
         assert!(h.metrics.counter(names::CRASH_REPLANS) > 0);
+        assert!(h.audit.count(DecisionKind::CrashReplan) > 0, "replans audited");
         // The scheduler's own book must agree with the actions it emitted.
         for np in &s.active[&RequestId(1)].plan.nodes {
             assert_ne!(np.machine, dead);

@@ -31,7 +31,7 @@ impl MixSpec {
 }
 
 /// Full description of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ExperimentConfig {
     /// Scheduling scheme under test.
     pub scheme: Scheme,
@@ -67,6 +67,67 @@ pub struct ExperimentConfig {
     /// Disabled by default: runs are byte-identical to pre-fault builds.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Records a structured decision-audit trail (admissions, deferrals,
+    /// reorders, healing actions) retrievable from [`SimOutput`]. Off by
+    /// default; never touches the RNG stream, so enabling it cannot change
+    /// simulation results.
+    ///
+    /// [`SimOutput`]: crate::sim::SimOutput
+    #[serde(default)]
+    pub audit: bool,
+    /// Runs the per-tick invariant auditor (occupancy conservation, grant
+    /// ledger / run-state cross-checks). Default-off in release runs,
+    /// default-on in `smoke()` so every test exercises it. Violations
+    /// increment the `invariant_violations` metric and capture a repro
+    /// dump in [`SimOutput::invariant_report`].
+    ///
+    /// [`SimOutput::invariant_report`]: crate::sim::SimOutput
+    #[serde(default)]
+    pub auditor: bool,
+}
+
+/// Hand-written (the vendored derive errors on absent fields) so config
+/// files predating the fault model or the audit flags keep loading: the
+/// run-defining fields stay required, while `faults`, `audit`, and
+/// `auditor` fall back to their disabled defaults when missing.
+impl Deserialize for ExperimentConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            let got = match v.get(name) {
+                Some(x) => Deserialize::from_value(x),
+                None => Deserialize::absent(name),
+            };
+            got.map_err(|e| e.in_context(&format!("ExperimentConfig.{name}")))
+        }
+        fn opt<T: Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            fallback: T,
+        ) -> Result<T, serde::Error> {
+            match v.get(name) {
+                Some(x) => Deserialize::from_value(x)
+                    .map_err(|e| e.in_context(&format!("ExperimentConfig.{name}"))),
+                None => Ok(fallback),
+            }
+        }
+        Ok(ExperimentConfig {
+            scheme: req(v, "scheme")?,
+            machines: req(v, "machines")?,
+            machine_capacity: req(v, "machine_capacity")?,
+            pattern: req(v, "pattern")?,
+            max_rate: req(v, "max_rate")?,
+            horizon_s: req(v, "horizon_s")?,
+            mix: req(v, "mix")?,
+            seed: req(v, "seed")?,
+            warmup_cases: req(v, "warmup_cases")?,
+            sample_period_s: req(v, "sample_period_s")?,
+            drain_factor: req(v, "drain_factor")?,
+            small_tier: req(v, "small_tier")?,
+            faults: req(v, "faults")?,
+            audit: opt(v, "audit", false)?,
+            auditor: opt(v, "auditor", false)?,
+        })
+    }
 }
 
 impl ExperimentConfig {
@@ -91,6 +152,8 @@ impl ExperimentConfig {
             drain_factor: 3.0,
             small_tier: None,
             faults: FaultConfig::disabled(),
+            audit: false,
+            auditor: false,
         }
     }
 
@@ -106,13 +169,16 @@ impl ExperimentConfig {
         }
     }
 
-    /// A tiny smoke-test configuration for unit/integration tests.
+    /// A tiny smoke-test configuration for unit/integration tests. The
+    /// invariant auditor is on so every engine test cross-checks
+    /// conservation laws for free.
     pub fn smoke(scheme: Scheme) -> Self {
         ExperimentConfig {
             machines: 8,
             max_rate: 40.0,
             horizon_s: 8.0,
             warmup_cases: 30,
+            auditor: true,
             ..Self::paper_default(scheme)
         }
     }
@@ -150,6 +216,18 @@ impl ExperimentConfig {
     /// Sets the fault-injection model.
     pub fn with_faults(mut self, f: FaultConfig) -> Self {
         self.faults = f;
+        self
+    }
+
+    /// Enables or disables the decision-audit trail.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Enables or disables the per-tick invariant auditor.
+    pub fn with_auditor(mut self, on: bool) -> Self {
+        self.auditor = on;
         self
     }
 
@@ -225,6 +303,28 @@ mod tests {
         let js = serde_json::to_string(&c).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn configs_predating_audit_and_fault_fields_still_load() {
+        let c = ExperimentConfig::smoke(Scheme::VMlp);
+        let serde_json::Value::Object(entries) = serde_json::to_value(&c).unwrap() else {
+            panic!("config serializes to an object")
+        };
+        // An "old" config file: the same JSON without the fields added
+        // after the original schema.
+        let old = serde_json::Value::Object(
+            entries
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "faults" | "audit" | "auditor"))
+                .collect(),
+        );
+        let back: ExperimentConfig = serde_json::from_value(old).unwrap();
+        assert!(!back.faults.is_active());
+        assert!(!back.audit);
+        assert!(!back.auditor);
+        assert_eq!(back.machines, c.machines);
+        assert_eq!(back.seed, c.seed);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
                 if i >= configs.len() {
                     break;
                 }
-                let result = run_experiment_with_catalog(&configs[i], &catalog);
+                let result = run_experiment_with_catalog(&configs[i], catalog);
                 tx.send((i, result)).expect("collector outlives the scope");
             });
         }

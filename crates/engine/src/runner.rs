@@ -64,6 +64,15 @@ pub struct ExperimentResult {
     pub crash_replans: u64,
     /// Mean time-to-recover crash-orphaned nodes, ms (0 with no crashes).
     pub mttr_ms: f64,
+    /// Mean critical-path latency attribution over completed requests
+    /// (queue / placement / comm / exec / cap, plus informational healed).
+    /// `None` only for traces recorded before attribution existed.
+    #[serde(default)]
+    pub mean_breakdown: Option<mlp_trace::LatencyBreakdown>,
+    /// Invariant-auditor violations (0 when the auditor is off or the run
+    /// is clean).
+    #[serde(default)]
+    pub invariant_violations: u64,
 }
 
 impl ExperimentResult {
@@ -197,6 +206,8 @@ fn summarize(
         machine_crashes: out.metrics.counter(names::MACHINE_CRASHES),
         crash_replans: out.metrics.counter(names::CRASH_REPLANS),
         mttr_ms: out.metrics.gauge(names::MTTR_MS).unwrap_or(0.0),
+        mean_breakdown: out.collector.mean_breakdown(),
+        invariant_violations: out.metrics.counter(names::INVARIANT_VIOLATIONS),
     }
 }
 
@@ -228,6 +239,30 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency_ms, b.latency_ms);
         assert_eq!(a.violation_rate, b.violation_rate);
+    }
+
+    #[test]
+    fn attribution_sums_to_latency_and_auditor_is_clean() {
+        // smoke() runs the invariant auditor; attribution is always on.
+        let cfg = ExperimentConfig::smoke(Scheme::VMlp);
+        let (r, out) = run_experiment_full(&cfg, &RequestCatalog::paper());
+        assert_eq!(r.invariant_violations, 0, "report: {:?}", out.invariant_report);
+        assert!(out.invariant_report.is_none());
+        let mut checked = 0usize;
+        for rec in out.collector.requests() {
+            let b = rec.breakdown.expect("every completed request is attributed");
+            let lat = rec.latency().as_millis_f64();
+            assert!(
+                (b.total_ms() - lat).abs() < 1e-9,
+                "request {:?}: components {b:?} sum to {} but latency is {lat}",
+                rec.id,
+                b.total_ms(),
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "run completed no requests");
+        let mean = r.mean_breakdown.expect("completions imply a mean breakdown");
+        assert!((mean.total_ms() - r.mean_latency_ms).abs() < 1e-6);
     }
 
     #[test]

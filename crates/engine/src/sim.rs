@@ -32,8 +32,8 @@ use mlp_sched::{
 use mlp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mlp_stats::TimeSeries;
 use mlp_trace::{
-    metrics::names, ExecutionCase, MetricsRegistry, ProfileStore, RequestId, RequestRecord, Span,
-    TraceCollector,
+    metrics::names, AuditLog, Decision, DecisionKind, ExecutionCase, LatencyBreakdown,
+    MetricsRegistry, ProfileStore, RequestId, RequestRecord, Span, TraceCollector,
 };
 use mlp_workload::Arrival;
 use std::collections::HashMap;
@@ -117,6 +117,48 @@ struct RunReq {
     attempts: Vec<u32>,
     /// Given up on: stays unfinished, all events for it are dead.
     abandoned: bool,
+    /// Per-node critical-path attribution bookkeeping.
+    attrib: Vec<NodeAttrib>,
+}
+
+/// Per-node bookkeeping for latency attribution. Everything temporal is
+/// kept in whole microseconds ([`SimTime`]) so the walk over the critical
+/// chain telescopes *exactly* to the measured end-to-end latency.
+#[derive(Debug, Clone, Copy)]
+struct NodeAttrib {
+    /// The dependency whose completion message arrived last (ties go to
+    /// the later parent), pinning this node's readiness — the upstream
+    /// link of the critical chain. `None` for root nodes.
+    crit_parent: Option<usize>,
+    /// When the node became invocable: admission for roots, the last
+    /// dependency message arrival otherwise.
+    ready_at: SimTime,
+    /// Execution window of the attempt that finally completed.
+    start: SimTime,
+    end: SimTime,
+    /// Planned start in force when that attempt launched (reflects
+    /// delay-slot promotions and crash re-plans).
+    planned: SimTime,
+    /// Capping penalty sampled for the completing attempt (total exec
+    /// time = ideal × penalty; captured at sample time because the
+    /// high-sensitivity penalty draws noise and cannot be recomputed).
+    penalty: f64,
+    /// Execution time reclaimed by resource stretching, µs.
+    healed_us: u64,
+}
+
+impl NodeAttrib {
+    fn new(now: SimTime, planned: SimTime) -> Self {
+        NodeAttrib {
+            crit_parent: None,
+            ready_at: now,
+            start: now,
+            end: now,
+            planned,
+            penalty: 1.0,
+            healed_us: 0,
+        }
+    }
 }
 
 /// Everything one simulation run produces.
@@ -136,6 +178,11 @@ pub struct SimOutput {
     pub arrived: usize,
     /// The profile store as enriched by the run (for trace-driven reuse).
     pub profiles: ProfileStore,
+    /// Decision-audit trail (disabled and empty unless `cfg.audit`).
+    pub audit: AuditLog,
+    /// First invariant violation the auditor caught, as a minimized repro
+    /// dump (`None` when the auditor is off or nothing fired).
+    pub invariant_report: Option<String>,
 }
 
 /// Runs one experiment: `arrivals` against `scheduler` on a fresh cluster.
@@ -170,6 +217,10 @@ pub fn simulate(
         orphan_since: HashMap::new(),
         mttr_sum_us: 0,
         mttr_count: 0,
+        audit: if cfg.audit { AuditLog::enabled() } else { AuditLog::disabled() },
+        auditor: cfg.auditor,
+        invariant_report: None,
+        cfg: *cfg,
     };
     sim.run(arrivals, scheduler, rng)
 }
@@ -209,6 +260,14 @@ struct Sim<'c> {
     orphan_since: HashMap<(usize, usize), SimTime>,
     mttr_sum_us: u64,
     mttr_count: u64,
+    /// Decision-audit sink, shared with the scheduler through the context.
+    audit: AuditLog,
+    /// Whether the per-tick invariant auditor runs.
+    auditor: bool,
+    /// First violation's repro dump.
+    invariant_report: Option<String>,
+    /// The run's config, kept for the repro dump.
+    cfg: ExperimentConfig,
 }
 
 macro_rules! sched_ctx {
@@ -220,6 +279,7 @@ macro_rules! sched_ctx {
             catalog: $sim.catalog,
             net: &$sim.net,
             metrics: &$sim.metrics,
+            audit: &$sim.audit,
         }
     };
 }
@@ -277,6 +337,10 @@ impl<'c> Sim<'c> {
                 }
                 Event::MachineUp(id) => {
                     self.cluster.machine_mut(id).recover();
+                    self.audit.record(
+                        Decision::new(now, DecisionKind::MachineUp, "injected-recovery")
+                            .machine(id),
+                    );
                     self.maybe_round(now, scheduler);
                 }
                 Event::Sample => {
@@ -305,6 +369,9 @@ impl<'c> Sim<'c> {
                         .max(largest as f64);
                     self.metrics.set_gauge(names::LEDGER_TIMELINE_MAX, max_seen);
                     self.metrics.set_gauge(names::LEDGER_TIMELINE_TOTAL, total as f64);
+                    if self.auditor {
+                        self.audit_tick(now);
+                    }
                     self.run_round(now, scheduler);
                     let more_work = scheduler.waiting() > 0
                         || self.reqs.iter().any(|r| r.remaining > 0 && !r.abandoned)
@@ -321,6 +388,9 @@ impl<'c> Sim<'c> {
             let mean_ms = self.mttr_sum_us as f64 / self.mttr_count as f64 / 1000.0;
             self.metrics.set_gauge(names::MTTR_MS, mean_ms);
         }
+        if self.auditor {
+            self.audit_end_of_run();
+        }
         // Abandoned requests keep `remaining > 0`, so they are counted as
         // unfinished and request conservation holds under faults.
         let unfinished = self.reqs.iter().filter(|r| r.remaining > 0).count() + scheduler.waiting();
@@ -335,6 +405,8 @@ impl<'c> Sim<'c> {
             abandoned: self.abandoned,
             arrived: arrivals.len(),
             profiles: std::mem::take(&mut self.profiles),
+            audit: self.audit.clone(),
+            invariant_report: self.invariant_report.take(),
         }
     }
 
@@ -387,6 +459,12 @@ impl<'c> Sim<'c> {
                 state.push(NState::WaitingDeps { deps_left: d, ready_hint: now });
             }
         }
+        self.audit.record(
+            Decision::new(now, DecisionKind::Admit, "plan-accepted")
+                .request(info.id)
+                .value(n as f64),
+        );
+        let attrib = plan.nodes.iter().map(|np| NodeAttrib::new(now, np.planned_start)).collect();
         let slot = self.reqs.len();
         self.slot_of[id] = slot;
         self.reqs.push(RunReq {
@@ -397,6 +475,7 @@ impl<'c> Sim<'c> {
             remaining: n,
             attempts: vec![0; n],
             abandoned: false,
+            attrib,
         });
 
         // Schedule root invocations and deviation checks.
@@ -467,11 +546,17 @@ impl<'c> Sim<'c> {
         let satisfaction = occupied.satisfaction_of(&svc.demand).max(MIN_SATISFACTION);
         let grant = machine.occupy(occupied);
 
-        let dur_ms = svc.sample_exec_ms_capped(dnode.work_factor, satisfaction, rng.rng());
+        let (dur_ms, penalty) =
+            svc.sample_exec_ms_capped_parts(dnode.work_factor, satisfaction, rng.rng());
         let end = now + SimDuration::from_millis_f64(dur_ms);
         req.gens[node] += 1;
         let gen = req.gens[node];
         req.state[node] = NState::Running { start: now, end, occupied, satisfaction, grant };
+        // Attribution sees the attempt that completes; retries overwrite.
+        req.attrib[node].start = now;
+        req.attrib[node].planned = np.planned_start;
+        req.attrib[node].penalty = penalty;
+        req.attrib[node].healed_us = 0;
         // A failing attempt holds its resources for the full sampled
         // duration, then dies instead of completing (same RNG draws either
         // way, so disabled faults stay byte-identical).
@@ -524,6 +609,13 @@ impl<'c> Sim<'c> {
             machine: np.machine,
             planned_start: np.planned_start,
         };
+        self.audit.record(
+            Decision::new(now, DecisionKind::LateInvocation, "planned-start-passed")
+                .request(req.info.id)
+                .node(node)
+                .machine(np.machine)
+                .value(now.since(np.planned_start).as_millis_f64()),
+        );
         let actions = {
             let mut ctx = sched_ctx!(self, now);
             scheduler.on_late_invocation(info, &mut ctx)
@@ -594,6 +686,9 @@ impl<'c> Sim<'c> {
                 let speedup = (new_sat / satisfaction).max(1.0);
                 let remaining = end.since(now);
                 let new_end = now + remaining.mul_f64(1.0 / speedup);
+                // Attribution: the healing module reclaimed this much of
+                // the span's tail.
+                req.attrib[node].healed_us += end.0.saturating_sub(new_end.0);
                 req.state[node] = NState::Running {
                     start,
                     end: new_end,
@@ -741,10 +836,22 @@ impl<'c> Sim<'c> {
             return;
         }
         if req.attempts[node] >= ENGINE_MAX_ATTEMPTS {
+            self.audit.record(
+                Decision::new(now, DecisionKind::Shed, "engine-retry-budget")
+                    .request(rid)
+                    .node(node)
+                    .value(req.attempts[node] as f64),
+            );
             self.abandon_request(now, slot, scheduler);
         } else {
             let gen = req.gens[node];
             self.metrics.inc(names::RETRIES);
+            self.audit.record(
+                Decision::new(now, DecisionKind::Retry, "engine-blind-retry")
+                    .request(rid)
+                    .node(node)
+                    .value(req.attempts[node] as f64),
+            );
             self.queue.schedule(now + RETRY_BACKOFF, Event::TryInvoke { request, node, gen });
         }
     }
@@ -761,6 +868,8 @@ impl<'c> Sim<'c> {
         rng: &mut SimRng,
     ) {
         self.metrics.inc(names::MACHINE_CRASHES);
+        self.audit
+            .record(Decision::new(now, DecisionKind::MachineDown, "injected-outage").machine(id));
         let mut orphans: Vec<(usize, usize)> = Vec::new(); // (slot, node)
         for (slot, req) in self.reqs.iter_mut().enumerate() {
             if req.abandoned || req.remaining == 0 {
@@ -830,6 +939,7 @@ impl<'c> Sim<'c> {
         };
         req.state[node] = NState::Done;
         req.remaining -= 1;
+        req.attrib[node].end = now;
 
         let np = req.plan.nodes[node];
         let machine_load = {
@@ -888,10 +998,16 @@ impl<'c> Sim<'c> {
             let arrive = now + comm;
             match &mut req.state[c] {
                 NState::WaitingDeps { deps_left, ready_hint } => {
+                    // The parent whose message lands last (ties to the
+                    // later arrival) is the child's critical dependency.
+                    if arrive >= *ready_hint {
+                        req.attrib[c].crit_parent = Some(node);
+                    }
                     *ready_hint = (*ready_hint).max(arrive);
                     *deps_left -= 1;
                     if *deps_left == 0 {
                         let at = *ready_hint;
+                        req.attrib[c].ready_at = at;
                         req.state[c] = NState::Ready { at };
                         let when = at.max(req.plan.nodes[c].planned_start).max(now);
                         let gen = req.gens[c];
@@ -929,6 +1045,7 @@ impl<'c> Sim<'c> {
                 arrival: req.info.arrival,
                 end: now,
                 slo_ms: rt.slo_ms,
+                breakdown: Some(self.attribute(slot, node)),
             };
             self.collector.record_request(rec);
             let rid = req.info.id;
@@ -939,6 +1056,191 @@ impl<'c> Sim<'c> {
             self.maybe_round(now, scheduler);
         }
     }
+
+    /// Decomposes one completed request's end-to-end latency by walking
+    /// its critical chain backwards from the last node to finish. The
+    /// chain alternates node phases (`ready_at → start → end`, split into
+    /// queueing, placement delay, and span) with comm hops
+    /// (`ready_at − parent.end`), all measured in whole µs, so
+    /// queue + placement + comm + span telescopes *exactly* to
+    /// `end − arrival`; each span then splits into ideal execution vs
+    /// cap-induced slowdown via the penalty captured at sample time.
+    fn attribute(&self, slot: usize, last_node: usize) -> LatencyBreakdown {
+        let req = &self.reqs[slot];
+        let (mut queue_us, mut place_us, mut comm_us) = (0u64, 0u64, 0u64);
+        let (mut exec_ms, mut cap_ms, mut healed_ms) = (0.0f64, 0.0f64, 0.0f64);
+        let mut cur = last_node;
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > req.state.len() + 1 {
+                debug_assert!(false, "attribution walk cycled");
+                break;
+            }
+            let a = req.attrib[cur];
+            let span_ms = a.end.since(a.start).as_millis_f64();
+            let ideal_ms = if a.penalty.is_finite() && a.penalty > 0.0 {
+                span_ms / a.penalty
+            } else {
+                span_ms
+            };
+            exec_ms += ideal_ms;
+            cap_ms += span_ms - ideal_ms;
+            healed_ms += SimDuration(a.healed_us).as_millis_f64();
+            // Failed attempts and outage waits land in the wait; the part
+            // the *plan* asked for is placement delay, the rest queueing.
+            let wait_us = a.start.since(a.ready_at).as_micros();
+            let p_us = a.planned.since(a.ready_at).as_micros().min(wait_us);
+            place_us += p_us;
+            queue_us += wait_us - p_us;
+            match a.crit_parent {
+                Some(p) => {
+                    comm_us += a.ready_at.since(req.attrib[p].end).as_micros();
+                    cur = p;
+                }
+                None => {
+                    // Root: admission queueing back to the arrival.
+                    queue_us += a.ready_at.since(req.info.arrival).as_micros();
+                    break;
+                }
+            }
+        }
+        LatencyBreakdown {
+            queue_ms: SimDuration(queue_us).as_millis_f64(),
+            placement_ms: SimDuration(place_us).as_millis_f64(),
+            comm_ms: SimDuration(comm_us).as_millis_f64(),
+            exec_ms,
+            cap_ms,
+            healed_ms,
+        }
+    }
+
+    /// Cross-checks conservation invariants over the live state: every
+    /// `Running` span is backed by a live grant of the right size on an
+    /// up machine, per-machine occupancy sums match the machine's own
+    /// accounting, and every reservation ledger's incremental index agrees
+    /// with a from-scratch rebuild. One pass over requests + machines —
+    /// cheap next to a scheduling round, but still opt-in outside tests.
+    fn audit_tick(&mut self, now: SimTime) {
+        let mut violations: Vec<String> = Vec::new();
+        let mut used: HashMap<u32, ResourceVector> = HashMap::new();
+        for req in &self.reqs {
+            let rid = req.info.id.0;
+            for (node, st) in req.state.iter().enumerate() {
+                let NState::Running { occupied, grant, .. } = *st else {
+                    continue;
+                };
+                if req.abandoned {
+                    violations.push(format!("request {rid} node {node} Running after abandon"));
+                    continue;
+                }
+                let mid = req.plan.nodes[node].machine;
+                let machine = self.cluster.machine(mid);
+                if !machine.is_up() {
+                    violations
+                        .push(format!("request {rid} node {node} Running on down machine {mid:?}"));
+                }
+                match machine.grant_amount(grant) {
+                    None => violations
+                        .push(format!("request {rid} node {node}: grant gone on machine {mid:?}")),
+                    Some(g) if !rv_close(g, occupied) => violations.push(format!(
+                        "request {rid} node {node}: grant {g:?} != occupied {occupied:?}"
+                    )),
+                    Some(_) => {}
+                }
+                *used.entry(mid.0).or_insert(ResourceVector::ZERO) += occupied;
+            }
+        }
+        for m in self.cluster.machines() {
+            let (_, grants_total, actual_used, _) = m.occupancy();
+            if !rv_close(grants_total, actual_used) {
+                violations.push(format!(
+                    "machine {:?}: grants sum to {grants_total:?} but used is {actual_used:?}",
+                    m.id
+                ));
+            }
+            let expect = used.get(&m.id.0).copied().unwrap_or(ResourceVector::ZERO);
+            if !rv_close(expect, actual_used) {
+                violations.push(format!(
+                    "machine {:?}: running spans occupy {expect:?} but used is {actual_used:?}",
+                    m.id
+                ));
+            }
+            if let Err(e) = m.ledger.check_consistency() {
+                violations.push(format!("machine {:?} ledger: {e}", m.id));
+            }
+        }
+        self.report_violations(now, &violations);
+    }
+
+    /// End-of-run cross-checks between the audit trail and the recorded
+    /// spans (needs both the auditor and the trail enabled).
+    fn audit_end_of_run(&mut self) {
+        if !self.audit.is_enabled() {
+            return;
+        }
+        let mut violations: Vec<String> = Vec::new();
+        let ds = self.audit.decisions();
+        for w in ds.windows(2) {
+            if w[0].at_us > w[1].at_us {
+                violations.push(format!(
+                    "audit trail not time-ordered: {} recorded after {}",
+                    w[0].at_us, w[1].at_us
+                ));
+                break;
+            }
+        }
+        // No span of a request may start before its admission decision.
+        let mut first_start: HashMap<u64, u64> = HashMap::new();
+        for s in self.collector.spans() {
+            let e = first_start.entry(s.request.0).or_insert(u64::MAX);
+            *e = (*e).min(s.start.as_micros());
+        }
+        for d in &ds {
+            if d.kind != DecisionKind::Admit {
+                continue;
+            }
+            let Some(r) = d.request else { continue };
+            if let Some(&st) = first_start.get(&r) {
+                if d.at_us > st {
+                    violations.push(format!(
+                        "request {r} admitted at {} after its first span start {st}",
+                        d.at_us
+                    ));
+                }
+            }
+        }
+        let last = ds.last().map_or(SimTime::ZERO, |d| SimTime(d.at_us));
+        self.report_violations(last, &violations);
+    }
+
+    /// Counts violations under the shared metric and captures the first
+    /// one as a minimized repro dump (config + seed + what tripped).
+    fn report_violations(&mut self, now: SimTime, violations: &[String]) {
+        if violations.is_empty() {
+            return;
+        }
+        self.metrics.add(names::INVARIANT_VIOLATIONS, violations.len() as u64);
+        if self.invariant_report.is_none() {
+            let cfg =
+                serde_json::to_string(&self.cfg).unwrap_or_else(|_| format!("{:?}", self.cfg));
+            self.invariant_report = Some(format!(
+                "first invariant violation at t={now}:\n  {}\nrepro: seed {} with config {cfg}",
+                violations.join("\n  "),
+                self.cfg.seed,
+            ));
+        }
+    }
+}
+
+/// Component-wise approximate equality for the conservation checks: the
+/// machine's running accumulator and a fresh per-span sum visit the same
+/// amounts in different orders, so bit-equality is too strict.
+fn rv_close(a: ResourceVector, b: ResourceVector) -> bool {
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0)
+    }
+    close(a.cpu, b.cpu) && close(a.mem, b.mem) && close(a.io, b.io)
 }
 
 #[cfg(test)]

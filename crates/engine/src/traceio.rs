@@ -16,7 +16,9 @@ use std::io;
 use std::path::Path;
 
 /// Schema version embedded in every artifact; bumped on breaking change.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// v2: `ExperimentResult` gained `mean_breakdown` / `invariant_violations`
+/// (results saved by v1 code cannot satisfy the new required counter).
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// A persisted profiling trace: the catalog-independent `s_i` histories
 /// plus provenance.

@@ -243,7 +243,24 @@ impl Microservice {
         f: f64,
         rng: &mut R,
     ) -> f64 {
-        self.sample_exec_ms(work_factor, rng) * self.sensitivity.capping_penalty(f, rng)
+        self.sample_exec_ms_capped_parts(work_factor, f, rng).0
+    }
+
+    /// Like [`sample_exec_ms_capped`](Self::sample_exec_ms_capped), but
+    /// also returns the sampled capping penalty (`total = uncapped ×
+    /// penalty`). The penalty cannot be recomputed afterwards — a
+    /// high-sensitivity service draws noise into it — so latency
+    /// attribution captures it here, at sample time. Identical RNG call
+    /// order to the single-value form.
+    pub fn sample_exec_ms_capped_parts<R: Rng + ?Sized>(
+        &self,
+        work_factor: f64,
+        f: f64,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        let uncapped = self.sample_exec_ms(work_factor, rng);
+        let penalty = self.sensitivity.capping_penalty(f, rng);
+        (uncapped * penalty, penalty)
     }
 
     /// Exec/suspend demand ratio per resource kind, Fig 3a's metric.

@@ -5,6 +5,7 @@ use crate::plan::{RequestInfo, RequestPlan};
 use crate::scheduler::{Scheduler, SchedulerCtx};
 use mlp_model::{Microservice, ResourceVector};
 use mlp_sim::SimDuration;
+use mlp_trace::{Decision, DecisionKind};
 use std::collections::VecDeque;
 
 /// Naive per-node time estimate (ms) used by the simple schedulers, which
@@ -241,6 +242,10 @@ impl Scheduler for PartProfile {
                 Some(plan) => plans.push(plan),
                 None => {
                     failures += 1;
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Defer, "no-ledger-slot")
+                            .request(req.id),
+                    );
                     deferred.push(*req);
                 }
             }
@@ -330,6 +335,10 @@ impl Scheduler for FullProfile {
                 Some(plan) => plans.push(plan),
                 None => {
                     failures += 1;
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Defer, "no-ledger-slot")
+                            .request(req.id),
+                    );
                     deferred.push(*req);
                 }
             }
@@ -350,7 +359,7 @@ mod tests {
     use mlp_model::RequestCatalog;
     use mlp_net::NetworkModel;
     use mlp_sim::SimTime;
-    use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+    use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId};
 
     struct Harness {
         cluster: Cluster,
@@ -358,6 +367,7 @@ mod tests {
         net: NetworkModel,
         profiles: ProfileStore,
         metrics: MetricsRegistry,
+        audit: AuditLog,
     }
 
     impl Harness {
@@ -371,6 +381,7 @@ mod tests {
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
                 metrics: MetricsRegistry::new(),
+                audit: AuditLog::disabled(),
             }
         }
 
@@ -382,6 +393,7 @@ mod tests {
                 catalog: &self.catalog,
                 net: &self.net,
                 metrics: &self.metrics,
+                audit: &self.audit,
             }
         }
 

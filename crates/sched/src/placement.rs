@@ -191,7 +191,7 @@ mod tests {
     use mlp_cluster::Cluster;
     use mlp_model::RequestCatalog;
     use mlp_net::NetworkModel;
-    use mlp_trace::{MetricsRegistry, ProfileStore, RequestId};
+    use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId};
 
     struct TestPolicy {
         policy: MachinePolicy,
@@ -231,6 +231,8 @@ mod tests {
         )
     }
 
+    static NO_AUDIT: std::sync::OnceLock<AuditLog> = std::sync::OnceLock::new();
+
     fn req(catalog: &RequestCatalog, name: &str) -> RequestInfo {
         RequestInfo {
             id: RequestId(1),
@@ -248,6 +250,7 @@ mod tests {
                 catalog: &$cat,
                 net: &$net,
                 metrics: &$met,
+                audit: NO_AUDIT.get_or_init(AuditLog::disabled),
             }
         };
     }

@@ -5,7 +5,7 @@ use mlp_cluster::{Cluster, MachineId};
 use mlp_model::RequestCatalog;
 use mlp_net::NetworkModel;
 use mlp_sim::{SimDuration, SimTime};
-use mlp_trace::{MetricsRegistry, ProfileStore, RequestId, Span};
+use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId, Span};
 
 /// Everything a scheduler may consult (and the ledgers it may write)
 /// during a callback. Borrowed from the engine per call.
@@ -22,6 +22,8 @@ pub struct SchedulerCtx<'a> {
     pub net: &'a NetworkModel,
     /// Metrics sink for scheduler internals.
     pub metrics: &'a MetricsRegistry,
+    /// Decision-audit sink (no-op unless the run enables auditing).
+    pub audit: &'a AuditLog,
 }
 
 /// Raised by the engine when a planned invocation is *late*: its planned

@@ -22,6 +22,11 @@ pub struct P2Quantile {
     increments: [f64; 5],
     /// Observations seen so far.
     count: usize,
+    /// Non-finite samples skipped (NaN/±inf would poison the marker sort
+    /// and every later interpolation). Absent in estimators serialized
+    /// before the field existed.
+    #[serde(default)]
+    skipped: u64,
 }
 
 impl P2Quantile {
@@ -35,6 +40,7 @@ impl P2Quantile {
             desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
             increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
             count: 0,
+            skipped: 0,
         }
     }
 
@@ -48,8 +54,20 @@ impl P2Quantile {
         self.count
     }
 
-    /// Adds one observation.
+    /// Number of non-finite observations that were skipped.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Adds one observation. Non-finite samples (NaN, ±inf) are skipped
+    /// and counted: once 5 observations exist the markers are kept sorted
+    /// with `partial_cmp`, and a single NaN would panic there — a latency
+    /// monitor must survive a poisoned input instead.
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         if self.count < 5 {
             self.heights[self.count] = x;
             self.count += 1;
@@ -191,6 +209,32 @@ mod tests {
         }
         let est = p.estimate().unwrap();
         assert!((850.0..=950.0).contains(&est), "p90 of 1..=1000 ≈ 900, got {est}");
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_not_fatal() {
+        let mut p = P2Quantile::new(0.5);
+        // Below 5 samples: a NaN must not land in the marker array.
+        p.record(f64::NAN);
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.estimate(), None);
+        for x in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            p.record(x);
+        }
+        // At exactly 5 the marker sort runs; the earlier NaN must not
+        // have reached it, and later non-finite samples are ignored too.
+        p.record(f64::NAN);
+        p.record(f64::INFINITY);
+        p.record(f64::NEG_INFINITY);
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.skipped(), 4);
+        assert_eq!(p.estimate(), Some(30.0));
+        // The estimator still works on further finite input.
+        for x in [25.0, 35.0, 28.0, 32.0] {
+            p.record(x);
+        }
+        let est = p.estimate().unwrap();
+        assert!(est.is_finite() && (10.0..=50.0).contains(&est), "estimate {est}");
     }
 
     #[test]

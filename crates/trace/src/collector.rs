@@ -7,6 +7,41 @@ use mlp_stats::{Cdf, Summary};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Critical-path decomposition of one request's end-to-end latency.
+///
+/// The engine walks the request's critical chain (the dependency path that
+/// actually gated completion) and attributes every microsecond of
+/// `end − arrival` to exactly one bucket, so the first five components
+/// telescope to the measured latency ([`Self::total_ms`]). `healed_ms` is
+/// informational — wall-clock the self-healing module reclaimed (it is
+/// already absent from the other components, not part of the sum).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Waiting before admission / before a dependency-ready node was
+    /// planned to run.
+    pub queue_ms: f64,
+    /// Scheduler-chosen delay between physical readiness and planned
+    /// start (ledger alignment).
+    pub placement_ms: f64,
+    /// Caller→callee communication on the critical chain.
+    pub comm_ms: f64,
+    /// Pure execution time (what the spans would have taken uncapped).
+    pub exec_ms: f64,
+    /// Extra execution time caused by resource capping.
+    pub cap_ms: f64,
+    /// Wall-clock reclaimed by healing stretches (informational).
+    pub healed_ms: f64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of the attributed components — equals the measured end-to-end
+    /// latency (`healed_ms` excluded; it is already reflected in the
+    /// shortened execution the other components measure).
+    pub fn total_ms(&self) -> f64 {
+        self.queue_ms + self.placement_ms + self.comm_ms + self.exec_ms + self.cap_ms
+    }
+}
+
 /// End-to-end record of one finished request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RequestRecord {
@@ -22,6 +57,10 @@ pub struct RequestRecord {
     pub end: SimTime,
     /// SLO for this request, ms.
     pub slo_ms: f64,
+    /// Critical-path latency attribution (absent in traces recorded
+    /// before the field existed).
+    #[serde(default)]
+    pub breakdown: Option<LatencyBreakdown>,
 }
 
 impl RequestRecord {
@@ -81,6 +120,34 @@ impl TraceCollector {
     /// Number of completed requests matching a predicate.
     pub fn completed_where(&self, mut pred: impl FnMut(&RequestRecord) -> bool) -> usize {
         self.requests.iter().filter(|r| pred(r)).count()
+    }
+
+    /// Mean critical-path latency attribution over completed requests that
+    /// carry a breakdown. `None` when no request has one (attribution off
+    /// or no completions).
+    pub fn mean_breakdown(&self) -> Option<LatencyBreakdown> {
+        let mut acc = LatencyBreakdown::default();
+        let mut n = 0usize;
+        for b in self.requests.iter().filter_map(|r| r.breakdown.as_ref()) {
+            acc.queue_ms += b.queue_ms;
+            acc.placement_ms += b.placement_ms;
+            acc.comm_ms += b.comm_ms;
+            acc.exec_ms += b.exec_ms;
+            acc.cap_ms += b.cap_ms;
+            acc.healed_ms += b.healed_ms;
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let inv = 1.0 / n as f64;
+        acc.queue_ms *= inv;
+        acc.placement_ms *= inv;
+        acc.comm_ms *= inv;
+        acc.exec_ms *= inv;
+        acc.cap_ms *= inv;
+        acc.healed_ms *= inv;
+        Some(acc)
     }
 
     /// Fraction of completed requests that violated their SLO, optionally
@@ -199,6 +266,7 @@ mod tests {
             arrival: SimTime::from_millis(arrival_ms),
             end: SimTime::from_millis(end_ms),
             slo_ms: slo,
+            breakdown: None,
         }
     }
 
@@ -275,6 +343,7 @@ mod tests {
                 arrival: SimTime::ZERO,
                 end: SimTime::from_millis(10 + i * 10),
                 slo_ms: 55.0,
+                breakdown: None,
             });
         }
         let stats = c.per_type_stats();

@@ -7,13 +7,15 @@
 //! `s_i = [u_cpu, u_mem, u_io, l, Δt]` matrix of historical execution
 //! cases); *Prometheus*-style counters live in [`metrics`].
 
+pub mod audit;
 pub mod collector;
 pub mod metrics;
 pub mod profile;
 pub mod span;
 pub mod zipkin;
 
-pub use collector::{RequestRecord, TraceCollector};
+pub use audit::{AuditLog, Decision, DecisionKind};
+pub use collector::{LatencyBreakdown, RequestRecord, TraceCollector};
 pub use metrics::MetricsRegistry;
 pub use profile::{ExecutionCase, ProfileStore};
 pub use span::{RequestId, Span};

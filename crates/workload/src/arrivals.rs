@@ -48,12 +48,21 @@ pub fn generate_stream(
         }
         // Thinning: accept with probability rate(t)/max_rate.
         let accept: f64 = rng.rng().gen_range(0.0..1.0);
-        if accept * max_rate <= pattern.rate_at(t, max_rate) {
+        if thin_accept(accept, max_rate, pattern.rate_at(t, max_rate)) {
             let request_type = sample_mix(mix, total_w, rng);
             out.push(Arrival { at: SimTime::from_secs_f64(t), request_type });
         }
     }
     out
+}
+
+/// Lewis–Shedler thinning decision: keep the candidate iff
+/// `accept < rate/max_rate`. Strictly less-than: `accept` can draw exactly
+/// 0.0 (the `gen_range(0.0..1.0)` interval is half-open at 1, closed at 0),
+/// and a window where `rate == 0` must emit no arrivals at all — `<=` would
+/// let the zero draw through.
+fn thin_accept(accept: f64, max_rate: f64, rate: f64) -> bool {
+    accept * max_rate < rate
 }
 
 fn sample_mix(mix: &[(RequestTypeId, f64)], total_w: f64, rng: &mut SimRng) -> RequestTypeId {
@@ -167,6 +176,23 @@ mod tests {
     fn empty_mix_rejected() {
         let mut rng = SimRng::new(0);
         generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &[], &mut rng);
+    }
+
+    /// Regression: a zero-rate window emits nothing even when the
+    /// acceptance draw comes out exactly 0.0 (the old `<=` comparison
+    /// accepted that candidate, injecting arrivals where the offered load
+    /// is zero).
+    #[test]
+    fn zero_rate_window_emits_nothing() {
+        assert!(!thin_accept(0.0, 1000.0, 0.0), "accept == 0.0 must not pass a zero rate");
+        // Unchanged everywhere the rate is positive...
+        assert!(thin_accept(0.0, 1000.0, 350.0));
+        assert!(thin_accept(0.3499, 1000.0, 350.0));
+        // ...and at the acceptance boundary the candidate is dropped, per
+        // thinning's `u < λ(t)/λ_max` (P[u = boundary] = 0 in theory; ties
+        // must reject so a zero rate stays silent).
+        assert!(!thin_accept(0.35, 1000.0, 350.0));
+        assert!(!thin_accept(0.999, 1000.0, 350.0));
     }
 }
 

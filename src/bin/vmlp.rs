@@ -13,8 +13,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use v_mlp::engine::config::{ExperimentConfig, MixSpec};
+use v_mlp::engine::runner::run_experiment_full;
 use v_mlp::engine::traceio;
-use v_mlp::model::VolatilityClass;
+use v_mlp::model::{RequestCatalog, VolatilityClass};
 use v_mlp::prelude::*;
 
 const HELP: &str = "\
@@ -34,6 +35,8 @@ FLAGS:
     --small-tier=N:S  heterogeneous fleet: N machines at scale S (e.g. 5:0.5)
     --config=FILE     load a JSON ExperimentConfig instead of flags
     --out=FILE        save the result as JSON (traceio format)
+    --audit=FILE      record the decision-audit trail as JSONL and run the
+                      invariant auditor (never changes simulation results)
     --help            this text
 ";
 
@@ -79,6 +82,7 @@ fn main() -> ExitCode {
         ..ExperimentConfig::paper_default(Scheme::VMlp)
     };
     let mut out: Option<PathBuf> = None;
+    let mut audit_out: Option<PathBuf> = None;
 
     for arg in std::env::args().skip(1) {
         let bad = |msg: &str| {
@@ -138,6 +142,7 @@ fn main() -> ExitCode {
                 Err(e) => return bad(&format!("cannot load config: {e}")),
             },
             "--out" => out = Some(PathBuf::from(value)),
+            "--audit" => audit_out = Some(PathBuf::from(value)),
             _ => return bad(&format!("unknown flag '{key}'")),
         }
     }
@@ -150,7 +155,10 @@ fn main() -> ExitCode {
         config.max_rate,
         config.horizon_s
     );
-    let result = run_experiment(&config);
+    if audit_out.is_some() {
+        config = config.with_audit(true).with_auditor(true);
+    }
+    let (result, sim) = run_experiment_full(&config, &RequestCatalog::paper());
 
     println!("arrived / completed:   {} / {}", result.arrived, result.completed);
     println!("throughput:            {:.1} req/s", result.throughput());
@@ -168,6 +176,29 @@ fn main() -> ExitCode {
     println!("mean utilization:      {:.1}%", result.mean_utilization * 100.0);
     let (a, b, c) = result.healing;
     println!("healing (slot/stretch/switch): {a}/{b}/{c}");
+    if let Some(bd) = result.mean_breakdown {
+        println!(
+            "critical path (mean ms): queue {:.2} + place {:.2} + comm {:.2} + exec {:.2} + cap {:.2} = {:.2} (healed {:.2})",
+            bd.queue_ms, bd.placement_ms, bd.comm_ms, bd.exec_ms, bd.cap_ms, bd.total_ms(), bd.healed_ms
+        );
+    }
+
+    if let Some(path) = audit_out {
+        if let Err(e) = sim.audit.write_jsonl(&path) {
+            eprintln!("error: cannot save audit trail: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "audit: {} decisions saved to {} ({} dropped by the ring buffer)",
+            sim.audit.len(),
+            path.display(),
+            sim.audit.dropped()
+        );
+        match &sim.invariant_report {
+            None => eprintln!("auditor: no invariant violations"),
+            Some(report) => eprintln!("auditor: VIOLATIONS DETECTED\n{report}"),
+        }
+    }
 
     if let Some(path) = out {
         if let Err(e) = traceio::save_experiment(&path, &result) {

@@ -10,7 +10,7 @@ use v_mlp::net::NetworkModel;
 use v_mlp::prelude::*;
 use v_mlp::sched::SchedulerCtx;
 use v_mlp::sim::{SimRng, SimTime};
-use v_mlp::trace::MetricsRegistry;
+use v_mlp::trace::{AuditLog, MetricsRegistry};
 
 #[test]
 fn table5_bands_survive_the_full_pipeline() {
@@ -45,6 +45,7 @@ fn delta_t_is_monotone_in_volatility_on_live_profiles() {
     let profiles = warm_profiles(&catalog, 300, &mut SimRng::new(3));
     let net = NetworkModel::paper_default();
     let metrics = MetricsRegistry::new();
+    let audit = AuditLog::disabled();
     let mut cluster = v_mlp::cluster::Cluster::paper_default();
     let ctx = SchedulerCtx {
         now: SimTime::ZERO,
@@ -53,6 +54,7 @@ fn delta_t_is_monotone_in_volatility_on_live_profiles() {
         catalog: &catalog,
         net: &net,
         metrics: &metrics,
+        audit: &audit,
     };
     // For every service with meaningful variance, the high-band budget must
     // dominate the medium-band budget, which must dominate the fastest
@@ -74,6 +76,7 @@ fn dt_policies_order_correctly_on_live_profiles() {
     let profiles = warm_profiles(&catalog, 300, &mut SimRng::new(4));
     let net = NetworkModel::paper_default();
     let metrics = MetricsRegistry::new();
+    let audit = AuditLog::disabled();
     let mut cluster = v_mlp::cluster::Cluster::paper_default();
     let ctx = SchedulerCtx {
         now: SimTime::ZERO,
@@ -82,6 +85,7 @@ fn dt_policies_order_correctly_on_live_profiles() {
         catalog: &catalog,
         net: &net,
         metrics: &metrics,
+        audit: &audit,
     };
     let svc = catalog.services.by_name("ts-order-service").unwrap(); // High I
     let mk = |policy| OrganizerPolicy {
