@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlp_bench::Scale;
 use mlp_core::organizer::DtPolicy;
 use mlp_core::VMlpConfig;
-use mlp_engine::runner::run_experiment;
+use mlp_engine::experiment::Experiment;
 use mlp_engine::scheme::Scheme;
 
 /// The ablated configurations, labeled.
@@ -33,7 +33,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (name, cfg) in variants() {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
             let ec = Scale::tiny().config(Scheme::VMlpCustom(cfg));
-            b.iter(|| run_experiment(&ec));
+            b.iter(|| Experiment::from_config(ec).run().unwrap());
         });
     }
     g.finish();

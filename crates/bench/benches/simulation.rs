@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlp_bench::Scale;
+use mlp_engine::experiment::Experiment;
 use mlp_engine::profiling::warm_profiles;
-use mlp_engine::runner::run_experiment;
 use mlp_engine::scheme::Scheme;
 use mlp_model::RequestCatalog;
 use mlp_sim::SimRng;
@@ -17,7 +17,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     for scheme in Scheme::PAPER {
         g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
             let cfg = Scale::tiny().config(s);
-            b.iter(|| run_experiment(&cfg));
+            b.iter(|| Experiment::from_config(cfg).run().unwrap());
         });
     }
     g.finish();

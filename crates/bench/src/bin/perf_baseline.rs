@@ -16,7 +16,8 @@ use mlp_bench::scale::Scale;
 use mlp_cluster::ledger::query_stats::{self, LedgerQueryStats};
 use mlp_cluster::{NaiveLedger, ResourceLedger};
 use mlp_engine::config::MixSpec;
-use mlp_engine::runner::{run_experiment_with_catalog, ExperimentResult};
+use mlp_engine::experiment::Experiment;
+use mlp_engine::runner::ExperimentResult;
 use mlp_engine::scheme::Scheme;
 use mlp_model::{RequestCatalog, ResourceVector};
 use mlp_sim::{SimDuration, SimRng, SimTime};
@@ -145,7 +146,8 @@ fn main() {
             .with_seed(SEED);
         query_stats::reset();
         let start = Instant::now();
-        let result: ExperimentResult = run_experiment_with_catalog(&cfg, &catalog);
+        let result: ExperimentResult =
+            Experiment::from_config(cfg).catalog(&catalog).run().expect("baseline config is valid");
         let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
         let ledger = query_stats::snapshot();
         eprintln!(
@@ -187,8 +189,12 @@ fn main() {
         schemes,
         micro,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    std::fs::write(path, json + "\n").expect("write BENCH_sim.json");
-    eprintln!("wrote {path}");
+    // Merge rather than overwrite: other bins (fig_scale) keep their own
+    // top-level keys in the same committed snapshot.
+    let serde_json::Value::Object(entries) =
+        serde_json::to_value(&baseline).expect("baseline serializes")
+    else {
+        unreachable!("Baseline serializes to an object")
+    };
+    mlp_bench::merge_bench_json(entries);
 }

@@ -24,6 +24,7 @@ pub mod fig12_latency;
 pub mod fig13_tail;
 pub mod fig14_throughput;
 pub mod fig_faults;
+pub mod fig_scale;
 pub mod loads;
 pub mod scale;
 pub mod tables;
@@ -44,7 +45,10 @@ pub fn audit_from_args() -> Option<std::path::PathBuf> {
 pub fn audit_run(config: mlp_engine::config::ExperimentConfig, path: &std::path::Path) {
     let cfg = config.with_audit(true).with_auditor(true);
     let catalog = mlp_model::RequestCatalog::paper();
-    let (result, sim) = mlp_engine::runner::run_experiment_full(&cfg, &catalog);
+    let (result, sim) = mlp_engine::experiment::Experiment::from_config(cfg)
+        .catalog(&catalog)
+        .run_full()
+        .expect("audit config is valid");
     match sim.audit.write_jsonl(path) {
         Ok(()) => eprintln!(
             "audit: {} decisions saved to {} ({} dropped by the ring buffer)",
@@ -60,6 +64,36 @@ pub fn audit_run(config: mlp_engine::config::ExperimentConfig, path: &std::path:
             eprintln!("auditor: {} VIOLATIONS\n{report}", result.invariant_violations)
         }
     }
+}
+
+/// Repo-root path of the committed benchmark snapshot.
+pub fn bench_json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json")
+}
+
+/// Merges `own` top-level entries into `BENCH_sim.json`, replacing keys it
+/// owns and preserving every other key already in the file (so the
+/// `perf_baseline` snapshot and the `fig_scale` trajectory can coexist in
+/// one committed artifact). Unreadable or corrupt existing contents are
+/// discarded rather than propagated.
+pub fn merge_bench_json(own: Vec<(String, serde_json::Value)>) {
+    use serde_json::Value;
+    let path = bench_json_path();
+    let mut entries = own;
+    if let Ok(Value::Object(existing)) = std::fs::read_to_string(path)
+        .map_err(|_| ())
+        .and_then(|s| serde_json::from_str::<Value>(&s).map_err(|_| ()))
+    {
+        for (k, v) in existing {
+            if !entries.iter().any(|(own_k, _)| *own_k == k) {
+                entries.push((k, v));
+            }
+        }
+    }
+    let json =
+        serde_json::to_string_pretty(&Value::Object(entries)).expect("bench snapshot serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_sim.json");
+    eprintln!("wrote {path}");
 }
 
 /// Parses `--scale=tiny|small|paper` from argv (default: small) for the

@@ -12,9 +12,11 @@ pub mod ledger;
 pub mod ledger_naive;
 pub mod machine;
 pub mod monitor;
+pub mod shard;
 
 pub use controller::{proportional_satisfaction, ControllerTool};
 pub use ledger::ResourceLedger;
 pub use ledger_naive::NaiveLedger;
 pub use machine::{Cluster, GrantId, Machine, MachineId};
 pub use monitor::{MonitorTool, UsageMonitor};
+pub use shard::{ShardId, ShardMap, ShardPolicy};

@@ -1,6 +1,7 @@
 //! Machines and the simulated cluster.
 
 use crate::ledger::ResourceLedger;
+use crate::shard::{ShardId, ShardMap, ShardPolicy};
 use mlp_model::{ResourceKind, ResourceVector};
 use mlp_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -162,17 +163,26 @@ impl Machine {
     }
 }
 
-/// The simulated cluster: a flat pool of machines (the paper's evaluation
-/// uses 100 nodes, Section V-B).
+/// The simulated cluster: a pool of machines (the paper's evaluation uses
+/// 100 nodes, Section V-B) partitioned into one or more scheduling shards.
+///
+/// Every constructor starts with a single shard holding all machines —
+/// the unsharded behaviour the paper evaluates. Production-scale runs call
+/// [`with_shards`](Cluster::with_shards) to split the fleet so placement
+/// and healing scan one shard instead of the whole pool.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     machines: Vec<Machine>,
+    shards: ShardMap,
 }
 
 impl Cluster {
     /// Builds `n` identical machines of the given capacity.
     pub fn homogeneous(n: usize, capacity: ResourceVector) -> Self {
-        Cluster { machines: (0..n).map(|i| Machine::new(MachineId(i as u32), capacity)).collect() }
+        let machines: Vec<Machine> =
+            (0..n).map(|i| Machine::new(MachineId(i as u32), capacity)).collect();
+        let shards = ShardMap::single(&machines);
+        Cluster { machines, shards }
     }
 
     /// The paper's simulated cluster: 100 nodes. Per-node capacity is a
@@ -189,13 +199,13 @@ impl Cluster {
     /// per-machine ledgers handle this transparently, while capacity-
     /// oblivious ones like FairSched mis-size their slices).
     pub fn heterogeneous(capacities: Vec<ResourceVector>) -> Self {
-        Cluster {
-            machines: capacities
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| Machine::new(MachineId(i as u32), c))
-                .collect(),
-        }
+        let machines: Vec<Machine> = capacities
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Machine::new(MachineId(i as u32), c))
+            .collect();
+        let shards = ShardMap::single(&machines);
+        Cluster { machines, shards }
     }
 
     /// A two-tier fleet: `n_big` machines at `big` capacity and `n_small`
@@ -209,6 +219,73 @@ impl Cluster {
         let mut caps = vec![big; n_big];
         caps.extend(std::iter::repeat_n(small, n_small));
         Cluster::heterogeneous(caps)
+    }
+
+    /// Re-partitions the cluster into `k` shards under `policy`. `k` is
+    /// clamped to the machine count (no empty shards); `k = 1` restores
+    /// the unsharded default. Builder-style so constructors chain:
+    /// `Cluster::homogeneous(256, cap).with_shards(16, ShardPolicy::RoundRobin)`.
+    pub fn with_shards(mut self, k: usize, policy: ShardPolicy) -> Self {
+        self.shards = ShardMap::build(&self.machines, k, policy);
+        self
+    }
+
+    /// The shard partition.
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// Number of shards (1 unless [`with_shards`](Cluster::with_shards)
+    /// was applied).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard of a machine.
+    pub fn shard_of(&self, machine: MachineId) -> ShardId {
+        self.shards.shard_of(machine)
+    }
+
+    /// Member machines of a shard, ascending id.
+    pub fn shard_members(&self, shard: ShardId) -> &[MachineId] {
+        self.shards.members(shard)
+    }
+
+    /// Deterministic home shard for a request id.
+    pub fn home_shard(&self, request_id: u64) -> ShardId {
+        self.shards.home_shard(request_id)
+    }
+
+    /// Shards in scan order for a request homed at `home`: home first,
+    /// then cross-shard overflow in ascending rotation.
+    pub fn shard_scan_order(&self, home: ShardId) -> impl Iterator<Item = ShardId> + '_ {
+        self.shards.scan_order(home)
+    }
+
+    /// Member machines of a shard as an iterator over `&Machine`, in the
+    /// shard's scan order (ascending id). With one shard this visits the
+    /// whole cluster in exactly the order [`machines`](Cluster::machines)
+    /// does, which is what keeps `shards = 1` byte-identical to the
+    /// unsharded code path.
+    pub fn shard_machines(&self, shard: ShardId) -> impl Iterator<Item = &Machine> + '_ {
+        self.shards.members(shard).iter().map(|&id| &self.machines[id.0 as usize])
+    }
+
+    /// Aggregate capacity of a shard.
+    pub fn shard_capacity(&self, shard: ShardId) -> ResourceVector {
+        self.shards.capacity(shard)
+    }
+
+    /// Mean instantaneous utilization across a shard's members (the
+    /// per-shard analogue of [`utilization`](Cluster::utilization), for
+    /// per-shard metrics gauges).
+    pub fn shard_utilization(&self, shard: ShardId) -> f64 {
+        let members = self.shards.members(shard);
+        if members.is_empty() {
+            return 0.0;
+        }
+        members.iter().map(|&id| self.machines[id.0 as usize].utilization()).sum::<f64>()
+            / members.len() as f64
     }
 
     /// Total capacity across all machines.
@@ -418,6 +495,43 @@ mod tests {
         let mut c = Cluster::two_tier(1, rv(8.0, 800.0, 80.0), 1, rv(2.0, 200.0, 20.0));
         let _ = c.machine_mut(MachineId(1)).occupy(rv(2.0, 200.0, 20.0));
         assert!((c.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clusters_default_to_one_shard_in_machine_order() {
+        let c = Cluster::two_tier(1, rv(8.0, 2000.0, 200.0), 2, rv(2.0, 500.0, 50.0));
+        assert_eq!(c.shard_count(), 1);
+        assert_eq!(c.shard_members(ShardId(0)), &[MachineId(0), MachineId(1), MachineId(2)]);
+        let scanned: Vec<MachineId> = c.shard_machines(ShardId(0)).map(|m| m.id).collect();
+        let direct: Vec<MachineId> = c.machines().iter().map(|m| m.id).collect();
+        assert_eq!(scanned, direct, "single-shard scan must match whole-cluster order");
+        assert_eq!(c.shard_capacity(ShardId(0)), c.total_capacity());
+        assert_eq!(c.home_shard(12345), ShardId(0));
+    }
+
+    #[test]
+    fn with_shards_partitions_and_aggregates() {
+        let mut c =
+            Cluster::homogeneous(8, rv(4.0, 1000.0, 100.0)).with_shards(4, ShardPolicy::RoundRobin);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.shard_members(ShardId(1)), &[MachineId(1), MachineId(5)]);
+        assert_eq!(c.shard_capacity(ShardId(1)), rv(8.0, 2000.0, 200.0));
+        assert_eq!(c.shard_of(MachineId(6)), ShardId(2));
+        // Per-shard utilization only sees that shard's members.
+        let _ = c.machine_mut(MachineId(1)).occupy(rv(4.0, 1000.0, 100.0));
+        assert!((c.shard_utilization(ShardId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(c.shard_utilization(ShardId(0)), 0.0);
+        assert!(c.shards().check_partition(c.machines()).is_ok());
+    }
+
+    #[test]
+    fn shard_scan_order_starts_at_home() {
+        let c =
+            Cluster::homogeneous(9, rv(4.0, 1000.0, 100.0)).with_shards(3, ShardPolicy::RoundRobin);
+        let home = c.home_shard(7); // 7 % 3 == 1
+        assert_eq!(home, ShardId(1));
+        let order: Vec<u32> = c.shard_scan_order(home).map(|s| s.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
     }
 
     #[test]

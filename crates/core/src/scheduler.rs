@@ -550,28 +550,41 @@ impl Scheduler for VMlpScheduler {
                 continue;
             }
             // Earliest slot on a live machine (same worst-fit-free search
-            // window the admission pass uses).
+            // window the admission pass uses), scanned shard-first from the
+            // request's home shard with cross-shard overflow — a crash must
+            // not turn re-planning back into a whole-cluster scan.
             let horizon = ctx.now + SimDuration::from_secs(10);
+            let home = ctx.cluster.home_shard(rid.0);
             let mut best: Option<(MachineId, SimTime)> = None;
-            for m in ctx.cluster.machines() {
-                if !m.is_up() {
-                    continue;
-                }
-                // Same availability-index prune as the admission pass: a
-                // machine whose cached minimum level cannot host the grant
-                // has no feasible window at all.
-                if !m.ledger.might_fit(np.grant) {
-                    continue;
-                }
-                if let Some(slot) = m.ledger.earliest_fit(floor, horizon, np.budget, np.grant) {
-                    let better = match best {
-                        None => true,
-                        Some((_, t)) => slot < t,
-                    };
-                    if better {
-                        best = Some((m.id, slot));
+            let mut overflowed = false;
+            for shard in ctx.cluster.shard_scan_order(home) {
+                for m in ctx.cluster.shard_machines(shard) {
+                    if !m.is_up() {
+                        continue;
+                    }
+                    // Same availability-index prune as the admission pass: a
+                    // machine whose cached minimum level cannot host the grant
+                    // has no feasible window at all.
+                    if !m.ledger.might_fit(np.grant) {
+                        continue;
+                    }
+                    if let Some(slot) = m.ledger.earliest_fit(floor, horizon, np.budget, np.grant) {
+                        let better = match best {
+                            None => true,
+                            Some((_, t)) => slot < t,
+                        };
+                        if better {
+                            best = Some((m.id, slot));
+                        }
                     }
                 }
+                if best.is_some() {
+                    overflowed = shard != home;
+                    break;
+                }
+            }
+            if overflowed {
+                ctx.metrics.inc(names::SHARD_OVERFLOWS);
             }
             // No live machine fits: leave the node to the engine's naive
             // wait-for-recovery path.

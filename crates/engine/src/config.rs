@@ -2,6 +2,7 @@
 //! run parameters).
 
 use crate::scheme::Scheme;
+use mlp_cluster::ShardPolicy;
 use mlp_faults::FaultConfig;
 use mlp_model::{RequestTypeId, ResourceVector, VolatilityClass};
 use mlp_workload::WorkloadPattern;
@@ -84,6 +85,17 @@ pub struct ExperimentConfig {
     /// [`SimOutput::invariant_report`]: crate::sim::SimOutput
     #[serde(default)]
     pub auditor: bool,
+    /// Number of scheduling shards the cluster is partitioned into.
+    /// `1` (the default) is the unsharded paper setup and is byte-identical
+    /// to pre-shard builds; production-scale runs use `machines / 16`-ish
+    /// so placement and healing scan a shard instead of the fleet. Clamped
+    /// to `[1, machines]` at cluster build time.
+    #[serde(default)]
+    pub shards: usize,
+    /// How machines are assigned to shards (round-robin or
+    /// capacity-balanced). Irrelevant when `shards == 1`.
+    #[serde(default)]
+    pub shard_policy: ShardPolicy,
 }
 
 /// Hand-written (the vendored derive errors on absent fields) so config
@@ -126,6 +138,8 @@ impl Deserialize for ExperimentConfig {
             faults: req(v, "faults")?,
             audit: opt(v, "audit", false)?,
             auditor: opt(v, "auditor", false)?,
+            shards: opt(v, "shards", 1)?,
+            shard_policy: opt(v, "shard_policy", ShardPolicy::RoundRobin)?,
         })
     }
 }
@@ -154,6 +168,8 @@ impl ExperimentConfig {
             faults: FaultConfig::disabled(),
             audit: false,
             auditor: false,
+            shards: 1,
+            shard_policy: ShardPolicy::RoundRobin,
         }
     }
 
@@ -231,9 +247,16 @@ impl ExperimentConfig {
         self
     }
 
+    /// Partitions the cluster into `k` scheduling shards under `policy`.
+    pub fn with_shards(mut self, k: usize, policy: ShardPolicy) -> Self {
+        self.shards = k;
+        self.shard_policy = policy;
+        self
+    }
+
     /// Builds the cluster this config describes.
     pub fn build_cluster(&self) -> mlp_cluster::Cluster {
-        match self.small_tier {
+        let cluster = match self.small_tier {
             None => mlp_cluster::Cluster::homogeneous(self.machines, self.machine_capacity),
             Some((count, scale)) => {
                 let count = count.min(self.machines);
@@ -244,7 +267,8 @@ impl ExperimentConfig {
                     self.machine_capacity * scale,
                 )
             }
-        }
+        };
+        cluster.with_shards(self.shards.max(1), self.shard_policy)
     }
 }
 
@@ -316,15 +340,39 @@ mod tests {
         let old = serde_json::Value::Object(
             entries
                 .into_iter()
-                .filter(|(k, _)| !matches!(k.as_str(), "faults" | "audit" | "auditor"))
+                .filter(|(k, _)| {
+                    !matches!(
+                        k.as_str(),
+                        "faults" | "audit" | "auditor" | "shards" | "shard_policy"
+                    )
+                })
                 .collect(),
         );
         let back: ExperimentConfig = serde_json::from_value(old).unwrap();
         assert!(!back.faults.is_active());
         assert!(!back.audit);
         assert!(!back.auditor);
+        assert_eq!(back.shards, 1, "pre-shard configs load as unsharded");
+        assert_eq!(back.shard_policy, ShardPolicy::RoundRobin);
         assert_eq!(back.machines, c.machines);
         assert_eq!(back.seed, c.seed);
+    }
+
+    #[test]
+    fn sharded_config_roundtrips_and_builds_partitioned_cluster() {
+        let c = ExperimentConfig::smoke(Scheme::VMlp).with_shards(4, ShardPolicy::CapacityBalanced);
+        let js = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+        let cluster = c.build_cluster();
+        assert_eq!(cluster.shard_count(), 4);
+        assert!(cluster.shards().check_partition(cluster.machines()).is_ok());
+        // Defaults build a single shard, and shards is clamped to machines.
+        assert_eq!(ExperimentConfig::smoke(Scheme::VMlp).build_cluster().shard_count(), 1);
+        let over = ExperimentConfig::smoke(Scheme::VMlp)
+            .with_shards(1000, ShardPolicy::RoundRobin)
+            .build_cluster();
+        assert_eq!(over.shard_count(), 8, "clamped to the machine count");
     }
 
     #[test]

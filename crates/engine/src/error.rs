@@ -1,0 +1,125 @@
+//! Typed errors for the experiment-facing API.
+//!
+//! Config and trace loading used to surface failures as panics or bare
+//! `io::Error` strings; the [`Experiment`](crate::experiment::Experiment)
+//! builder returns this enum instead so embedders can match on what went
+//! wrong and the `vmlp` binary can map failures to distinct exit codes.
+//! Hand-rolled (`thiserror`-style) to stay dependency-light.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong between "here is a config" and "the
+/// simulation ran".
+#[derive(Debug)]
+pub enum Error {
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A config or trace file held malformed or structurally wrong JSON.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// What the parser rejected (field path + reason).
+        detail: String,
+    },
+    /// A persisted artifact was written under an incompatible schema
+    /// version.
+    UnsupportedVersion {
+        /// The file involved.
+        path: PathBuf,
+        /// The version the file declares.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+    /// The configuration cannot describe a runnable experiment (zero
+    /// machines, non-positive rate, out-of-range mix ratio, …).
+    InvalidConfig(String),
+}
+
+impl Error {
+    /// Convenience constructor tying an `io::Error` to the file involved.
+    pub fn io(path: &Path, source: io::Error) -> Self {
+        Error::Io { path: path.to_path_buf(), source }
+    }
+
+    /// Convenience constructor for parse failures.
+    pub fn parse(path: &Path, detail: impl fmt::Display) -> Self {
+        Error::Parse { path: path.to_path_buf(), detail: detail.to_string() }
+    }
+
+    /// Process exit code for CLI reporting, sysexits-flavoured: distinct
+    /// codes let scripts tell "fix your config" from "fix your filesystem".
+    /// 1 stays reserved for runtime failures, 2 for usage errors.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::InvalidConfig(_) => 2,
+            Error::Parse { .. } | Error::UnsupportedVersion { .. } => 3,
+            Error::Io { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Error::Parse { path, detail } => {
+                write!(f, "{}: invalid contents: {detail}", path.display())
+            }
+            Error::UnsupportedVersion { path, found, expected } => write!(
+                f,
+                "{}: unsupported format version {found} (this build reads version {expected})",
+                path.display()
+            ),
+            Error::InvalidConfig(why) => write!(f, "invalid experiment config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_cause() {
+        let e = Error::io(Path::new("/tmp/x.json"), io::Error::from(io::ErrorKind::NotFound));
+        assert!(e.to_string().contains("/tmp/x.json"));
+        let e = Error::parse(Path::new("cfg.json"), "ExperimentConfig.machines: absent");
+        assert!(e.to_string().contains("machines"));
+        let e = Error::UnsupportedVersion { path: PathBuf::from("t.json"), found: 9, expected: 2 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let io_err = Error::io(Path::new("x"), io::Error::from(io::ErrorKind::NotFound));
+        let parse = Error::parse(Path::new("x"), "bad");
+        let cfg = Error::InvalidConfig("machines = 0".into());
+        let codes = [cfg.exit_code(), parse.exit_code(), io_err.exit_code()];
+        assert_eq!(codes, [2, 3, 4]);
+    }
+
+    #[test]
+    fn io_variant_exposes_source() {
+        use std::error::Error as _;
+        let e = Error::io(Path::new("x"), io::Error::from(io::ErrorKind::PermissionDenied));
+        assert!(e.source().is_some());
+        assert!(Error::InvalidConfig("x".into()).source().is_none());
+    }
+}

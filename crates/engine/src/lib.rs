@@ -11,6 +11,8 @@
 //! scoped threads with deterministically forked seeds).
 
 pub mod config;
+pub mod error;
+pub mod experiment;
 pub mod parallel;
 pub mod profiling;
 pub mod report;
@@ -21,5 +23,10 @@ pub mod sim;
 pub mod traceio;
 
 pub use config::ExperimentConfig;
-pub use runner::{run_experiment, ExperimentResult};
+pub use error::Error;
+pub use experiment::Experiment;
+pub use runner::ExperimentResult;
 pub use scheme::Scheme;
+
+#[allow(deprecated)]
+pub use runner::run_experiment;

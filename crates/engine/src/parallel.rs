@@ -6,7 +6,8 @@
 //! worker pool keeps memory proportional to core count.
 
 use crate::config::ExperimentConfig;
-use crate::runner::{run_experiment_with_catalog, ExperimentResult};
+use crate::experiment::Experiment;
+use crate::runner::ExperimentResult;
 use mlp_model::RequestCatalog;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -37,7 +38,10 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
                 if i >= configs.len() {
                     break;
                 }
-                let result = run_experiment_with_catalog(&configs[i], catalog);
+                let result = Experiment::from_config(configs[i])
+                    .catalog(catalog)
+                    .run()
+                    .expect("sweep configs are valid");
                 tx.send((i, result)).expect("collector outlives the scope");
             });
         }
@@ -73,7 +77,8 @@ mod tests {
             .map(|s| ExperimentConfig::smoke(s).with_seed(5))
             .collect();
         let par = run_all(&configs, 2);
-        let seq: Vec<_> = configs.iter().map(crate::runner::run_experiment).collect();
+        let seq: Vec<_> =
+            configs.iter().map(|c| Experiment::from_config(*c).run().unwrap()).collect();
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.completed, s.completed);
             assert_eq!(p.latency_ms, s.latency_ms);

@@ -1,13 +1,12 @@
 //! One-call experiment runner: config in, figure-ready metrics out.
 
 use crate::config::ExperimentConfig;
-use crate::profiling::warm_profiles;
-use crate::sim::{simulate, SimOutput};
+use crate::experiment::Experiment;
+use crate::sim::SimOutput;
 use mlp_model::{RequestCatalog, VolatilityClass};
-use mlp_sim::{SimRng, SimTime};
+use mlp_sim::SimTime;
 use mlp_stats::TimeSeries;
 use mlp_trace::metrics::names;
-use mlp_workload::generate_stream;
 use serde::{Deserialize, Serialize};
 
 /// Figure-ready metrics of one run.
@@ -73,6 +72,10 @@ pub struct ExperimentResult {
     /// is clean).
     #[serde(default)]
     pub invariant_violations: u64,
+    /// Placements that spilled out of their home shard (always 0 when the
+    /// cluster runs unsharded).
+    #[serde(default)]
+    pub shard_overflows: u64,
 }
 
 impl ExperimentResult {
@@ -95,50 +98,37 @@ fn class_idx(c: VolatilityClass) -> usize {
     }
 }
 
-/// Runs one experiment end to end:
-/// profiling warm-up → arrival generation → simulation → metric extraction.
+/// Runs one experiment end to end. Superseded by the [`Experiment`]
+/// builder, which validates the config instead of panicking on bad input.
 ///
-/// Fully deterministic in `config.seed`; the arrival stream depends only on
-/// `(seed, pattern, rate, mix)`, so different schemes with the same seed
-/// face the identical offered load.
+/// [`Experiment`]: crate::experiment::Experiment
+#[deprecated(note = "use Experiment::from_config(cfg).run()")]
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
-    let catalog = RequestCatalog::paper();
-    run_experiment_with_catalog(config, &catalog)
+    Experiment::from_config(*config).run().expect("invalid experiment config")
 }
 
-/// [`run_experiment`] against a caller-supplied catalog (kept separate so
-/// sweeps can share one catalog).
+/// [`run_experiment`] against a caller-supplied catalog. Superseded by
+/// `Experiment::from_config(cfg).catalog(&catalog).run()`.
+#[deprecated(note = "use Experiment::from_config(cfg).catalog(&catalog).run()")]
 pub fn run_experiment_with_catalog(
     config: &ExperimentConfig,
     catalog: &RequestCatalog,
 ) -> ExperimentResult {
-    run_experiment_full(config, catalog).0
+    Experiment::from_config(*config).catalog(catalog).run().expect("invalid experiment config")
 }
 
-/// Like [`run_experiment_with_catalog`] but also returns the raw
-/// simulation output (span collector, enriched profiles, utilization
-/// series) for trace export and deep-dive analysis.
+/// Like [`run_experiment_with_catalog`] but also returning the raw
+/// simulation output. Superseded by
+/// `Experiment::from_config(cfg).catalog(&catalog).run_full()`.
+#[deprecated(note = "use Experiment::from_config(cfg).catalog(&catalog).run_full()")]
 pub fn run_experiment_full(
     config: &ExperimentConfig,
     catalog: &RequestCatalog,
 ) -> (ExperimentResult, SimOutput) {
-    let root = SimRng::new(config.seed);
-    let mut arrival_rng = root.fork(0);
-    let mut sim_rng = root.fork(1);
-    let mut warm_rng = root.fork(2);
-
-    let profiles = warm_profiles(catalog, config.warmup_cases, &mut warm_rng);
-    let mix = config.mix.resolve(catalog);
-    let arrivals =
-        generate_stream(config.pattern, config.max_rate, config.horizon_s, &mix, &mut arrival_rng);
-
-    let mut scheduler = config.scheme.build();
-    let out = simulate(config, catalog, profiles, &arrivals, scheduler.as_mut(), &mut sim_rng);
-    let result = summarize(config, catalog, &out);
-    (result, out)
+    Experiment::from_config(*config).catalog(catalog).run_full().expect("invalid experiment config")
 }
 
-fn summarize(
+pub(crate) fn summarize(
     config: &ExperimentConfig,
     catalog: &RequestCatalog,
     out: &SimOutput,
@@ -208,6 +198,7 @@ fn summarize(
         mttr_ms: out.metrics.gauge(names::MTTR_MS).unwrap_or(0.0),
         mean_breakdown: out.collector.mean_breakdown(),
         invariant_violations: out.metrics.counter(names::INVARIANT_VIOLATIONS),
+        shard_overflows: out.metrics.counter(names::SHARD_OVERFLOWS),
     }
 }
 
@@ -220,7 +211,7 @@ mod tests {
     #[test]
     fn smoke_experiment_produces_sane_metrics() {
         let cfg = ExperimentConfig::smoke(Scheme::VMlp);
-        let r = run_experiment(&cfg);
+        let r = Experiment::from_config(cfg).run().unwrap();
         assert!(r.arrived > 0);
         assert!(r.completed > 0);
         assert!(r.completed_in_horizon <= r.completed);
@@ -234,8 +225,8 @@ mod tests {
     #[test]
     fn identical_seeds_identical_results() {
         let cfg = ExperimentConfig::smoke(Scheme::PartProfile).with_seed(99);
-        let a = run_experiment(&cfg);
-        let b = run_experiment(&cfg);
+        let a = Experiment::from_config(cfg).run().unwrap();
+        let b = Experiment::from_config(cfg).run().unwrap();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency_ms, b.latency_ms);
         assert_eq!(a.violation_rate, b.violation_rate);
@@ -245,7 +236,8 @@ mod tests {
     fn attribution_sums_to_latency_and_auditor_is_clean() {
         // smoke() runs the invariant auditor; attribution is always on.
         let cfg = ExperimentConfig::smoke(Scheme::VMlp);
-        let (r, out) = run_experiment_full(&cfg, &RequestCatalog::paper());
+        let catalog = RequestCatalog::paper();
+        let (r, out) = Experiment::from_config(cfg).catalog(&catalog).run_full().unwrap();
         assert_eq!(r.invariant_violations, 0, "report: {:?}", out.invariant_report);
         assert!(out.invariant_report.is_none());
         let mut checked = 0usize;
@@ -269,7 +261,7 @@ mod tests {
     fn single_class_mix_only_populates_that_class() {
         let cfg = ExperimentConfig::smoke(Scheme::CurSched)
             .with_mix(MixSpec::SingleClass(VolatilityClass::High));
-        let r = run_experiment(&cfg);
+        let r = Experiment::from_config(cfg).run().unwrap();
         assert!(r.p99_by_class[2] > 0.0, "high class must have latencies");
         assert_eq!(r.p99_by_class[0], 0.0, "no low-class requests expected");
         assert_eq!(r.p99_by_class[1], 0.0, "no mid-class requests expected");

@@ -11,7 +11,8 @@
 //! without self-healing.
 
 use crate::config::{ExperimentConfig, MixSpec};
-use crate::runner::{run_experiment, ExperimentResult};
+use crate::experiment::Experiment;
+use crate::runner::ExperimentResult;
 use crate::scheme::Scheme;
 use mlp_model::VolatilityClass;
 use mlp_workload::WorkloadPattern;
@@ -49,7 +50,8 @@ pub fn run_challenge(scheme: Scheme, seed: u64) -> ChallengeOutcome {
         ..ExperimentConfig::paper_default(scheme)
     }
     .with_seed(seed);
-    let r: ExperimentResult = run_experiment(&cfg);
+    let r: ExperimentResult =
+        Experiment::from_config(cfg).run().expect("challenge config is valid");
     ChallengeOutcome {
         scheme: scheme.label().to_string(),
         late_fraction: r.late_fraction,

@@ -369,6 +369,26 @@ impl<'c> Sim<'c> {
                         .max(largest as f64);
                     self.metrics.set_gauge(names::LEDGER_TIMELINE_MAX, max_seen);
                     self.metrics.set_gauge(names::LEDGER_TIMELINE_TOTAL, total as f64);
+                    // Per-shard gauges, only when actually sharded: scale
+                    // runs watch whether load (and retained timeline) stays
+                    // balanced across shards or piles up in a few.
+                    if self.cluster.shard_count() > 1 {
+                        for s in 0..self.cluster.shard_count() as u32 {
+                            let shard = mlp_cluster::ShardId(s);
+                            let util = self.cluster.shard_utilization(shard);
+                            self.metrics.set_gauge(&names::shard_utilization(s), util);
+                            let peak_name = names::shard_utilization_peak(s);
+                            let peak = self.metrics.gauge(&peak_name).unwrap_or(0.0).max(util);
+                            self.metrics.set_gauge(&peak_name, peak);
+                            let timeline: usize = self
+                                .cluster
+                                .shard_machines(shard)
+                                .map(|m| m.ledger.timeline_len())
+                                .sum();
+                            self.metrics
+                                .set_gauge(&names::shard_ledger_timeline(s), timeline as f64);
+                        }
+                    }
                     if self.auditor {
                         self.audit_tick(now);
                     }
@@ -1169,6 +1189,15 @@ impl<'c> Sim<'c> {
             if let Err(e) = m.ledger.check_consistency() {
                 violations.push(format!("machine {:?} ledger: {e}", m.id));
             }
+        }
+        // Shard-partition consistency: the shard map must remain a strict
+        // partition of the cluster (every machine in exactly one shard,
+        // member lists ascending and duplicate-free, per-shard capacity
+        // aggregates equal to the member sums). The map is immutable after
+        // cluster construction, so any drift here means memory corruption
+        // or a cluster/map mix-up — exactly what an auditor is for.
+        if let Err(e) = self.cluster.shards().check_partition(self.cluster.machines()) {
+            violations.push(format!("shard partition: {e}"));
         }
         self.report_violations(now, &violations);
     }

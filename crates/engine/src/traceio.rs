@@ -6,13 +6,16 @@
 //! profile stores (the `s_i` histories) and experiment results — as JSON,
 //! so sweeps can be profiled once and re-simulated many times, and
 //! experiment outputs can be archived and diffed across code versions.
+//!
+//! All functions return the typed [`Error`] so callers can distinguish a
+//! missing file from corrupt contents from a version skew.
 
 use crate::config::ExperimentConfig;
+use crate::error::Error;
 use crate::runner::ExperimentResult;
 use mlp_trace::ProfileStore;
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::io;
 use std::path::Path;
 
 /// Schema version embedded in every artifact; bumped on breaking change.
@@ -51,53 +54,52 @@ pub fn save_profiles(
     profiles: &ProfileStore,
     seed: u64,
     cases_per_type: usize,
-) -> io::Result<()> {
+) -> Result<(), Error> {
     let trace = ProfileTrace {
         version: TRACE_FORMAT_VERSION,
         seed,
         cases_per_type,
         profiles: profiles.clone(),
     };
-    let json = serde_json::to_string_pretty(&trace).map_err(io::Error::other)?;
-    fs::write(path, json)
+    let json = serde_json::to_string_pretty(&trace).map_err(|e| Error::parse(path, e))?;
+    fs::write(path, json).map_err(|e| Error::io(path, e))
 }
 
 /// Loads a profile store, rejecting unknown format versions.
-pub fn load_profiles(path: &Path) -> io::Result<ProfileTrace> {
-    let json = fs::read_to_string(path)?;
-    let trace: ProfileTrace = serde_json::from_str(&json).map_err(io::Error::other)?;
+pub fn load_profiles(path: &Path) -> Result<ProfileTrace, Error> {
+    let json = fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let trace: ProfileTrace = serde_json::from_str(&json).map_err(|e| Error::parse(path, e))?;
     if trace.version != TRACE_FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "unsupported trace version {} (expected {TRACE_FORMAT_VERSION})",
-                trace.version
-            ),
-        ));
+        return Err(Error::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: trace.version,
+            expected: TRACE_FORMAT_VERSION,
+        });
     }
     Ok(trace)
 }
 
 /// Saves an experiment result.
-pub fn save_experiment(path: &Path, result: &ExperimentResult) -> io::Result<()> {
+pub fn save_experiment(path: &Path, result: &ExperimentResult) -> Result<(), Error> {
     let trace = ExperimentTrace {
         version: TRACE_FORMAT_VERSION,
         config: result.config,
         result: result.clone(),
     };
-    let json = serde_json::to_string_pretty(&trace).map_err(io::Error::other)?;
-    fs::write(path, json)
+    let json = serde_json::to_string_pretty(&trace).map_err(|e| Error::parse(path, e))?;
+    fs::write(path, json).map_err(|e| Error::io(path, e))
 }
 
 /// Loads an experiment result.
-pub fn load_experiment(path: &Path) -> io::Result<ExperimentTrace> {
-    let json = fs::read_to_string(path)?;
-    let trace: ExperimentTrace = serde_json::from_str(&json).map_err(io::Error::other)?;
+pub fn load_experiment(path: &Path) -> Result<ExperimentTrace, Error> {
+    let json = fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let trace: ExperimentTrace = serde_json::from_str(&json).map_err(|e| Error::parse(path, e))?;
     if trace.version != TRACE_FORMAT_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {}", trace.version),
-        ));
+        return Err(Error::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: trace.version,
+            expected: TRACE_FORMAT_VERSION,
+        });
     }
     Ok(trace)
 }
@@ -105,8 +107,8 @@ pub fn load_experiment(path: &Path) -> io::Result<ExperimentTrace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::Experiment;
     use crate::profiling::warm_profiles;
-    use crate::runner::run_experiment;
     use crate::scheme::Scheme;
     use mlp_model::{benchmarks::sn, RequestCatalog};
     use mlp_sim::SimRng;
@@ -141,7 +143,7 @@ mod tests {
     #[test]
     fn experiment_roundtrip() {
         let cfg = ExperimentConfig::smoke(Scheme::FairSched).with_seed(8);
-        let result = run_experiment(&cfg);
+        let result = Experiment::from_config(cfg).run().unwrap();
         let path = tmp("experiment.json");
         save_experiment(&path, &result).unwrap();
         let loaded = load_experiment(&path).unwrap();
@@ -162,14 +164,25 @@ mod tests {
         .unwrap();
         let err = load_profiles(&path).unwrap_err();
         fs::remove_file(&path).ok();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let Error::UnsupportedVersion { found, expected, .. } = err else {
+            panic!("expected UnsupportedVersion, got {err:?}")
+        };
+        assert_eq!(found, 99);
+        assert_eq!(expected, TRACE_FORMAT_VERSION);
     }
 
     #[test]
-    fn corrupt_json_is_an_error() {
+    fn corrupt_json_is_a_parse_error() {
         let path = tmp("corrupt.json");
         fs::write(&path, "{ not json").unwrap();
-        assert!(load_profiles(&path).is_err());
+        let err = load_profiles(&path).unwrap_err();
         fs::remove_file(&path).ok();
+        assert!(matches!(err, Error::Parse { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_experiment(Path::new("/nonexistent/vmlp/run.json")).unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "got {err:?}");
     }
 }

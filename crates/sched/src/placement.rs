@@ -101,39 +101,58 @@ pub fn plan_request(
             }
             MachinePolicy::LeastLoaded => ctx.cluster.least_loaded().map(|m| (m, ready)),
             MachinePolicy::LedgerEarliestFit => {
-                // Earliest start wins; among machines that can start at the
-                // same instant, prefer the one with the most planned
-                // headroom in the window (worst-fit). Spreading keeps slack
-                // for execution-time and communication slips — packing
-                // tightly onto one machine would turn every slip into the
-                // Fig 5 contention.
+                // Shard-first scan: only the request's home shard is
+                // searched, unless it has no feasible window at all, in
+                // which case the scan overflows to the other shards in
+                // rotation order (cross-shard work stealing). With one
+                // shard (the default) this is exactly a whole-cluster scan.
+                //
+                // Within a shard, earliest start wins; among machines that
+                // can start at the same instant, prefer the one with the
+                // most planned headroom in the window (worst-fit).
+                // Spreading keeps slack for execution-time and
+                // communication slips — packing tightly onto one machine
+                // would turn every slip into the Fig 5 contention.
+                let home = ctx.cluster.home_shard(req.id.0);
                 let mut best: Option<(MachineId, SimTime, f64)> = None;
-                for m in ctx.cluster.machines() {
-                    if !m.is_up() {
-                        continue; // crashed machines take no new plans
-                    }
-                    // Availability index: the ledger caches the lowest usage
-                    // level of its retained future (invalidated only on
-                    // writes and crash-clears). If even that level cannot
-                    // host the grant, no window can — skip the machine
-                    // without walking its timeline. `might_fit` is
-                    // conservative, so this cannot change which machine wins.
-                    if !m.ledger.might_fit(grant) {
-                        continue;
-                    }
-                    if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant) {
-                        let headroom = m
-                            .ledger
-                            .available(slot, slot + budget)
-                            .utilization_against(&m.capacity);
-                        let better = match best {
-                            None => true,
-                            Some((_, t, h)) => slot < t || (slot == t && headroom > h),
-                        };
-                        if better {
-                            best = Some((m.id, slot, headroom));
+                let mut overflowed = false;
+                for shard in ctx.cluster.shard_scan_order(home) {
+                    for m in ctx.cluster.shard_machines(shard) {
+                        if !m.is_up() {
+                            continue; // crashed machines take no new plans
+                        }
+                        // Availability index: the ledger caches the lowest
+                        // usage level of its retained future (invalidated
+                        // only on writes and crash-clears). If even that
+                        // level cannot host the grant, no window can — skip
+                        // the machine without walking its timeline.
+                        // `might_fit` is conservative, so this cannot
+                        // change which machine wins.
+                        if !m.ledger.might_fit(grant) {
+                            continue;
+                        }
+                        if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant)
+                        {
+                            let headroom = m
+                                .ledger
+                                .available(slot, slot + budget)
+                                .utilization_against(&m.capacity);
+                            let better = match best {
+                                None => true,
+                                Some((_, t, h)) => slot < t || (slot == t && headroom > h),
+                            };
+                            if better {
+                                best = Some((m.id, slot, headroom));
+                            }
                         }
                     }
+                    if best.is_some() {
+                        overflowed = shard != home;
+                        break; // first shard with a window wins — no wider scan
+                    }
+                }
+                if overflowed {
+                    ctx.metrics.inc(mlp_trace::metrics::names::SHARD_OVERFLOWS);
                 }
                 best.map(|(m, t, _)| (m, t))
             }
@@ -352,6 +371,60 @@ mod tests {
             let after = m.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
             assert_eq!(after, before, "machine {:?} ledger not rolled back", m.id);
         }
+    }
+
+    #[test]
+    fn placement_stays_in_home_shard_when_it_fits() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        cluster = cluster.with_shards(2, mlp_cluster::ShardPolicy::RoundRobin);
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 10,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "read-user-timeline"); // RequestId(1) → home shard 1
+        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        for np in &plan.nodes {
+            assert_eq!(ctx.cluster.shard_of(np.machine), mlp_cluster::ShardId(1));
+        }
+        assert_eq!(met.counter(mlp_trace::metrics::names::SHARD_OVERFLOWS), 0);
+    }
+
+    #[test]
+    fn saturated_home_shard_overflows_to_neighbor() {
+        let (mut cluster, cat, net, prof, met) = harness();
+        cluster = cluster.with_shards(2, mlp_cluster::ShardPolicy::RoundRobin);
+        // Fill every ledger in shard 1 (odd machine ids) for a long time.
+        for m in cluster.machines_mut() {
+            if m.id.0 % 2 == 1 {
+                m.ledger.reserve(
+                    SimTime::ZERO,
+                    SimTime::from_secs(60),
+                    ResourceVector::new(6.0, 32_000.0, 1_000.0),
+                );
+            }
+        }
+        let mut ctx = ctx!(cluster, cat, net, prof, met);
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 10,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let mut cursor = 0;
+        let r = req(&cat, "read-user-timeline"); // home shard 1 is saturated
+        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        for np in &plan.nodes {
+            assert_eq!(
+                ctx.cluster.shard_of(np.machine),
+                mlp_cluster::ShardId(0),
+                "work must be stolen by the overflow shard"
+            );
+        }
+        assert!(met.counter(mlp_trace::metrics::names::SHARD_OVERFLOWS) > 0);
     }
 
     #[test]

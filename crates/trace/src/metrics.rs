@@ -114,10 +114,32 @@ pub mod names {
     /// Gauge: total retained ledger breakpoints across the cluster at the
     /// latest sampling tick.
     pub const LEDGER_TIMELINE_TOTAL: &str = "ledger_timeline_total";
+    /// Placements that spilled out of the request's home shard because no
+    /// member machine had a feasible window (cross-shard work stealing).
+    /// Always 0 with one shard.
+    pub const SHARD_OVERFLOWS: &str = "shard_overflows";
 
     /// Gauge name for one machine's retained ledger timeline length.
     pub fn ledger_timeline(machine: u32) -> String {
         format!("ledger_timeline_m{machine}")
+    }
+
+    /// Gauge name for one shard's mean instantaneous utilization.
+    pub fn shard_utilization(shard: u32) -> String {
+        format!("shard_utilization_s{shard}")
+    }
+
+    /// Gauge name for one shard's peak sampled utilization — a high-water
+    /// mark across ticks, so it survives the end-of-run drain (the last
+    /// instantaneous sample is always ≈0).
+    pub fn shard_utilization_peak(shard: u32) -> String {
+        format!("shard_utilization_peak_s{shard}")
+    }
+
+    /// Gauge name for one shard's retained ledger breakpoints (sum over
+    /// its member machines).
+    pub fn shard_ledger_timeline(shard: u32) -> String {
+        format!("shard_ledger_timeline_s{shard}")
     }
 }
 

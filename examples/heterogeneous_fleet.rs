@@ -9,7 +9,6 @@
 //! cargo run --release --example heterogeneous_fleet
 //! ```
 
-use v_mlp::engine::config::ExperimentConfig;
 use v_mlp::prelude::*;
 
 fn run(scheme: Scheme, two_tier: bool) -> ExperimentResult {
@@ -28,7 +27,7 @@ fn run(scheme: Scheme, two_tier: bool) -> ExperimentResult {
     } else {
         cfg.machines = 9;
     }
-    run_experiment(&cfg)
+    Experiment::from_config(cfg).run().expect("config is valid")
 }
 
 fn main() {

@@ -18,7 +18,7 @@ fn main() {
     };
 
     println!("running v-MLP on {} machines at {} req/s peak…", config.machines, config.max_rate);
-    let result: ExperimentResult = run_experiment(&config);
+    let result: ExperimentResult = Experiment::from_config(config).run().expect("config is valid");
 
     println!("arrived:              {}", result.arrived);
     println!("completed:            {}", result.completed);

@@ -5,7 +5,6 @@
 //! cargo run --release --example scheduler_comparison [l1|l2|l3]
 //! ```
 
-use v_mlp::engine::report;
 use v_mlp::prelude::*;
 
 fn main() {
@@ -26,7 +25,7 @@ fn main() {
                 pattern,
                 ..ExperimentConfig::paper_default(scheme)
             };
-            let r = run_experiment(&config);
+            let r = Experiment::from_config(config).run().expect("config is valid");
             vec![
                 scheme.label().to_string(),
                 report::f(r.latency_ms[0]),

@@ -11,8 +11,6 @@
 //! cargo run --release --example social_network
 //! ```
 
-use mlp_engine::config::MixSpec;
-use v_mlp::model::VolatilityClass;
 use v_mlp::prelude::*;
 
 fn run(scheme: Scheme, high_ratio: f64) -> ExperimentResult {
@@ -25,7 +23,7 @@ fn run(scheme: Scheme, high_ratio: f64) -> ExperimentResult {
         mix: MixSpec::HighRatio(high_ratio),
         ..ExperimentConfig::paper_default(scheme)
     };
-    run_experiment(&config)
+    Experiment::from_config(config).run().expect("config is valid")
 }
 
 fn main() {

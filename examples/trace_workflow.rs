@@ -6,16 +6,12 @@
 //! ```
 
 use std::path::PathBuf;
-use v_mlp::engine::config::ExperimentConfig;
 use v_mlp::engine::profiling::warm_profiles;
-use v_mlp::engine::runner::run_experiment_full;
-use v_mlp::engine::traceio;
-use v_mlp::model::RequestCatalog;
 use v_mlp::prelude::*;
 use v_mlp::sim::SimRng;
 use v_mlp::trace::zipkin;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("vmlp-workflow-{}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     let catalog = RequestCatalog::paper();
@@ -43,7 +39,7 @@ fn main() -> std::io::Result<()> {
         pattern: WorkloadPattern::L2Fluctuating,
         ..ExperimentConfig::paper_default(Scheme::VMlp)
     };
-    let (result, raw) = run_experiment_full(&cfg, &catalog);
+    let (result, raw) = Experiment::from_config(cfg).catalog(&catalog).run_full()?;
     println!(
         "simulated {} requests: p99 {:.1} ms, violations {:.2}%",
         result.completed,

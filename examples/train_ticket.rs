@@ -10,8 +10,6 @@
 //! cargo run --release --example train_ticket
 //! ```
 
-use mlp_engine::config::MixSpec;
-use v_mlp::model::VolatilityClass;
 use v_mlp::prelude::*;
 
 fn main() {
@@ -44,7 +42,7 @@ fn main() {
                 mix: MixSpec::SingleClass(class),
                 ..ExperimentConfig::paper_default(scheme)
             };
-            let r = run_experiment(&config);
+            let r = Experiment::from_config(config).run().expect("config is valid");
             let (slots, stretches, _) = r.healing;
             println!(
                 "{:12}  p50 {:6.1} ms  p99 {:7.1} ms  violations {:5.2}%  healing {}+{}",

@@ -10,12 +10,8 @@
 //! vmlp --help
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use v_mlp::engine::config::{ExperimentConfig, MixSpec};
-use v_mlp::engine::runner::run_experiment_full;
-use v_mlp::engine::traceio;
-use v_mlp::model::{RequestCatalog, VolatilityClass};
 use v_mlp::prelude::*;
 
 const HELP: &str = "\
@@ -33,11 +29,18 @@ FLAGS:
     --horizon=S       run length, seconds     (default 60)
     --seed=N          RNG seed                (default 2022)
     --small-tier=N:S  heterogeneous fleet: N machines at scale S (e.g. 5:0.5)
+    --shards=K        partition the cluster into K scheduling shards (default 1)
+    --shard-policy=P  rr | capacity   (shard assignment, default rr)
     --config=FILE     load a JSON ExperimentConfig instead of flags
     --out=FILE        save the result as JSON (traceio format)
     --audit=FILE      record the decision-audit trail as JSONL and run the
                       invariant auditor (never changes simulation results)
     --help            this text
+
+EXIT CODES:
+    0  success        2  usage / invalid config
+    3  malformed or version-skewed file
+    4  file I/O failure
 ";
 
 fn parse_scheme(s: &str) -> Option<Scheme> {
@@ -74,6 +77,8 @@ fn parse_mix(s: &str) -> Option<MixSpec> {
     })
 }
 
+const USAGE_EXIT: u8 = 2;
+
 fn main() -> ExitCode {
     let mut config = ExperimentConfig {
         machines: 20,
@@ -87,7 +92,7 @@ fn main() -> ExitCode {
     for arg in std::env::args().skip(1) {
         let bad = |msg: &str| {
             eprintln!("error: {msg}\n\n{HELP}");
-            ExitCode::FAILURE
+            ExitCode::from(USAGE_EXIT)
         };
         if arg == "--help" || arg == "-h" {
             print!("{HELP}");
@@ -134,12 +139,21 @@ fn main() -> ExitCode {
                     None => return bad("small-tier must be N:SCALE, e.g. 5:0.5"),
                 }
             }
-            "--config" => match std::fs::read_to_string(value)
-                .map_err(|e| e.to_string())
-                .and_then(|j| serde_json::from_str(&j).map_err(|e| e.to_string()))
-            {
-                Ok(c) => config = c,
-                Err(e) => return bad(&format!("cannot load config: {e}")),
+            "--shards" => match value.parse() {
+                Ok(k) => config.shards = k,
+                Err(_) => return bad("shards must be an integer"),
+            },
+            "--shard-policy" => match value.to_ascii_lowercase().as_str() {
+                "rr" | "round-robin" => config.shard_policy = ShardPolicy::RoundRobin,
+                "capacity" | "balanced" => config.shard_policy = ShardPolicy::CapacityBalanced,
+                _ => return bad(&format!("unknown shard policy '{value}'")),
+            },
+            "--config" => match Experiment::from_config_file(Path::new(value)) {
+                Ok(e) => config = *e.config(),
+                Err(e) => {
+                    eprintln!("error: cannot load config: {e}");
+                    return ExitCode::from(e.exit_code());
+                }
             },
             "--out" => out = Some(PathBuf::from(value)),
             "--audit" => audit_out = Some(PathBuf::from(value)),
@@ -148,9 +162,11 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "running {} on {} machines, {} @ {} req/s peak, {}s …",
+        "running {} on {} machines ({} shard{}), {} @ {} req/s peak, {}s …",
         config.scheme.label(),
         config.machines,
+        config.shards.max(1),
+        if config.shards.max(1) == 1 { "" } else { "s" },
         config.pattern.label(),
         config.max_rate,
         config.horizon_s
@@ -158,7 +174,14 @@ fn main() -> ExitCode {
     if audit_out.is_some() {
         config = config.with_audit(true).with_auditor(true);
     }
-    let (result, sim) = run_experiment_full(&config, &RequestCatalog::paper());
+    let catalog = RequestCatalog::paper();
+    let (result, sim) = match Experiment::from_config(config).catalog(&catalog).run_full() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
 
     println!("arrived / completed:   {} / {}", result.arrived, result.completed);
     println!("throughput:            {:.1} req/s", result.throughput());
@@ -176,6 +199,9 @@ fn main() -> ExitCode {
     println!("mean utilization:      {:.1}%", result.mean_utilization * 100.0);
     let (a, b, c) = result.healing;
     println!("healing (slot/stretch/switch): {a}/{b}/{c}");
+    if config.shards.max(1) > 1 {
+        println!("shard overflows:       {}", result.shard_overflows);
+    }
     if let Some(bd) = result.mean_breakdown {
         println!(
             "critical path (mean ms): queue {:.2} + place {:.2} + comm {:.2} + exec {:.2} + cap {:.2} = {:.2} (healed {:.2})",
@@ -203,7 +229,7 @@ fn main() -> ExitCode {
     if let Some(path) = out {
         if let Err(e) = traceio::save_experiment(&path, &result) {
             eprintln!("error: cannot save result: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(e.exit_code());
         }
         eprintln!("saved result to {}", path.display());
     }

@@ -1,19 +1,32 @@
 //! # v-MLP — volatility-aware Microservice Level Parallelism
 //!
 //! Facade crate for the reproduction of Wang et al., *"Exploring Efficient
-//! Microservice Level Parallelism"* (IEEE IPDPS 2022). It re-exports every
-//! workspace crate under one roof so examples, integration tests, and
-//! downstream users have a single dependency:
+//! Microservice Level Parallelism"* (IEEE IPDPS 2022).
+//!
+//! The **stable public surface is [`prelude`]**: experiment configuration,
+//! the [`Experiment`](prelude::Experiment) builder, results, schemes, the
+//! scheduler trait and its implementations, cluster sharding, and fault
+//! injection. Examples, integration tests, and downstream users should
+//! import from it rather than reaching into the `mlp_*` workspace crates:
 //!
 //! ```
 //! use v_mlp::prelude::*;
+//!
+//! let result = Experiment::from_config(ExperimentConfig::smoke(Scheme::VMlp))
+//!     .run()
+//!     .expect("smoke config is valid");
+//! assert!(result.completed > 0);
 //!
 //! // Volatility of a request is the paper's V_r metric.
 //! let v = Volatility::new(2.0 / 3.0);
 //! assert_eq!(v.band(), VolatilityBand::Medium);
 //! ```
 //!
-//! See the individual crates for details:
+//! The full workspace crates remain re-exported as modules (`v_mlp::engine`,
+//! `v_mlp::cluster`, …) for research code that needs internals — that
+//! surface is *advanced and unstable*; anything load-bearing should be
+//! promoted into the prelude instead. See the individual crates for
+//! details:
 //! - [`mlp_stats`] — statistics substrate (CDFs, histograms, distributions)
 //! - [`mlp_sim`] — discrete-event simulation kernel
 //! - [`mlp_model`] — microservice DAG & benchmark models
@@ -38,15 +51,32 @@ pub use mlp_stats as stats;
 pub use mlp_trace as trace;
 pub use mlp_workload as workload;
 
-/// Commonly used items, re-exported for examples and quick starts.
+/// The curated stable surface: everything a typical embedder needs to
+/// configure, run, and inspect experiments, without deep-importing
+/// `mlp_*` internals.
 pub mod prelude {
+    // Configuring and running experiments.
+    pub use mlp_engine::config::{ExperimentConfig, MixSpec};
+    pub use mlp_engine::error::Error;
+    pub use mlp_engine::experiment::Experiment;
+    pub use mlp_engine::report;
+    pub use mlp_engine::runner::ExperimentResult;
+    pub use mlp_engine::scheme::Scheme;
+    pub use mlp_engine::traceio;
+
+    // Schedulers: the trait, the paper's contribution, and the baselines.
     pub use mlp_core::volatility::{Volatility, VolatilityBand};
     pub use mlp_core::VMlpScheduler;
-    pub use mlp_engine::config::ExperimentConfig;
-    pub use mlp_engine::runner::{run_experiment, ExperimentResult};
-    pub use mlp_engine::scheme::Scheme;
-    pub use mlp_faults::FaultConfig;
+    pub use mlp_sched::baselines;
+    pub use mlp_sched::scheduler::{HealingAction, Scheduler, SchedulerCtx};
+
+    // The simulated substrate: workloads, requests, cluster sharding.
+    pub use mlp_cluster::{Cluster, ShardId, ShardMap, ShardPolicy};
     pub use mlp_model::benchmarks;
     pub use mlp_model::requests::RequestCatalog;
+    pub use mlp_model::VolatilityClass;
     pub use mlp_workload::patterns::WorkloadPattern;
+
+    // Robustness extensions.
+    pub use mlp_faults::FaultConfig;
 }

@@ -4,11 +4,17 @@
 //! and enabling auditing never changes simulation results.
 
 use proptest::prelude::*;
-use v_mlp::engine::config::{ExperimentConfig, MixSpec};
-use v_mlp::engine::runner::run_experiment_full;
-use v_mlp::model::VolatilityClass;
+use v_mlp::engine::sim::SimOutput;
 use v_mlp::prelude::*;
 use v_mlp::trace::DecisionKind;
+
+/// Test shorthand over the [`Experiment`] builder.
+fn run_experiment_full(
+    cfg: &ExperimentConfig,
+    catalog: &RequestCatalog,
+) -> (ExperimentResult, SimOutput) {
+    Experiment::from_config(*cfg).catalog(catalog).run_full().expect("test config is valid")
+}
 
 /// A fault storm proportioned to the smoke horizon (8 s + drain): two
 /// crashes mid-run, elevated transients, a degraded-network window.

@@ -1,11 +1,14 @@
 //! Reproducibility guarantees: identical seeds give bit-identical results;
 //! different seeds and schemes face the identical arrival stream.
 
-use v_mlp::engine::config::ExperimentConfig;
-use v_mlp::model::RequestCatalog;
 use v_mlp::prelude::*;
 use v_mlp::sim::SimRng;
 use v_mlp::workload::generate_stream;
+
+/// Test shorthand over the [`Experiment`] builder.
+fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    Experiment::from_config(*cfg).run().expect("test config is valid")
+}
 
 #[test]
 fn experiments_are_bit_reproducible() {

@@ -3,10 +3,8 @@
 //! breaking resource accounting.
 
 use std::collections::HashMap;
-use v_mlp::engine::config::ExperimentConfig;
 use v_mlp::engine::profiling::warm_profiles;
 use v_mlp::engine::sim::simulate;
-use v_mlp::model::RequestCatalog;
 use v_mlp::prelude::*;
 use v_mlp::sim::{SimRng, SimTime};
 use v_mlp::trace::RequestId;
@@ -167,7 +165,7 @@ fn saturated_runs_terminate_and_account() {
             ..ExperimentConfig::paper_default(scheme)
         }
         .with_seed(31);
-        let r = v_mlp::engine::runner::run_experiment(&cfg);
+        let r = Experiment::from_config(cfg).run().expect("overload config is valid");
         // ≈105 arrivals expected (Poisson, σ≈10); assert well below the
         // mean so the check is about overload, not the RNG stream.
         assert!(r.arrived > 60, "{}: only {} arrivals", scheme.label(), r.arrived);

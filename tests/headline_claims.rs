@@ -8,8 +8,6 @@
 
 use mlp_bench::evalrun::{run_cells, Cell};
 use mlp_bench::Scale;
-use v_mlp::engine::config::MixSpec;
-use v_mlp::model::VolatilityClass;
 use v_mlp::prelude::*;
 
 /// A moderately loaded test scale — big enough for scheduling to matter,

@@ -8,10 +8,8 @@
 //! horizon), not with how long the simulation has been running — otherwise
 //! ledger queries and memory would grow without bound on long runs.
 
-use v_mlp::engine::config::ExperimentConfig;
 use v_mlp::engine::profiling::warm_profiles;
 use v_mlp::engine::sim::simulate;
-use v_mlp::model::RequestCatalog;
 use v_mlp::prelude::*;
 use v_mlp::sim::SimRng;
 use v_mlp::trace::metrics::names;

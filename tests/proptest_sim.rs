@@ -3,9 +3,12 @@
 //! and stays deterministic.
 
 use proptest::prelude::*;
-use v_mlp::engine::config::{ExperimentConfig, MixSpec};
-use v_mlp::model::VolatilityClass;
 use v_mlp::prelude::*;
+
+/// Test shorthand over the [`Experiment`] builder.
+fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    Experiment::from_config(*cfg).run().expect("test config is valid")
+}
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![

@@ -3,7 +3,6 @@
 
 use v_mlp::core::organizer::{DtPolicy, OrganizerPolicy};
 use v_mlp::core::volatility::{Volatility, VolatilityBand};
-use v_mlp::engine::config::ExperimentConfig;
 use v_mlp::engine::profiling::warm_profiles;
 use v_mlp::model::{RequestCatalog, VolatilityClass};
 use v_mlp::net::NetworkModel;
@@ -134,7 +133,8 @@ fn full_run_exports_valid_zipkin_traces() {
     use v_mlp::trace::zipkin;
     let catalog = RequestCatalog::paper();
     let cfg = ExperimentConfig::smoke(Scheme::VMlp).with_seed(21);
-    let (result, raw) = v_mlp::engine::runner::run_experiment_full(&cfg, &catalog);
+    let (result, raw) =
+        Experiment::from_config(cfg).catalog(&catalog).run_full().expect("config is valid");
     let spans = zipkin::export(&raw.collector, &catalog);
     assert_eq!(spans.len(), raw.collector.spans().len());
     // Every non-root span's parent exists in the export.
@@ -155,7 +155,8 @@ fn full_run_exports_valid_zipkin_traces() {
 fn per_type_stats_cover_all_five_types() {
     let catalog = RequestCatalog::paper();
     let cfg = ExperimentConfig::smoke(Scheme::CurSched).with_seed(22);
-    let (_, raw) = v_mlp::engine::runner::run_experiment_full(&cfg, &catalog);
+    let (_, raw) =
+        Experiment::from_config(cfg).catalog(&catalog).run_full().expect("config is valid");
     let stats = raw.collector.per_type_stats();
     assert_eq!(stats.len(), 5, "balanced mix exercises every Table V type");
     let total: usize = stats.iter().map(|s| s.1).sum();
