@@ -1,0 +1,43 @@
+//! Bounded-memory soak: v-MLP and baselines through a fixed count of
+//! open-loop requests (2M per scheme at paper scale) on a 256-machine /
+//! 16-shard fleet with the invariant auditor on and the collector in
+//! streaming mode. Prints the soak table and merges the points into the
+//! repo-root `BENCH_sim.json` under the `fig_soak` key. Exits non-zero if
+//! any scheme reports an invariant violation, pulls fewer arrivals than
+//! the target (the cap must bind, not the horizon), or lets the request
+//! table grow with total arrivals instead of in-flight load — so CI's
+//! soak-smoke job can gate on all three.
+
+use mlp_bench::fig_soak;
+
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    let points = fig_soak::data(&scale, 2022);
+    println!("{}", fig_soak::report(&points, &scale));
+
+    let value = serde_json::to_value(&points).expect("soak points serialize");
+    mlp_bench::merge_bench_json(vec![("fig_soak".to_string(), value)]);
+
+    let target = fig_soak::request_target(&scale) as usize;
+    let mut failed = false;
+    for p in &points {
+        if p.invariant_violations > 0 {
+            eprintln!("fig_soak: {}: {} invariant violations", p.scheme, p.invariant_violations);
+            failed = true;
+        }
+        if p.arrived < target {
+            eprintln!("fig_soak: {}: only {} of {target} requests arrived", p.scheme, p.arrived);
+            failed = true;
+        }
+        if !fig_soak::memory_bounded(p) {
+            eprintln!(
+                "fig_soak: {}: request table peak {} not ≪ {} arrivals",
+                p.scheme, p.request_table_peak, p.arrived
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

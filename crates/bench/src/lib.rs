@@ -25,6 +25,7 @@ pub mod fig13_tail;
 pub mod fig14_throughput;
 pub mod fig_faults;
 pub mod fig_scale;
+pub mod fig_soak;
 pub mod loads;
 pub mod scale;
 pub mod tables;

@@ -96,6 +96,37 @@ pub struct ExperimentConfig {
     /// capacity-balanced). Irrelevant when `shards == 1`.
     #[serde(default)]
     pub shard_policy: ShardPolicy,
+    /// How far back reservation-ledger history is retained, in seconds.
+    /// Each sampling tick prunes breakpoints older than `now − retention`;
+    /// 2 s (the default, and the previously hardcoded value) comfortably
+    /// covers the deepest deviation look-backs while keeping per-machine
+    /// timelines bounded. Tighter windows shrink memory further and must
+    /// still pass the invariant auditor.
+    #[serde(default)]
+    pub ledger_retention_s: f64,
+    /// Open-loop request-count cap: `Some(n)` makes the experiment pull
+    /// arrivals lazily from an [`OpenLoopSource`] until `n` requests (or
+    /// the horizon, whichever first) instead of materializing the trace.
+    /// `None` (the default) keeps the dense `generate_stream` path,
+    /// byte-identical to earlier builds.
+    ///
+    /// [`OpenLoopSource`]: mlp_workload::OpenLoopSource
+    #[serde(default)]
+    pub max_requests: Option<u64>,
+    /// Folds trace records into streaming aggregates instead of retaining
+    /// them (constant memory; quantiles become P² estimates). Off by
+    /// default: figure runs keep exact records.
+    #[serde(default)]
+    pub stream_stats: bool,
+    /// Cap on execution cases retained per service in the profile store
+    /// (ring-buffer semantics); `0` (the default) keeps the full history,
+    /// byte-identical to earlier builds. Long soaks must bound this: the
+    /// engine enriches the store with one case per completed span, and
+    /// v-MLP's banded Δt estimator rebuilds a CDF over the whole retained
+    /// window per admission — unbounded history means O(arrivals) memory
+    /// *and* quadratic scheduling time.
+    #[serde(default)]
+    pub profile_retention: usize,
 }
 
 /// Hand-written (the vendored derive errors on absent fields) so config
@@ -140,6 +171,10 @@ impl Deserialize for ExperimentConfig {
             auditor: opt(v, "auditor", false)?,
             shards: opt(v, "shards", 1)?,
             shard_policy: opt(v, "shard_policy", ShardPolicy::RoundRobin)?,
+            ledger_retention_s: opt(v, "ledger_retention_s", 2.0)?,
+            max_requests: opt(v, "max_requests", None)?,
+            stream_stats: opt(v, "stream_stats", false)?,
+            profile_retention: opt(v, "profile_retention", 0)?,
         })
     }
 }
@@ -170,6 +205,10 @@ impl ExperimentConfig {
             auditor: false,
             shards: 1,
             shard_policy: ShardPolicy::RoundRobin,
+            ledger_retention_s: 2.0,
+            max_requests: None,
+            stream_stats: false,
+            profile_retention: 0,
         }
     }
 
@@ -251,6 +290,32 @@ impl ExperimentConfig {
     pub fn with_shards(mut self, k: usize, policy: ShardPolicy) -> Self {
         self.shards = k;
         self.shard_policy = policy;
+        self
+    }
+
+    /// Sets the reservation-ledger retention window, seconds.
+    pub fn with_ledger_retention(mut self, secs: f64) -> Self {
+        self.ledger_retention_s = secs;
+        self
+    }
+
+    /// Caps the run at `n` open-loop requests (switches the experiment to
+    /// the lazy arrival source; see [`Self::max_requests`]).
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// Enables or disables streaming (constant-memory) trace statistics.
+    pub fn with_stream_stats(mut self, on: bool) -> Self {
+        self.stream_stats = on;
+        self
+    }
+
+    /// Caps the per-service profile history at `n` recent cases (`0` =
+    /// unbounded; see [`Self::profile_retention`]).
+    pub fn with_profile_retention(mut self, n: usize) -> Self {
+        self.profile_retention = n;
         self
     }
 
@@ -343,7 +408,15 @@ mod tests {
                 .filter(|(k, _)| {
                     !matches!(
                         k.as_str(),
-                        "faults" | "audit" | "auditor" | "shards" | "shard_policy"
+                        "faults"
+                            | "audit"
+                            | "auditor"
+                            | "shards"
+                            | "shard_policy"
+                            | "ledger_retention_s"
+                            | "max_requests"
+                            | "stream_stats"
+                            | "profile_retention"
                     )
                 })
                 .collect(),
@@ -354,6 +427,10 @@ mod tests {
         assert!(!back.auditor);
         assert_eq!(back.shards, 1, "pre-shard configs load as unsharded");
         assert_eq!(back.shard_policy, ShardPolicy::RoundRobin);
+        assert_eq!(back.ledger_retention_s, 2.0, "pre-knob configs keep the old 2 s window");
+        assert_eq!(back.max_requests, None, "pre-streaming configs use the dense path");
+        assert!(!back.stream_stats);
+        assert_eq!(back.profile_retention, 0, "pre-knob configs keep unbounded history");
         assert_eq!(back.machines, c.machines);
         assert_eq!(back.seed, c.seed);
     }

@@ -23,7 +23,7 @@ use crate::runner::{summarize, ExperimentResult};
 use crate::sim::{simulate, SimOutput};
 use mlp_model::RequestCatalog;
 use mlp_sim::SimRng;
-use mlp_workload::generate_stream;
+use mlp_workload::{generate_stream, OpenLoopSource, SliceSource};
 use std::path::Path;
 
 /// A fully described, not-yet-run experiment.
@@ -140,6 +140,15 @@ impl<'a> Experiment<'a> {
                 c.shards, c.machines
             ));
         }
+        if !(c.ledger_retention_s.is_finite() && c.ledger_retention_s > 0.0) {
+            return bad(format!(
+                "ledger_retention_s must be positive and finite, got {}",
+                c.ledger_retention_s
+            ));
+        }
+        if c.max_requests == Some(0) {
+            return bad("max_requests must be >= 1 when set".into());
+        }
         Ok(())
     }
 
@@ -173,18 +182,42 @@ impl<'a> Experiment<'a> {
         let mut sim_rng = root.fork(1);
         let mut warm_rng = root.fork(2);
 
-        let profiles = warm_profiles(catalog, config.warmup_cases, &mut warm_rng);
+        let mut profiles = warm_profiles(catalog, config.warmup_cases, &mut warm_rng);
+        // Bound the per-service history before the run when asked: the
+        // engine records one case per completed span, and Δt estimation
+        // cost is linear in the retained window.
+        profiles.set_retention(config.profile_retention);
         let mix = config.mix.resolve(catalog);
-        let arrivals = generate_stream(
-            config.pattern,
-            config.max_rate,
-            config.horizon_s,
-            &mix,
-            &mut arrival_rng,
-        );
-
         let mut scheduler = config.scheme.build();
-        let out = simulate(&config, catalog, profiles, &arrivals, scheduler.as_mut(), &mut sim_rng);
+
+        // Two arrival paths with the identical RNG draw sequence: the dense
+        // trace replayed through a SliceSource (figure runs, byte-identical
+        // to the historical slice engine), or a lazy OpenLoopSource when a
+        // request cap asks for bounded-memory open-loop traffic.
+        let out = match config.max_requests {
+            None => {
+                let arrivals = generate_stream(
+                    config.pattern,
+                    config.max_rate,
+                    config.horizon_s,
+                    &mix,
+                    &mut arrival_rng,
+                );
+                let mut source = SliceSource::new(&arrivals);
+                simulate(&config, catalog, profiles, &mut source, scheduler.as_mut(), &mut sim_rng)
+            }
+            Some(cap) => {
+                let mut source = OpenLoopSource::poisson(
+                    config.pattern,
+                    config.max_rate,
+                    config.horizon_s,
+                    mix,
+                    arrival_rng,
+                )
+                .with_max_requests(cap);
+                simulate(&config, catalog, profiles, &mut source, scheduler.as_mut(), &mut sim_rng)
+            }
+        };
         let result = summarize(&config, catalog, &out);
         Ok((result, out))
     }

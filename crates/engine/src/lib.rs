@@ -27,6 +27,3 @@ pub use error::Error;
 pub use experiment::Experiment;
 pub use runner::ExperimentResult;
 pub use scheme::Scheme;
-
-#[allow(deprecated)]
-pub use runner::run_experiment;

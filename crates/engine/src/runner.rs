@@ -1,7 +1,6 @@
 //! One-call experiment runner: config in, figure-ready metrics out.
 
 use crate::config::ExperimentConfig;
-use crate::experiment::Experiment;
 use crate::sim::SimOutput;
 use mlp_model::{RequestCatalog, VolatilityClass};
 use mlp_sim::SimTime;
@@ -76,6 +75,12 @@ pub struct ExperimentResult {
     /// cluster runs unsharded).
     #[serde(default)]
     pub shard_overflows: u64,
+    /// High-water mark of live entries in the engine's request table. On a
+    /// bounded-memory open-loop run this plateaus near rate × residence
+    /// time while `arrived` grows without bound (0 for traces recorded
+    /// before the gauge existed).
+    #[serde(default)]
+    pub request_table_peak: usize,
 }
 
 impl ExperimentResult {
@@ -98,36 +103,6 @@ fn class_idx(c: VolatilityClass) -> usize {
     }
 }
 
-/// Runs one experiment end to end. Superseded by the [`Experiment`]
-/// builder, which validates the config instead of panicking on bad input.
-///
-/// [`Experiment`]: crate::experiment::Experiment
-#[deprecated(note = "use Experiment::from_config(cfg).run()")]
-pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
-    Experiment::from_config(*config).run().expect("invalid experiment config")
-}
-
-/// [`run_experiment`] against a caller-supplied catalog. Superseded by
-/// `Experiment::from_config(cfg).catalog(&catalog).run()`.
-#[deprecated(note = "use Experiment::from_config(cfg).catalog(&catalog).run()")]
-pub fn run_experiment_with_catalog(
-    config: &ExperimentConfig,
-    catalog: &RequestCatalog,
-) -> ExperimentResult {
-    Experiment::from_config(*config).catalog(catalog).run().expect("invalid experiment config")
-}
-
-/// Like [`run_experiment_with_catalog`] but also returning the raw
-/// simulation output. Superseded by
-/// `Experiment::from_config(cfg).catalog(&catalog).run_full()`.
-#[deprecated(note = "use Experiment::from_config(cfg).catalog(&catalog).run_full()")]
-pub fn run_experiment_full(
-    config: &ExperimentConfig,
-    catalog: &RequestCatalog,
-) -> (ExperimentResult, SimOutput) {
-    Experiment::from_config(*config).catalog(catalog).run_full().expect("invalid experiment config")
-}
-
 pub(crate) fn summarize(
     config: &ExperimentConfig,
     catalog: &RequestCatalog,
@@ -135,12 +110,41 @@ pub(crate) fn summarize(
 ) -> ExperimentResult {
     let horizon = SimTime::from_secs_f64(config.horizon_s);
     let completed = out.collector.completed();
-    let completed_in_horizon = out.collector.completed_where(|r| r.end <= horizon);
-    let good_in_horizon = out.collector.completed_where(|r| r.end <= horizon && !r.violated());
+    // The horizon-windowed counts, the latency distribution, and the
+    // violated-completion count come from running aggregates in streaming
+    // mode and from the exact record set otherwise.
+    let (completed_in_horizon, good_in_horizon, violated_completed, latency_ms, mean_latency_ms) =
+        match out.collector.streaming_stats() {
+            Some(stats) => (
+                stats.completed_in_horizon(),
+                stats.good_in_horizon(),
+                stats.violated(),
+                [
+                    out.collector.latency_percentile(50.0, None).unwrap_or(0.0),
+                    out.collector.latency_percentile(90.0, None).unwrap_or(0.0),
+                    out.collector.latency_percentile(99.0, None).unwrap_or(0.0),
+                ],
+                stats.mean_latency_ms(),
+            ),
+            None => {
+                let mut cdf = out.collector.latency_cdf(None);
+                (
+                    out.collector.completed_where(|r| r.end <= horizon),
+                    out.collector.completed_where(|r| r.end <= horizon && !r.violated()),
+                    out.collector.completed_where(|r| r.violated()),
+                    [
+                        cdf.percentile(50.0).unwrap_or(0.0),
+                        cdf.percentile(90.0).unwrap_or(0.0),
+                        cdf.percentile(99.0).unwrap_or(0.0),
+                    ],
+                    cdf.mean(),
+                )
+            }
+        };
 
     // Violations: completed-and-violated plus everything unfinished.
     let total = completed + out.unfinished;
-    let violated = out.collector.completed_where(|r| r.violated()) + out.unfinished;
+    let violated = violated_completed + out.unfinished;
     let violation_rate = if total == 0 { 0.0 } else { violated as f64 / total as f64 };
 
     // Per-class violations: unfinished requests cannot be attributed to a
@@ -153,14 +157,6 @@ pub(crate) fn summarize(
         violation_by_class[i] = out.collector.violation_rate(Some(class));
         p99_by_class[i] = out.collector.latency_percentile(99.0, Some(class)).unwrap_or(0.0);
     }
-
-    let mut cdf = out.collector.latency_cdf(None);
-    let latency_ms = [
-        cdf.percentile(50.0).unwrap_or(0.0),
-        cdf.percentile(90.0).unwrap_or(0.0),
-        cdf.percentile(99.0).unwrap_or(0.0),
-    ];
-    let mean_latency_ms = cdf.mean();
 
     let (late_fraction, _) = out.collector.lateness_stats();
     let capped_fraction = out.collector.capped_fraction();
@@ -199,6 +195,7 @@ pub(crate) fn summarize(
         mean_breakdown: out.collector.mean_breakdown(),
         invariant_violations: out.metrics.counter(names::INVARIANT_VIOLATIONS),
         shard_overflows: out.metrics.counter(names::SHARD_OVERFLOWS),
+        request_table_peak: out.request_table_peak,
     }
 }
 
@@ -206,6 +203,7 @@ pub(crate) fn summarize(
 mod tests {
     use super::*;
     use crate::config::MixSpec;
+    use crate::experiment::Experiment;
     use crate::scheme::Scheme;
 
     #[test]

@@ -1,0 +1,250 @@
+//! The event loop: arrival pull, event dispatch, admission rounds, and
+//! request-table reclamation.
+//!
+//! Arrivals are *pulled* from the [`ArrivalSource`] one at a time and
+//! interleaved with queued events by timestamp. The historical engine
+//! scheduled every arrival up front, which gave arrival events the lowest
+//! sequence numbers — so at a timestamp tie the arrival always popped
+//! first. The pull loop reproduces that exactly by letting the pending
+//! arrival win ties against [`EventQueue::peek_time`]; everything else
+//! about event ordering (init order, dynamic scheduling order) is
+//! unchanged, so slice-driven runs are byte-identical to the historical
+//! dense path.
+
+use super::*;
+use mlp_trace::{Decision, DecisionKind};
+
+impl<'c> Sim<'c> {
+    pub(super) fn run(
+        &mut self,
+        source: &mut dyn ArrivalSource,
+        scheduler: &mut dyn Scheduler,
+        rng: &mut SimRng,
+    ) -> SimOutput {
+        if self.sample_period > SimDuration::ZERO {
+            self.queue.schedule(SimTime::ZERO + self.sample_period, Event::Sample);
+        }
+        for o in self.faults.outages().to_vec() {
+            self.queue.schedule(o.down_at, Event::MachineDown(o.machine));
+            self.queue.schedule(o.up_at, Event::MachineUp(o.machine));
+        }
+        self.pending_arrival = source.next_arrival();
+
+        loop {
+            self.drain_reclaim();
+            // Interleave the pending arrival with queued events by
+            // timestamp; the arrival wins ties (see module docs).
+            let take_arrival = match (&self.pending_arrival, self.queue.peek_time()) {
+                (Some(a), Some(t)) => a.at <= t,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_arrival {
+                let a = self.pending_arrival.take().expect("checked above");
+                if a.at > self.hard_cap {
+                    break;
+                }
+                self.arrival(a, scheduler);
+                self.pending_arrival = source.next_arrival();
+                continue;
+            }
+            let Some((now, ev)) = self.queue.pop() else { break };
+            if now > self.hard_cap {
+                break;
+            }
+            match ev {
+                Event::TryInvoke { request, node, gen } => {
+                    self.try_invoke(now, request, node, gen, scheduler, rng);
+                }
+                Event::PlannedStart { request, node } => {
+                    self.check_deviation(now, request, node, scheduler, rng);
+                }
+                Event::Complete { request, node, gen } => {
+                    self.complete(now, request, node, gen, scheduler, rng);
+                }
+                Event::NodeFailed { request, node, gen } => {
+                    self.node_failed(now, request, node, gen, scheduler, rng);
+                }
+                Event::MachineDown(id) => {
+                    self.machine_down(now, id, scheduler, rng);
+                }
+                Event::MachineUp(id) => {
+                    self.cluster.machine_mut(id).recover();
+                    self.audit.record(
+                        Decision::new(now, DecisionKind::MachineUp, "injected-recovery")
+                            .machine(id),
+                    );
+                    self.maybe_round(now, scheduler);
+                }
+                Event::Sample => {
+                    self.on_sample(now);
+                    if self.auditor {
+                        self.audit_tick(now);
+                    }
+                    self.run_round(now, scheduler);
+                    let more_work = scheduler.waiting() > 0
+                        || self.table.live() > 0
+                        || !self.queue.is_empty()
+                        || self.pending_arrival.is_some();
+                    let next = now + self.sample_period;
+                    if more_work && next <= self.hard_cap {
+                        self.queue.schedule(next, Event::Sample);
+                    }
+                }
+            }
+        }
+
+        self.epilogue(scheduler)
+    }
+
+    /// One arrival: assign the next request id, register its metadata, and
+    /// notify the scheduler. Note the event-queue clock is *not* advanced
+    /// here (nothing was popped); every schedule issued downstream uses
+    /// times ≥ the arrival instant, which is ≥ the last popped time.
+    fn arrival(&mut self, a: Arrival, scheduler: &mut dyn Scheduler) {
+        let now = a.at;
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.arrived += 1;
+        let info = RequestInfo { id: RequestId(id), rtype: a.request_type, arrival: now };
+        self.pending_info.insert(id, info);
+        let mut ctx = sched_ctx!(self, now);
+        scheduler.on_arrival(info, &mut ctx);
+        let _ = ctx;
+        self.maybe_round(now, scheduler);
+    }
+
+    /// Frees table entries queued by completion/abandon during the
+    /// previous event turn. Deferred so same-turn accesses (a post-abandon
+    /// flag check, a completion's final scheduler callback) still see the
+    /// entry; any event that targets a reclaimed request simply finds no
+    /// entry, which is observably identical to the historical stale-
+    /// generation / abandoned-flag early returns.
+    fn drain_reclaim(&mut self) {
+        if self.reclaim.is_empty() {
+            return;
+        }
+        let ids = std::mem::take(&mut self.reclaim);
+        for id in ids {
+            self.table.remove(id);
+        }
+    }
+
+    fn epilogue(&mut self, scheduler: &mut dyn Scheduler) -> SimOutput {
+        use mlp_trace::metrics::names;
+        if self.mttr_count > 0 {
+            let mean_ms = self.mttr_sum_us as f64 / self.mttr_count as f64 / 1000.0;
+            self.metrics.set_gauge(names::MTTR_MS, mean_ms);
+        }
+        self.metrics.set_gauge(names::REQUEST_TABLE_PEAK, self.table.peak() as f64);
+        if self.auditor {
+            self.audit_end_of_run();
+        }
+        // Abandoned requests never complete, so they are counted as
+        // unfinished and request conservation holds under faults.
+        let unfinished =
+            (self.table.admitted() - self.completed_reqs) as usize + scheduler.waiting();
+        SimOutput {
+            collector: std::mem::take(&mut self.collector),
+            utilization: std::mem::replace(
+                &mut self.utilization,
+                TimeSeries::new(self.sample_period.as_secs_f64().max(1e-9)),
+            ),
+            metrics: self.metrics.clone(),
+            unfinished,
+            abandoned: self.abandoned,
+            arrived: self.arrived as usize,
+            request_table_peak: self.table.peak(),
+            profiles: std::mem::take(&mut self.profiles),
+            audit: self.audit.clone(),
+            invariant_report: self.invariant_report.take(),
+        }
+    }
+
+    /// Runs an admission round unless throttled by a long waiting queue
+    /// or backed off after fruitless rounds.
+    pub(super) fn maybe_round(&mut self, now: SimTime, scheduler: &mut dyn Scheduler) {
+        if scheduler.waiting() < SMALL_QUEUE || now.since(self.last_round) >= self.round_backoff {
+            self.run_round(now, scheduler);
+        }
+    }
+
+    pub(super) fn run_round(&mut self, now: SimTime, scheduler: &mut dyn Scheduler) {
+        self.last_round = now;
+        let plans = {
+            let mut ctx = sched_ctx!(self, now);
+            scheduler.schedule(&mut ctx)
+        };
+        // Adapt the round spacing: a saturated cluster gains nothing from
+        // re-examining the same backlog every few milliseconds.
+        if plans.is_empty() && scheduler.waiting() > 0 {
+            self.round_backoff =
+                SimDuration(self.round_backoff.0.saturating_mul(2)).min(ROUND_BACKOFF_MAX);
+        } else {
+            self.round_backoff = ROUND_THROTTLE;
+        }
+        for plan in plans {
+            self.admit(now, plan);
+        }
+        let ready = std::mem::take(&mut self.pending_ready);
+        for (rid, node, at) in ready {
+            let mut ctx = sched_ctx!(self, now);
+            scheduler.on_node_ready(rid, node, at, &mut ctx);
+        }
+    }
+
+    fn admit(&mut self, now: SimTime, plan: RequestPlan) {
+        let id = plan.request.0;
+        let info = self.pending_info.remove(&id).expect("scheduler admitted an unknown request");
+        let dag = &self.catalog.request(info.rtype).dag;
+        assert_eq!(plan.nodes.len(), dag.len(), "plan does not cover the DAG");
+
+        let n = dag.len();
+        let deg = dag.in_degrees();
+        let mut state = Vec::with_capacity(n);
+        for &d in &deg {
+            if d == 0 {
+                state.push(NState::Ready { at: now });
+            } else {
+                state.push(NState::WaitingDeps { deps_left: d, ready_hint: now });
+            }
+        }
+        self.audit.record(
+            Decision::new(now, DecisionKind::Admit, "plan-accepted")
+                .request(info.id)
+                .value(n as f64),
+        );
+        let attrib = plan.nodes.iter().map(|np| NodeAttrib::new(now, np.planned_start)).collect();
+        self.table.insert(
+            id,
+            RunReq {
+                info,
+                plan,
+                state,
+                gens: vec![0; n],
+                remaining: n,
+                attempts: vec![0; n],
+                abandoned: false,
+                attrib,
+                admit_seq: 0, // stamped by the table
+            },
+        );
+
+        // Schedule root invocations and deviation checks.
+        let req = self.table.get(id).expect("just inserted");
+        let mut roots = Vec::new();
+        let mut schedules = Vec::with_capacity(n * 2);
+        for (i, (&d, np)) in deg.iter().zip(&req.plan.nodes).enumerate() {
+            let ps = np.planned_start.max(now);
+            schedules.push((ps, Event::PlannedStart { request: id, node: i }));
+            if d == 0 {
+                schedules.push((ps, Event::TryInvoke { request: id, node: i, gen: 0 }));
+                roots.push(i);
+            }
+        }
+        for (at, ev) in schedules {
+            self.queue.schedule(at, ev);
+        }
+        self.pending_ready.extend(roots.into_iter().map(|i| (RequestId(id), i, now)));
+    }
+}

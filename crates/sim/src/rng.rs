@@ -42,6 +42,15 @@ impl SimRng {
     }
 }
 
+impl std::fmt::Debug for SimRng {
+    /// Shows the creation seed, not the evolving generator state: the seed
+    /// is what identifies the stream, and the state is both noisy and an
+    /// invitation to (incorrectly) compare mid-stream generators.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").field("seed", &self.seed).finish_non_exhaustive()
+    }
+}
+
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
         self.inner.next_u32()

@@ -1,11 +1,26 @@
 //! Trace collection and end-to-end request accounting.
+//!
+//! Two retention modes:
+//!
+//! * **exact** (the default): every [`Span`] and [`RequestRecord`] is kept,
+//!   so any statistic can be computed after the fact and fixed-seed figure
+//!   runs stay byte-identical. Memory is O(total requests).
+//! * **streaming** ([`TraceCollector::streaming`]): records are folded
+//!   into O(1) running aggregates on arrival — Welford mean, P² quantile
+//!   markers, per-class and per-type counters, breakdown sums — and
+//!   optionally spilled to a JSONL sink for offline analysis. Memory is
+//!   O(request types), which is what lets a soak run push millions of
+//!   requests through a laptop.
 
 use crate::span::{RequestId, Span};
 use mlp_model::{RequestTypeId, VolatilityClass};
 use mlp_sim::{SimDuration, SimTime};
-use mlp_stats::{Cdf, Summary};
+use mlp_stats::{Cdf, P2Quantile, Summary};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Critical-path decomposition of one request's end-to-end latency.
 ///
@@ -83,22 +98,83 @@ impl RequestRecord {
 pub struct TraceCollector {
     spans: Vec<Span>,
     requests: Vec<RequestRecord>,
+    /// Streaming-mode aggregates; `None` means exact mode (retain all).
+    stream: Option<Box<StreamingStats>>,
 }
 
 impl TraceCollector {
-    /// Creates an empty collector.
+    /// Creates an empty collector in exact mode (every record retained).
     pub fn new() -> Self {
         TraceCollector::default()
     }
 
+    /// Creates a collector in streaming mode: records are folded into
+    /// constant-size aggregates instead of retained, with within-`horizon`
+    /// completions counted separately (the throughput numerator). Record-
+    /// level queries ([`spans`](Self::spans), [`requests`](Self::requests),
+    /// [`completed_where`](Self::completed_where), [`latency_cdf`](Self::latency_cdf))
+    /// see nothing in this mode; use [`streaming`](Self::streaming_stats)
+    /// for the aggregate view.
+    pub fn streaming(horizon: SimTime) -> Self {
+        TraceCollector {
+            spans: Vec::new(),
+            requests: Vec::new(),
+            stream: Some(Box::new(StreamingStats::new(horizon))),
+        }
+    }
+
+    /// Attaches a JSONL spill sink (streaming mode only): every completed
+    /// request is appended to `path` as one JSON object per line, so full
+    /// records stay available offline while in-memory state stays O(1).
+    pub fn with_spill(mut self, path: &Path) -> std::io::Result<Self> {
+        let s = self.stream.as_mut().expect("spill sink requires a streaming-mode collector");
+        s.spill = Some(JsonlSink::create(path)?);
+        Ok(self)
+    }
+
+    /// The streaming aggregates, when in streaming mode.
+    pub fn streaming_stats(&self) -> Option<&StreamingStats> {
+        self.stream.as_deref()
+    }
+
+    /// Whether this collector folds instead of retains.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Approximate bytes of trace state currently held in memory. Exact
+    /// mode grows with the run; streaming mode stays flat (the soak bench
+    /// records this to prove it).
+    pub fn approx_retained_bytes(&self) -> usize {
+        let base = std::mem::size_of::<TraceCollector>()
+            + self.spans.capacity() * std::mem::size_of::<Span>()
+            + self.requests.capacity() * std::mem::size_of::<RequestRecord>();
+        match &self.stream {
+            None => base,
+            Some(s) => {
+                base + std::mem::size_of::<StreamingStats>()
+                    + s.types.len()
+                        * (std::mem::size_of::<TypeAgg>()
+                            + std::mem::size_of::<RequestTypeId>()
+                            + 32)
+            }
+        }
+    }
+
     /// Records one completed span.
     pub fn record_span(&mut self, span: Span) {
-        self.spans.push(span);
+        match &mut self.stream {
+            Some(s) => s.fold_span(&span),
+            None => self.spans.push(span),
+        }
     }
 
     /// Records one completed request.
     pub fn record_request(&mut self, rec: RequestRecord) {
-        self.requests.push(rec);
+        match &mut self.stream {
+            Some(s) => s.fold_request(&rec),
+            None => self.requests.push(rec),
+        }
     }
 
     /// All spans.
@@ -114,7 +190,10 @@ impl TraceCollector {
     /// Number of completed requests (throughput numerator: "the number of
     /// finished requests within certain scheduling period").
     pub fn completed(&self) -> usize {
-        self.requests.len()
+        match &self.stream {
+            Some(s) => s.completed,
+            None => self.requests.len(),
+        }
     }
 
     /// Number of completed requests matching a predicate.
@@ -126,6 +205,9 @@ impl TraceCollector {
     /// carry a breakdown. `None` when no request has one (attribution off
     /// or no completions).
     pub fn mean_breakdown(&self) -> Option<LatencyBreakdown> {
+        if let Some(s) = &self.stream {
+            return s.mean_breakdown();
+        }
         let mut acc = LatencyBreakdown::default();
         let mut n = 0usize;
         for b in self.requests.iter().filter_map(|r| r.breakdown.as_ref()) {
@@ -153,6 +235,9 @@ impl TraceCollector {
     /// Fraction of completed requests that violated their SLO, optionally
     /// restricted to one volatility class.
     pub fn violation_rate(&self, class: Option<VolatilityClass>) -> f64 {
+        if let Some(s) = &self.stream {
+            return s.violation_rate(class);
+        }
         let (mut total, mut bad) = (0usize, 0usize);
         for r in &self.requests {
             if class.is_none_or(|c| r.class == c) {
@@ -181,8 +266,13 @@ impl TraceCollector {
     }
 
     /// The `p`-percentile latency in ms (e.g. 99.0 for the tail of Fig 13);
-    /// `None` when no matching requests completed.
+    /// `None` when no matching requests completed. Streaming mode answers
+    /// from its P² estimators, which track p50/p90/p99 overall and p99 per
+    /// class; other combinations return `None` there.
     pub fn latency_percentile(&self, p: f64, class: Option<VolatilityClass>) -> Option<f64> {
+        if let Some(s) = &self.stream {
+            return s.latency_percentile(p, class);
+        }
         self.latency_cdf(class).percentile(p)
     }
 
@@ -198,6 +288,9 @@ impl TraceCollector {
     /// Fraction of spans that started later than planned, and their mean
     /// lateness (ms) — how disturbed the schedule was.
     pub fn lateness_stats(&self) -> (f64, f64) {
+        if let Some(s) = &self.stream {
+            return s.lateness_stats();
+        }
         if self.spans.is_empty() {
             return (0.0, 0.0);
         }
@@ -215,6 +308,9 @@ impl TraceCollector {
     /// violation fraction, p50 ms, p99 ms)`, sorted by type id. The
     /// per-type view behind Table V's category rows.
     pub fn per_type_stats(&self) -> Vec<(RequestTypeId, usize, f64, f64, f64)> {
+        if let Some(s) = &self.stream {
+            return s.per_type_stats();
+        }
         let mut by_type: HashMap<RequestTypeId, Vec<&RequestRecord>> = HashMap::new();
         for r in &self.requests {
             by_type.entry(r.request_type).or_default().push(r);
@@ -239,10 +335,359 @@ impl TraceCollector {
 
     /// Fraction of spans that ran resource-capped (contention indicator).
     pub fn capped_fraction(&self) -> f64 {
+        if let Some(s) = &self.stream {
+            return s.capped_fraction();
+        }
         if self.spans.is_empty() {
             return 0.0;
         }
         self.spans.iter().filter(|s| s.was_capped()).count() as f64 / self.spans.len() as f64
+    }
+}
+
+fn class_idx(c: VolatilityClass) -> usize {
+    match c {
+        VolatilityClass::Low => 0,
+        VolatilityClass::Mid => 1,
+        VolatilityClass::High => 2,
+    }
+}
+
+/// Per-volatility-class streaming aggregates.
+#[derive(Debug, Clone)]
+struct ClassAgg {
+    total: usize,
+    violated: usize,
+    p99: P2Quantile,
+}
+
+impl ClassAgg {
+    fn new() -> Self {
+        ClassAgg { total: 0, violated: 0, p99: P2Quantile::new(0.99) }
+    }
+}
+
+/// Per-request-type streaming aggregates.
+#[derive(Debug, Clone)]
+struct TypeAgg {
+    count: usize,
+    violated: usize,
+    latency: Summary,
+    p50: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl TypeAgg {
+    fn new() -> Self {
+        TypeAgg {
+            count: 0,
+            violated: 0,
+            latency: Summary::new(),
+            p50: P2Quantile::new(0.50),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+/// Constant-memory request/span statistics: what a streaming-mode
+/// [`TraceCollector`] holds instead of the records themselves.
+///
+/// Counts are exact (completions, violations, horizon splits, breakdown
+/// sums via plain accumulation; mean/variance via Welford's update inside
+/// [`Summary`]); quantiles are P² five-marker estimates. Everything is
+/// O(1) per record and O(request types) total.
+#[derive(Debug, Clone)]
+pub struct StreamingStats {
+    horizon: SimTime,
+    completed: usize,
+    completed_in_horizon: usize,
+    good_in_horizon: usize,
+    violated: usize,
+    latency: Summary,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+    class: [ClassAgg; 3],
+    types: BTreeMap<RequestTypeId, TypeAgg>,
+    breakdown_sum: LatencyBreakdown,
+    breakdown_n: usize,
+    spans_total: usize,
+    spans_late: usize,
+    lateness_sum_ms: f64,
+    spans_capped: usize,
+    spill: Option<JsonlSink>,
+}
+
+impl StreamingStats {
+    fn new(horizon: SimTime) -> Self {
+        StreamingStats {
+            horizon,
+            completed: 0,
+            completed_in_horizon: 0,
+            good_in_horizon: 0,
+            violated: 0,
+            latency: Summary::new(),
+            p50: P2Quantile::new(0.50),
+            p90: P2Quantile::new(0.90),
+            p99: P2Quantile::new(0.99),
+            class: [ClassAgg::new(), ClassAgg::new(), ClassAgg::new()],
+            types: BTreeMap::new(),
+            breakdown_sum: LatencyBreakdown::default(),
+            breakdown_n: 0,
+            spans_total: 0,
+            spans_late: 0,
+            lateness_sum_ms: 0.0,
+            spans_capped: 0,
+            spill: None,
+        }
+    }
+
+    fn fold_span(&mut self, span: &Span) {
+        self.spans_total += 1;
+        if span.was_late() {
+            self.spans_late += 1;
+            self.lateness_sum_ms += span.lateness().as_millis_f64();
+        }
+        if span.was_capped() {
+            self.spans_capped += 1;
+        }
+    }
+
+    fn fold_request(&mut self, rec: &RequestRecord) {
+        let lat = rec.latency().as_millis_f64();
+        let violated = rec.violated();
+        self.completed += 1;
+        if rec.end <= self.horizon {
+            self.completed_in_horizon += 1;
+            if !violated {
+                self.good_in_horizon += 1;
+            }
+        }
+        if violated {
+            self.violated += 1;
+        }
+        self.latency.record(lat);
+        self.p50.record(lat);
+        self.p90.record(lat);
+        self.p99.record(lat);
+        let c = &mut self.class[class_idx(rec.class)];
+        c.total += 1;
+        if violated {
+            c.violated += 1;
+        }
+        c.p99.record(lat);
+        let t = self.types.entry(rec.request_type).or_insert_with(TypeAgg::new);
+        t.count += 1;
+        if violated {
+            t.violated += 1;
+        }
+        t.latency.record(lat);
+        t.p50.record(lat);
+        t.p99.record(lat);
+        if let Some(b) = &rec.breakdown {
+            self.breakdown_sum.queue_ms += b.queue_ms;
+            self.breakdown_sum.placement_ms += b.placement_ms;
+            self.breakdown_sum.comm_ms += b.comm_ms;
+            self.breakdown_sum.exec_ms += b.exec_ms;
+            self.breakdown_sum.cap_ms += b.cap_ms;
+            self.breakdown_sum.healed_ms += b.healed_ms;
+            self.breakdown_n += 1;
+        }
+        if let Some(sink) = &self.spill {
+            sink.append(rec);
+        }
+    }
+
+    /// Completed requests.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Completions with `end <= horizon` (throughput numerator).
+    pub fn completed_in_horizon(&self) -> usize {
+        self.completed_in_horizon
+    }
+
+    /// Within-horizon completions that also met their SLO (goodput).
+    pub fn good_in_horizon(&self) -> usize {
+        self.good_in_horizon
+    }
+
+    /// Completed-and-violated count (excludes unfinished requests, which
+    /// the engine accounts separately).
+    pub fn violated(&self) -> usize {
+        self.violated
+    }
+
+    /// Mean end-to-end latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latency.count() == 0 {
+            0.0
+        } else {
+            self.latency.mean()
+        }
+    }
+
+    fn violation_rate(&self, class: Option<VolatilityClass>) -> f64 {
+        let (total, bad) = match class {
+            None => (self.completed, self.violated),
+            Some(c) => {
+                let a = &self.class[class_idx(c)];
+                (a.total, a.violated)
+            }
+        };
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+
+    fn latency_percentile(&self, p: f64, class: Option<VolatilityClass>) -> Option<f64> {
+        match class {
+            None => {
+                let est = if (p - 50.0).abs() < 1e-9 {
+                    &self.p50
+                } else if (p - 90.0).abs() < 1e-9 {
+                    &self.p90
+                } else if (p - 99.0).abs() < 1e-9 {
+                    &self.p99
+                } else {
+                    return None;
+                };
+                est.estimate()
+            }
+            Some(c) if (p - 99.0).abs() < 1e-9 => self.class[class_idx(c)].p99.estimate(),
+            Some(_) => None,
+        }
+    }
+
+    fn mean_breakdown(&self) -> Option<LatencyBreakdown> {
+        if self.breakdown_n == 0 {
+            return None;
+        }
+        let inv = 1.0 / self.breakdown_n as f64;
+        Some(LatencyBreakdown {
+            queue_ms: self.breakdown_sum.queue_ms * inv,
+            placement_ms: self.breakdown_sum.placement_ms * inv,
+            comm_ms: self.breakdown_sum.comm_ms * inv,
+            exec_ms: self.breakdown_sum.exec_ms * inv,
+            cap_ms: self.breakdown_sum.cap_ms * inv,
+            healed_ms: self.breakdown_sum.healed_ms * inv,
+        })
+    }
+
+    fn lateness_stats(&self) -> (f64, f64) {
+        if self.spans_total == 0 {
+            return (0.0, 0.0);
+        }
+        let frac = self.spans_late as f64 / self.spans_total as f64;
+        let mean =
+            if self.spans_late == 0 { 0.0 } else { self.lateness_sum_ms / self.spans_late as f64 };
+        (frac, mean)
+    }
+
+    fn capped_fraction(&self) -> f64 {
+        if self.spans_total == 0 {
+            0.0
+        } else {
+            self.spans_capped as f64 / self.spans_total as f64
+        }
+    }
+
+    fn per_type_stats(&self) -> Vec<(RequestTypeId, usize, f64, f64, f64)> {
+        self.types
+            .iter()
+            .map(|(&ty, a)| {
+                let viol = if a.count == 0 { 0.0 } else { a.violated as f64 / a.count as f64 };
+                (
+                    ty,
+                    a.count,
+                    viol,
+                    a.p50.estimate().unwrap_or(0.0),
+                    a.p99.estimate().unwrap_or(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Spans folded so far.
+    pub fn spans_total(&self) -> usize {
+        self.spans_total
+    }
+
+    /// Records the spill sink failed to write (I/O errors are counted,
+    /// never allowed to kill a multi-hour soak run).
+    pub fn spill_errors(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.errors())
+    }
+
+    /// Flushes the spill sink, returning its path when one is attached.
+    pub fn flush_spill(&self) -> Option<&Path> {
+        self.spill.as_ref().map(|s| {
+            s.flush();
+            s.path.as_path()
+        })
+    }
+}
+
+/// Append-only JSONL sink for spilled [`RequestRecord`]s.
+///
+/// Shared behind `Arc<Mutex<_>>` so the collector stays `Clone` (clones
+/// append to the same file); write failures are counted, not propagated —
+/// a full disk must degrade the spill, not abort the simulation.
+#[derive(Clone)]
+struct JsonlSink {
+    path: PathBuf,
+    writer: Arc<Mutex<std::io::BufWriter<std::fs::File>>>,
+    errors: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            path: path.to_path_buf(),
+            writer: Arc::new(Mutex::new(std::io::BufWriter::new(file))),
+            errors: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        })
+    }
+
+    fn append(&self, rec: &RequestRecord) {
+        let line = match serde_json::to_string(rec) {
+            Ok(l) => l,
+            Err(_) => {
+                self.errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+        };
+        let mut w = match self.writer.lock() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if writeln!(w, "{line}").is_err() {
+            self.errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        let mut w = match self.writer.lock() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if w.flush().is_err() {
+            self.errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -363,5 +808,112 @@ mod tests {
         assert_eq!(c.lateness_stats(), (0.0, 0.0));
         assert_eq!(c.capped_fraction(), 0.0);
         assert_eq!(c.latency_percentile(50.0, None), None);
+    }
+
+    /// Feeds the same records through both modes and checks the streaming
+    /// aggregates agree with the exact answers (exactly for counts and
+    /// means, approximately for P² quantiles).
+    #[test]
+    fn streaming_mode_matches_exact_aggregates() {
+        let horizon = SimTime::from_millis(60);
+        let mut exact = TraceCollector::new();
+        let mut stream = TraceCollector::streaming(horizon);
+        for i in 1..=200u64 {
+            let class = match i % 3 {
+                0 => VolatilityClass::Low,
+                1 => VolatilityClass::Mid,
+                _ => VolatilityClass::High,
+            };
+            let mut r = req(i, class, 0, i % 100, 50.0);
+            r.request_type = RequestTypeId((i % 2) as u32);
+            r.breakdown = Some(LatencyBreakdown {
+                queue_ms: 1.0,
+                placement_ms: 2.0,
+                comm_ms: 3.0,
+                exec_ms: (i % 100) as f64 - 6.0,
+                cap_ms: 0.0,
+                healed_ms: 0.5,
+            });
+            exact.record_request(r);
+            stream.record_request(r);
+            let s = span(
+                1,
+                10,
+                20,
+                if i % 4 == 0 { 5 } else { 10 },
+                if i % 5 == 0 { 0.5 } else { 1.0 },
+            );
+            exact.record_span(s);
+            stream.record_span(s);
+        }
+        assert!(stream.is_streaming() && !exact.is_streaming());
+        assert_eq!(stream.completed(), exact.completed());
+        assert_eq!(stream.violation_rate(None), exact.violation_rate(None));
+        for c in [VolatilityClass::Low, VolatilityClass::Mid, VolatilityClass::High] {
+            assert_eq!(stream.violation_rate(Some(c)), exact.violation_rate(Some(c)));
+        }
+        assert_eq!(stream.lateness_stats(), exact.lateness_stats());
+        assert_eq!(stream.capped_fraction(), exact.capped_fraction());
+        let (se, ee) = (stream.mean_breakdown().unwrap(), exact.mean_breakdown().unwrap());
+        assert!((se.total_ms() - ee.total_ms()).abs() < 1e-9);
+        assert!((se.healed_ms - ee.healed_ms).abs() < 1e-9);
+        let ss = stream.streaming_stats().unwrap();
+        assert_eq!(
+            ss.completed_in_horizon(),
+            exact.completed_where(|r| r.end <= horizon),
+            "horizon split must be exact"
+        );
+        assert_eq!(
+            ss.good_in_horizon(),
+            exact.completed_where(|r| r.end <= horizon && !r.violated()),
+        );
+        let exact_mean = exact.latency_cdf(None).mean();
+        assert!((ss.mean_latency_ms() - exact_mean).abs() < 1e-9, "Welford mean must be exact");
+        // P² estimates: approximate, but close on a smooth distribution.
+        let p50e = exact.latency_percentile(50.0, None).unwrap();
+        let p50s = stream.latency_percentile(50.0, None).unwrap();
+        assert!((p50s - p50e).abs() < 10.0, "p50 stream {p50s} vs exact {p50e}");
+        // Per-type partition survives folding.
+        let st = stream.per_type_stats();
+        let et = exact.per_type_stats();
+        assert_eq!(st.len(), et.len());
+        for (s, e) in st.iter().zip(&et) {
+            assert_eq!(s.0, e.0);
+            assert_eq!(s.1, e.1, "per-type counts must be exact");
+            assert!((s.2 - e.2).abs() < 1e-12, "per-type violation fractions must be exact");
+        }
+        // Streaming retains no records and stays flat-memory.
+        assert!(stream.requests().is_empty() && stream.spans().is_empty());
+        assert!(stream.approx_retained_bytes() < 16 * 1024);
+        assert!(exact.approx_retained_bytes() > stream.approx_retained_bytes());
+    }
+
+    #[test]
+    fn streaming_spill_writes_jsonl() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("vmlp-spill-{}.jsonl", std::process::id()));
+        let mut c = TraceCollector::streaming(SimTime::from_secs(1)).with_spill(&path).unwrap();
+        for i in 0..10u64 {
+            c.record_request(req(i, VolatilityClass::Low, 0, 10 + i, 50.0));
+        }
+        let ss = c.streaming_stats().unwrap();
+        assert_eq!(ss.flush_spill(), Some(path.as_path()));
+        assert_eq!(ss.spill_errors(), 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 10);
+        // Each line round-trips to the record it spilled.
+        let back: RequestRecord = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(back.id, RequestId(3));
+        assert_eq!(back.latency(), SimDuration::from_millis(13));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming-mode collector")]
+    fn spill_on_exact_collector_panics() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("vmlp-never-created.jsonl");
+        let _ = TraceCollector::new().with_spill(&path);
     }
 }

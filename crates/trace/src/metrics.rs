@@ -118,6 +118,11 @@ pub mod names {
     /// member machine had a feasible window (cross-shard work stealing).
     /// Always 0 with one shard.
     pub const SHARD_OVERFLOWS: &str = "shard_overflows";
+    /// Gauge: high-water mark of the engine's request table (live admitted
+    /// requests). Proves memory tracks *in-flight* work, not total
+    /// arrivals: on a healthy open-loop run this plateaus near
+    /// rate × residence time while arrivals grow without bound.
+    pub const REQUEST_TABLE_PEAK: &str = "request_table_peak";
 
     /// Gauge name for one machine's retained ledger timeline length.
     pub fn ledger_timeline(machine: u32) -> String {

@@ -65,6 +65,27 @@ impl ProfileStore {
         ProfileStore { histories: HashMap::new(), retention }
     }
 
+    /// Changes the retention cap (`0` = unbounded) and trims any history
+    /// already over it. Lets a warmed store be bounded before a long run
+    /// without re-profiling.
+    pub fn set_retention(&mut self, retention: usize) {
+        self.retention = retention;
+        if retention == 0 {
+            return;
+        }
+        for h in self.histories.values_mut() {
+            if h.cases.len() > retention {
+                let overflow = h.cases.len() - retention;
+                h.cases.drain(..overflow);
+            }
+        }
+    }
+
+    /// The current retention cap (`0` = unbounded).
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
     /// Records one execution case for `service`.
     pub fn record(&mut self, service: ServiceId, case: ExecutionCase) {
         let h = self.histories.entry(service.0).or_default();
@@ -237,6 +258,28 @@ mod tests {
         assert_eq!(p.cases(S)[0].exec_ms, 91.0);
         // Lifetime mean still covers all 100 recordings.
         assert_eq!(p.mean_exec_ms(S), Some(50.5));
+    }
+
+    #[test]
+    fn set_retention_trims_existing_history() {
+        let mut p = ProfileStore::new();
+        for ms in 1..=100 {
+            p.record(S, case(ms as f64));
+        }
+        p.set_retention(10);
+        assert_eq!(p.retention(), 10);
+        assert_eq!(p.case_count(S), 10, "existing overflow trimmed immediately");
+        assert_eq!(p.cases(S)[0].exec_ms, 91.0, "most recent cases kept");
+        // Subsequent recordings keep honoring the cap.
+        p.record(S, case(200.0));
+        assert_eq!(p.case_count(S), 10);
+        assert_eq!(p.last_exec_ms(S), Some(200.0));
+        // Zero restores unbounded growth.
+        p.set_retention(0);
+        for ms in 1..=20 {
+            p.record(S, case(ms as f64));
+        }
+        assert_eq!(p.case_count(S), 30);
     }
 
     #[test]

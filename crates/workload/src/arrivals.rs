@@ -40,9 +40,7 @@ pub fn generate_stream(
     let mut out = Vec::with_capacity((max_rate * horizon_s * 0.7) as usize);
     let mut t = 0.0f64;
     loop {
-        // Candidate gap from the homogeneous majorant process.
-        let u: f64 = rng.rng().gen_range(f64::MIN_POSITIVE..1.0);
-        t += -u.ln() / max_rate;
+        t = next_candidate(t, max_rate, rng);
         if t >= horizon_s {
             break;
         }
@@ -56,16 +54,31 @@ pub fn generate_stream(
     out
 }
 
+/// Advances the homogeneous majorant process by one exponential gap.
+///
+/// Shared verbatim between [`generate_stream`] and the lazy
+/// [`OpenLoopSource`](crate::OpenLoopSource) so both draw the *identical*
+/// RNG sequence — the bit-for-bit equivalence of the dense and streaming
+/// arrival paths holds by construction, not by parallel maintenance.
+pub(crate) fn next_candidate(t: f64, max_rate: f64, rng: &mut SimRng) -> f64 {
+    let u: f64 = rng.rng().gen_range(f64::MIN_POSITIVE..1.0);
+    t + -u.ln() / max_rate
+}
+
 /// Lewis–Shedler thinning decision: keep the candidate iff
 /// `accept < rate/max_rate`. Strictly less-than: `accept` can draw exactly
 /// 0.0 (the `gen_range(0.0..1.0)` interval is half-open at 1, closed at 0),
 /// and a window where `rate == 0` must emit no arrivals at all — `<=` would
 /// let the zero draw through.
-fn thin_accept(accept: f64, max_rate: f64, rate: f64) -> bool {
+pub(crate) fn thin_accept(accept: f64, max_rate: f64, rate: f64) -> bool {
     accept * max_rate < rate
 }
 
-fn sample_mix(mix: &[(RequestTypeId, f64)], total_w: f64, rng: &mut SimRng) -> RequestTypeId {
+pub(crate) fn sample_mix(
+    mix: &[(RequestTypeId, f64)],
+    total_w: f64,
+    rng: &mut SimRng,
+) -> RequestTypeId {
     let mut x: f64 = rng.rng().gen_range(0.0..total_w);
     for &(id, w) in mix {
         if x < w {

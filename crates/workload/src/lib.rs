@@ -6,11 +6,21 @@
 //! arrival generator that turns a rate curve and a request mix into a
 //! concrete request stream, and a synthetic stand-in for the Alibaba
 //! cluster-trace container-utilization data of Fig 3b.
+//!
+//! Two ways to consume a workload:
+//!
+//! * **dense** — [`generate_stream`] materializes the whole trace up front
+//!   (figure runs, byte-identical replays);
+//! * **streaming** — an [`ArrivalSource`] is pulled one arrival at a time
+//!   ([`OpenLoopSource`] generates lazily with no horizon-length buffers;
+//!   [`SliceSource`] adapts a dense trace to the pull interface).
 
 pub mod alibaba;
 pub mod arrivals;
 pub mod patterns;
+pub mod source;
 
 pub use alibaba::AlibabaTraceConfig;
 pub use arrivals::{empirical_rate, generate_stream, Arrival};
 pub use patterns::WorkloadPattern;
+pub use source::{collect_source, ArrivalSource, OpenLoopSource, SliceSource, ThinnedSource};

@@ -1,0 +1,453 @@
+//! Pull-based arrival sources: the streaming half of the workload layer.
+//!
+//! [`generate_stream`](crate::generate_stream) materializes a finite trace
+//! up front — fine for figure runs, impossible for the open-loop traffic a
+//! production-scale cluster faces (millions of requests would mean
+//! gigabytes of pre-generated arrivals). An [`ArrivalSource`] inverts the
+//! flow: the engine *pulls* the next arrival when it is ready to schedule
+//! it, so memory stays O(1) in the stream length and the stream can be
+//! unbounded (capped by a horizon and/or a request count instead).
+//!
+//! Every source is deterministic in its seed: pulling the same source twice
+//! yields bit-identical streams, and [`SliceSource`] replays a
+//! pre-generated trace exactly, so the fixed-seed figure pipeline keeps its
+//! byte-identical outputs.
+
+use crate::arrivals::{next_candidate, sample_mix, thin_accept, Arrival};
+use crate::patterns::WorkloadPattern;
+use mlp_model::RequestTypeId;
+use mlp_sim::{SimRng, SimTime};
+use rand::Rng;
+
+/// A pull-based, deterministic stream of request arrivals.
+///
+/// Arrivals come back in non-decreasing time order. `None` means the
+/// stream is exhausted (horizon reached, count cap hit, or slice drained)
+/// and will keep returning `None`.
+pub trait ArrivalSource {
+    /// The next arrival, or `None` when the stream is exhausted.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+
+    /// Total number of arrivals this source will produce, when known up
+    /// front (lets consumers pre-size buffers). `None` for open-loop
+    /// sources whose count is only known once the stream ends.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Replays a pre-generated trace slice, bit-identically.
+///
+/// This is the bridge between the dense figure pipeline and the streaming
+/// engine: `generate_stream` → `SliceSource` feeds the exact same arrivals
+/// in the exact same order as the old slice-based engine path.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    arrivals: &'a [Arrival],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a trace slice (assumed sorted by arrival time, as
+    /// `generate_stream` produces).
+    pub fn new(arrivals: &'a [Arrival]) -> Self {
+        SliceSource { arrivals, pos: 0 }
+    }
+
+    /// How many arrivals remain unpulled.
+    pub fn remaining(&self) -> usize {
+        self.arrivals.len() - self.pos
+    }
+}
+
+impl ArrivalSource for SliceSource<'_> {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = self.arrivals.get(self.pos).copied();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.arrivals.len())
+    }
+}
+
+/// How an [`OpenLoopSource`] modulates its instantaneous arrival rate.
+#[derive(Debug, Clone)]
+enum RateModel {
+    /// Deterministic rate curve (the paper's L1/L2/L3/constant patterns):
+    /// a non-homogeneous Poisson process by Lewis–Shedler thinning.
+    Pattern(WorkloadPattern),
+    /// Markov-modulated Poisson process: the rate jumps between phases,
+    /// each holding for an exponentially distributed dwell time. The
+    /// closest synthetic stand-in for bursty production traffic whose
+    /// "pattern" is itself random.
+    Mmpp {
+        /// `(rate req/s, mean dwell s)` per phase, cycled in order.
+        phases: Vec<(f64, f64)>,
+        /// Index of the phase in force at `next_switch_s`−dwell.
+        phase: usize,
+        /// When the current phase ends, in seconds.
+        next_switch_s: f64,
+    },
+}
+
+/// Lazily generates a Poisson (or MMPP) arrival stream: unbounded memory
+/// footprint of **zero** arrivals — each one is drawn when pulled.
+///
+/// Stops at the time horizon, and additionally at a request-count cap when
+/// one is set (open-loop soak runs size themselves by count, not time).
+/// Deterministic in the `SimRng` it owns: with the [`WorkloadPattern`] rate
+/// model it draws the *identical* RNG sequence as
+/// [`generate_stream`](crate::generate_stream), so collecting this source
+/// reproduces the pre-materialized trace bit-for-bit.
+#[derive(Debug)]
+pub struct OpenLoopSource {
+    model: RateModel,
+    /// Majorant rate for thinning (peak pattern rate / max phase rate).
+    max_rate: f64,
+    horizon_s: f64,
+    mix: Vec<(RequestTypeId, f64)>,
+    total_w: f64,
+    max_requests: Option<u64>,
+    emitted: u64,
+    /// Candidate-process clock, seconds.
+    t: f64,
+    rng: SimRng,
+    done: bool,
+}
+
+impl OpenLoopSource {
+    /// A non-homogeneous Poisson source following `pattern`, exactly the
+    /// process behind [`generate_stream`](crate::generate_stream).
+    pub fn poisson(
+        pattern: WorkloadPattern,
+        max_rate: f64,
+        horizon_s: f64,
+        mix: Vec<(RequestTypeId, f64)>,
+        rng: SimRng,
+    ) -> Self {
+        assert!(max_rate > 0.0, "max_rate must be positive");
+        let total_w = Self::check_mix(&mix);
+        OpenLoopSource {
+            model: RateModel::Pattern(pattern),
+            max_rate,
+            horizon_s,
+            mix,
+            total_w,
+            max_requests: None,
+            emitted: 0,
+            t: 0.0,
+            rng,
+            done: false,
+        }
+    }
+
+    /// A Markov-modulated Poisson source cycling through `phases` of
+    /// `(rate req/s, mean dwell s)`. Dwell times are exponential; the
+    /// thinning majorant is the largest phase rate.
+    pub fn mmpp(
+        phases: Vec<(f64, f64)>,
+        horizon_s: f64,
+        mix: Vec<(RequestTypeId, f64)>,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(!phases.is_empty(), "MMPP needs at least one phase");
+        assert!(
+            phases.iter().all(|&(r, d)| r >= 0.0 && d > 0.0),
+            "MMPP phases need non-negative rates and positive dwell times"
+        );
+        let max_rate = phases.iter().map(|&(r, _)| r).fold(0.0f64, f64::max);
+        assert!(max_rate > 0.0, "at least one MMPP phase must have a positive rate");
+        let total_w = Self::check_mix(&mix);
+        let first_dwell = exp_draw(phases[0].1, &mut rng);
+        OpenLoopSource {
+            model: RateModel::Mmpp { phases, phase: 0, next_switch_s: first_dwell },
+            max_rate,
+            horizon_s,
+            mix,
+            total_w,
+            max_requests: None,
+            emitted: 0,
+            t: 0.0,
+            rng,
+            done: false,
+        }
+    }
+
+    /// Caps the stream at `n` arrivals (in addition to the horizon).
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// Arrivals emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn check_mix(mix: &[(RequestTypeId, f64)]) -> f64 {
+        assert!(!mix.is_empty(), "request mix must be non-empty");
+        let total_w: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!(total_w > 0.0, "request mix weights must sum to a positive value");
+        total_w
+    }
+
+    /// Instantaneous target rate at candidate time `t` (advancing MMPP
+    /// phases as needed; phase transitions draw from the RNG exactly once
+    /// per dwell, so the stream stays deterministic however it is pulled).
+    fn rate_at(&mut self, t: f64) -> f64 {
+        match &mut self.model {
+            RateModel::Pattern(p) => p.rate_at(t, self.max_rate),
+            RateModel::Mmpp { phases, phase, next_switch_s } => {
+                while *next_switch_s <= t {
+                    *phase = (*phase + 1) % phases.len();
+                    *next_switch_s += exp_draw(phases[*phase].1, &mut self.rng);
+                }
+                phases[*phase].0
+            }
+        }
+    }
+}
+
+impl ArrivalSource for OpenLoopSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        if self.done {
+            return None;
+        }
+        if self.max_requests.is_some_and(|cap| self.emitted >= cap) {
+            self.done = true;
+            return None;
+        }
+        loop {
+            // Identical draw sequence to `generate_stream`: candidate gap,
+            // acceptance, and (only when accepted) the mix draw.
+            self.t = next_candidate(self.t, self.max_rate, &mut self.rng);
+            if self.t >= self.horizon_s {
+                self.done = true;
+                return None;
+            }
+            let accept: f64 = self.rng.rng().gen_range(0.0..1.0);
+            let rate = self.rate_at(self.t);
+            if thin_accept(accept, self.max_rate, rate) {
+                let request_type = sample_mix(&self.mix, self.total_w, &mut self.rng);
+                self.emitted += 1;
+                return Some(Arrival { at: SimTime::from_secs_f64(self.t), request_type });
+            }
+        }
+    }
+}
+
+/// Drops arrivals from an inner source, keeping each independently with
+/// probability `keep`. Models downsampled replay (evaluate a scheduler
+/// against a thinned production stream) and A/B traffic splits; thinning a
+/// Poisson process yields a Poisson process at `keep × rate`.
+#[derive(Debug)]
+pub struct ThinnedSource<S> {
+    inner: S,
+    keep: f64,
+    rng: SimRng,
+}
+
+impl<S: ArrivalSource> ThinnedSource<S> {
+    /// Wraps `inner`, keeping each arrival with probability `keep ∈ [0, 1]`.
+    /// Deterministic in `rng`: one draw per inner arrival, whatever the
+    /// consumer does between pulls.
+    pub fn new(inner: S, keep: f64, rng: SimRng) -> Self {
+        assert!((0.0..=1.0).contains(&keep), "keep probability must be in [0, 1], got {keep}");
+        ThinnedSource { inner, keep, rng }
+    }
+}
+
+impl<S: ArrivalSource> ArrivalSource for ThinnedSource<S> {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        loop {
+            let a = self.inner.next_arrival()?;
+            let u: f64 = self.rng.rng().gen_range(0.0..1.0);
+            if u < self.keep {
+                return Some(a);
+            }
+        }
+    }
+    // No size_hint: the kept count is only known at the end.
+}
+
+/// Exponential draw with the given mean (inverse-CDF over a (0,1] uniform).
+fn exp_draw(mean: f64, rng: &mut SimRng) -> f64 {
+    let u: f64 = rng.rng().gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() * mean
+}
+
+/// Drains a source into a vector (testing / small-trace convenience).
+pub fn collect_source(source: &mut dyn ArrivalSource) -> Vec<Arrival> {
+    let mut out = Vec::with_capacity(source.size_hint().unwrap_or(0));
+    while let Some(a) = source.next_arrival() {
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_stream;
+
+    fn mix2() -> Vec<(RequestTypeId, f64)> {
+        vec![(RequestTypeId(0), 0.6), (RequestTypeId(1), 0.4)]
+    }
+
+    #[test]
+    fn slice_source_replays_exactly() {
+        let mut rng = SimRng::new(5);
+        let trace = generate_stream(WorkloadPattern::L1Pulse, 200.0, 20.0, &mix2(), &mut rng);
+        let mut src = SliceSource::new(&trace);
+        assert_eq!(src.size_hint(), Some(trace.len()));
+        let replay = collect_source(&mut src);
+        assert_eq!(replay, trace);
+        assert_eq!(src.next_arrival(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn open_loop_matches_generate_stream_bit_for_bit() {
+        for (seed, pattern) in
+            [(1u64, WorkloadPattern::L2Fluctuating), (9, WorkloadPattern::Constant)]
+        {
+            let mut rng = SimRng::new(seed);
+            let dense = generate_stream(pattern, 300.0, 25.0, &mix2(), &mut rng);
+            let mut src = OpenLoopSource::poisson(pattern, 300.0, 25.0, mix2(), SimRng::new(seed));
+            let lazy = collect_source(&mut src);
+            assert_eq!(lazy, dense, "seed {seed}: lazy and dense streams diverge");
+        }
+    }
+
+    #[test]
+    fn open_loop_is_reproducible_and_capped() {
+        let mut a = OpenLoopSource::poisson(
+            WorkloadPattern::Constant,
+            500.0,
+            1e9, // effectively unbounded horizon
+            mix2(),
+            SimRng::new(7),
+        )
+        .with_max_requests(1000);
+        let mut b =
+            OpenLoopSource::poisson(WorkloadPattern::Constant, 500.0, 1e9, mix2(), SimRng::new(7))
+                .with_max_requests(1000);
+        let sa = collect_source(&mut a);
+        let sb = collect_source(&mut b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.len(), 1000, "count cap must bound the stream");
+        assert_eq!(a.emitted(), 1000);
+        assert!(sa.windows(2).all(|w| w[0].at <= w[1].at), "stream must be time-ordered");
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_and_rate_bounded() {
+        let phases = vec![(800.0, 2.0), (100.0, 3.0)];
+        let mut a = OpenLoopSource::mmpp(phases.clone(), 60.0, mix2(), SimRng::new(11));
+        let mut b = OpenLoopSource::mmpp(phases, 60.0, mix2(), SimRng::new(11));
+        let sa = collect_source(&mut a);
+        let sb = collect_source(&mut b);
+        assert_eq!(sa, sb, "MMPP must be seed-deterministic");
+        assert!(!sa.is_empty());
+        // Overall rate must land between the phase rates (well under the
+        // majorant, well over the low phase × its share).
+        let rate = sa.len() as f64 / 60.0;
+        assert!(rate < 800.0 && rate > 50.0, "achieved {rate} req/s");
+    }
+
+    #[test]
+    fn mmpp_phases_actually_modulate() {
+        // Long dwells: 1s buckets should show clearly bimodal counts.
+        let phases = vec![(1000.0, 5.0), (50.0, 5.0)];
+        let mut src = OpenLoopSource::mmpp(phases, 100.0, mix2(), SimRng::new(3));
+        let arrivals = collect_source(&mut src);
+        let rate = crate::empirical_rate(&arrivals, 100.0, 1.0);
+        let values = rate.values();
+        let hi = values.iter().filter(|&&v| v > 600.0).count();
+        let lo = values.iter().filter(|&&v| v < 200.0).count();
+        assert!(hi > 5, "high phase never visible ({hi} hot buckets)");
+        assert!(lo > 5, "low phase never visible ({lo} cold buckets)");
+    }
+
+    #[test]
+    fn thinned_source_keeps_expected_fraction() {
+        let inner = OpenLoopSource::poisson(
+            WorkloadPattern::Constant,
+            1000.0,
+            60.0,
+            mix2(),
+            SimRng::new(21),
+        );
+        let total = 1000.0 * 60.0;
+        let mut thinned = ThinnedSource::new(inner, 0.25, SimRng::new(22));
+        let kept = collect_source(&mut thinned).len() as f64;
+        let expected = 0.25 * total;
+        assert!(
+            (kept - expected).abs() < 6.0 * (expected * 0.75).sqrt() + 6.0,
+            "kept {kept}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn thinned_zero_keeps_nothing_and_one_keeps_all() {
+        let trace =
+            generate_stream(WorkloadPattern::Constant, 200.0, 5.0, &mix2(), &mut SimRng::new(2));
+        let none =
+            collect_source(&mut ThinnedSource::new(SliceSource::new(&trace), 0.0, SimRng::new(1)));
+        assert!(none.is_empty());
+        let all =
+            collect_source(&mut ThinnedSource::new(SliceSource::new(&trace), 1.0, SimRng::new(1)));
+        assert_eq!(all, trace);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::generate_stream;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Core tentpole equivalence at the workload layer: for any seed,
+        /// rate, and pattern, the lazy open-loop source and the dense
+        /// generator produce bit-identical streams.
+        #[test]
+        fn open_loop_equals_dense_for_any_seed(
+            seed: u64,
+            rate in 20.0f64..400.0,
+            pattern_idx in 0usize..4,
+        ) {
+            let pattern = [
+                WorkloadPattern::L1Pulse,
+                WorkloadPattern::L2Fluctuating,
+                WorkloadPattern::L3PeriodicWide,
+                WorkloadPattern::Constant,
+            ][pattern_idx];
+            let mix = vec![(RequestTypeId(0), 0.5), (RequestTypeId(1), 0.5)];
+            let dense = generate_stream(pattern, rate, 15.0, &mix, &mut SimRng::new(seed));
+            let mut src = OpenLoopSource::poisson(pattern, rate, 15.0, mix, SimRng::new(seed));
+            let lazy = collect_source(&mut src);
+            prop_assert_eq!(lazy, dense);
+        }
+
+        /// A capped source emits exactly min(cap, uncapped-count) arrivals,
+        /// and the capped stream is a prefix of the uncapped one.
+        #[test]
+        fn cap_is_a_prefix(seed: u64, cap in 1u64..200) {
+            let mix = vec![(RequestTypeId(0), 1.0)];
+            let mut full = OpenLoopSource::poisson(
+                WorkloadPattern::Constant, 100.0, 3.0, mix.clone(), SimRng::new(seed));
+            let all = collect_source(&mut full);
+            let mut capped = OpenLoopSource::poisson(
+                WorkloadPattern::Constant, 100.0, 3.0, mix, SimRng::new(seed))
+                .with_max_requests(cap);
+            let some = collect_source(&mut capped);
+            let expect = all.len().min(cap as usize);
+            prop_assert_eq!(some.len(), expect);
+            prop_assert_eq!(&some[..], &all[..expect]);
+        }
+    }
+}

@@ -76,6 +76,7 @@ pub mod prelude {
     pub use mlp_model::requests::RequestCatalog;
     pub use mlp_model::VolatilityClass;
     pub use mlp_workload::patterns::WorkloadPattern;
+    pub use mlp_workload::{ArrivalSource, OpenLoopSource, SliceSource, ThinnedSource};
 
     // Robustness extensions.
     pub use mlp_faults::FaultConfig;

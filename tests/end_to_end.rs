@@ -8,7 +8,7 @@ use v_mlp::engine::sim::simulate;
 use v_mlp::prelude::*;
 use v_mlp::sim::{SimRng, SimTime};
 use v_mlp::trace::RequestId;
-use v_mlp::workload::generate_stream;
+use v_mlp::workload::{generate_stream, SliceSource};
 
 fn run_raw(scheme: Scheme, seed: u64) -> (v_mlp::engine::sim::SimOutput, RequestCatalog) {
     let cfg = ExperimentConfig::smoke(scheme).with_seed(seed);
@@ -21,7 +21,8 @@ fn run_raw(scheme: Scheme, seed: u64) -> (v_mlp::engine::sim::SimOutput, Request
     let mix = cfg.mix.resolve(&catalog);
     let arrivals = generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
     let mut sched = cfg.scheme.build();
-    let out = simulate(&cfg, &catalog, profiles, &arrivals, sched.as_mut(), &mut sim_rng);
+    let mut source = SliceSource::new(&arrivals);
+    let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
     (out, catalog)
 }
 
@@ -198,7 +199,8 @@ fn drain_wall_caps_run_length() {
     let arrivals =
         generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut root.fork(0));
     let mut sched = cfg.scheme.build();
-    let out = simulate(&cfg, &catalog, profiles, &arrivals, sched.as_mut(), &mut root.fork(1));
+    let mut source = SliceSource::new(&arrivals);
+    let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut root.fork(1));
     let wall = SimTime::from_secs_f64(cfg.horizon_s * cfg.drain_factor);
     for rec in out.collector.requests() {
         assert!(rec.end <= wall, "request finished after the drain wall");

@@ -13,7 +13,7 @@ use v_mlp::engine::sim::simulate;
 use v_mlp::prelude::*;
 use v_mlp::sim::SimRng;
 use v_mlp::trace::metrics::names;
-use v_mlp::workload::{generate_stream, WorkloadPattern};
+use v_mlp::workload::{generate_stream, SliceSource, WorkloadPattern};
 
 /// Runs v-MLP under a constant offered load for `horizon_s` simulated
 /// seconds and returns (timeline high-water mark, final per-tick total).
@@ -30,7 +30,8 @@ fn run_constant_load(horizon_s: f64) -> (f64, f64) {
     let mix = cfg.mix.resolve(&catalog);
     let arrivals = generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
     let mut sched = cfg.scheme.build();
-    let out = simulate(&cfg, &catalog, profiles, &arrivals, sched.as_mut(), &mut sim_rng);
+    let mut source = SliceSource::new(&arrivals);
+    let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
 
     let max = out
         .metrics
@@ -49,6 +50,34 @@ fn run_constant_load(horizon_s: f64) -> (f64, f64) {
     }
     assert!(max >= 0.0 && total >= 0.0);
     (max, total)
+}
+
+#[test]
+fn tighter_retention_window_still_passes_the_auditor() {
+    // The 2 s default retention is a config knob now; a run pruning much
+    // more aggressively (0.5 s) must stay invariant-clean — the auditor
+    // cross-checks reservations against run state every tick, so a window
+    // that pruned still-needed breakpoints would trip it.
+    let cfg = ExperimentConfig::smoke(Scheme::VMlp)
+        .with_seed(11)
+        .with_ledger_retention(0.5)
+        .with_auditor(true);
+    let catalog = RequestCatalog::paper();
+    let (r, out) = Experiment::from_config(cfg).catalog(&catalog).run_full().unwrap();
+    assert_eq!(r.invariant_violations, 0, "report: {:?}", out.invariant_report);
+    assert!(out.invariant_report.is_none());
+    assert!(r.completed > 0);
+
+    // And the tighter window retains no more than the default one.
+    let default_cfg = ExperimentConfig::smoke(Scheme::VMlp).with_seed(11).with_auditor(true);
+    let (_, out_default) =
+        Experiment::from_config(default_cfg).catalog(&catalog).run_full().unwrap();
+    let tight_max = out.metrics.gauge(names::LEDGER_TIMELINE_MAX).unwrap();
+    let default_max = out_default.metrics.gauge(names::LEDGER_TIMELINE_MAX).unwrap();
+    assert!(
+        tight_max <= default_max,
+        "0.5 s window retained more timeline points ({tight_max}) than the 2 s default ({default_max})"
+    );
 }
 
 #[test]

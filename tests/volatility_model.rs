@@ -122,8 +122,15 @@ fn run_enriches_profiles_with_contended_cases() {
         &mut arr_rng,
     );
     let mut sched = cfg.scheme.build();
-    let out =
-        v_mlp::engine::sim::simulate(&cfg, &catalog, warm, &arrivals, sched.as_mut(), &mut sim_rng);
+    let mut source = v_mlp::workload::SliceSource::new(&arrivals);
+    let out = v_mlp::engine::sim::simulate(
+        &cfg,
+        &catalog,
+        warm,
+        &mut source,
+        sched.as_mut(),
+        &mut sim_rng,
+    );
     let after = out.profiles.case_count(v_mlp::model::benchmarks::sn::NGINX);
     assert!(after > warm_count, "run should append execution cases: {after} vs {warm_count}");
 }
