@@ -24,6 +24,7 @@ pub mod fig12_latency;
 pub mod fig13_tail;
 pub mod fig14_throughput;
 pub mod fig_faults;
+pub mod fig_overload;
 pub mod fig_scale;
 pub mod fig_soak;
 pub mod loads;
@@ -78,8 +79,21 @@ pub fn bench_json_path() -> &'static str {
 /// one committed artifact). Unreadable or corrupt existing contents are
 /// discarded rather than propagated.
 pub fn merge_bench_json(own: Vec<(String, serde_json::Value)>) {
+    let path = std::path::Path::new(bench_json_path());
+    merge_bench_json_at(path, own).expect("write BENCH_sim.json");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Path-parameterized core of [`merge_bench_json`]. The snapshot is
+/// written to a sibling temp file and atomically renamed into place: a run
+/// that dies mid-write (OOM kill, ctrl-C between figure sweeps) used to
+/// leave a truncated `BENCH_sim.json` behind, and the *next* merge would
+/// read it as corrupt and silently drop every sibling key.
+pub fn merge_bench_json_at(
+    path: &std::path::Path,
+    own: Vec<(String, serde_json::Value)>,
+) -> std::io::Result<()> {
     use serde_json::Value;
-    let path = bench_json_path();
     let mut entries = own;
     if let Ok(Value::Object(existing)) = std::fs::read_to_string(path)
         .map_err(|_| ())
@@ -93,8 +107,9 @@ pub fn merge_bench_json(own: Vec<(String, serde_json::Value)>) {
     }
     let json =
         serde_json::to_string_pretty(&Value::Object(entries)).expect("bench snapshot serializes");
-    std::fs::write(path, json + "\n").expect("write BENCH_sim.json");
-    eprintln!("wrote {path}");
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json + "\n")?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Parses `--scale=tiny|small|paper` from argv (default: small) for the
@@ -114,4 +129,58 @@ pub fn scale_from_args() -> Scale {
         }
     }
     Scale::small()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merge_bench_json_at;
+    use serde_json::Value;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mlp_bench_merge_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn read_value(path: &std::path::Path) -> Value {
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn merge_preserves_sibling_keys_across_runs() {
+        let dir = tmp_dir("siblings");
+        let path = dir.join("BENCH_sim.json");
+        merge_bench_json_at(&path, vec![("fig_a".into(), Value::Str("one".into()))]).unwrap();
+        merge_bench_json_at(&path, vec![("fig_b".into(), Value::Bool(false))]).unwrap();
+        // Re-running an owner replaces its key without touching siblings.
+        merge_bench_json_at(&path, vec![("fig_a".into(), Value::Str("two".into()))]).unwrap();
+        let v = read_value(&path);
+        assert_eq!(v.get("fig_a"), Some(&Value::Str("two".into())));
+        assert_eq!(v.get("fig_b"), Some(&Value::Bool(false)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression for the early-exit bug: the snapshot must be replaced
+    /// atomically (temp file + rename), never truncated in place. A
+    /// half-written file from a killed run is treated as corrupt on the
+    /// next merge, but that merge still produces a complete, valid
+    /// snapshot and leaves no temp debris behind.
+    #[test]
+    fn merge_is_atomic_and_recovers_from_truncation() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("BENCH_sim.json");
+        // Simulate a run killed mid-write under the old non-atomic scheme.
+        std::fs::write(&path, "{\"fig_a\": {\"x\": 1}, \"fig_").unwrap();
+        merge_bench_json_at(&path, vec![("fig_b".into(), Value::Bool(true))]).unwrap();
+        let v = read_value(&path);
+        assert_eq!(v.get("fig_b"), Some(&Value::Bool(true)));
+        assert!(!path.with_extension("json.tmp").exists(), "temp file must be renamed away");
+        // A failed write (unwritable directory) must not corrupt anything:
+        // the error surfaces instead of a partial file.
+        let missing = dir.join("no_such_dir").join("BENCH_sim.json");
+        assert!(merge_bench_json_at(&missing, vec![("k".into(), Value::Null)]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -618,6 +618,26 @@ impl Scheduler for VMlpScheduler {
         actions
     }
 
+    fn on_node_skipped(&mut self, request: RequestId, node: usize, ctx: &mut SchedulerCtx<'_>) {
+        let Some(ar) = self.active.get_mut(&request) else { return };
+        if ar.state[node] == NodeState::Done {
+            return;
+        }
+        ar.state[node] = NodeState::Done;
+        // The node will never execute: give back its future reservation and
+        // mark it unreserved so completion trimming / abandon rollback
+        // cannot double-free the window.
+        let np = ar.plan.nodes[node];
+        if np.reserved && np.budget > SimDuration::ZERO {
+            ctx.cluster.machine_mut(np.machine).ledger.unreserve(
+                np.planned_start,
+                np.planned_end(),
+                np.grant,
+            );
+            ar.plan.nodes[node].reserved = false;
+        }
+    }
+
     fn on_request_abandoned(&mut self, request: RequestId, ctx: &mut SchedulerCtx<'_>) {
         let Some(ar) = self.active.remove(&request) else { return };
         // Give back the future reservations of nodes that will never run.

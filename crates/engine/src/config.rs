@@ -5,6 +5,7 @@ use crate::scheme::Scheme;
 use mlp_cluster::ShardPolicy;
 use mlp_faults::FaultConfig;
 use mlp_model::{RequestTypeId, ResourceVector, VolatilityClass};
+use mlp_sched::OverloadConfig;
 use mlp_workload::WorkloadPattern;
 use serde::{Deserialize, Serialize};
 
@@ -127,6 +128,12 @@ pub struct ExperimentConfig {
     /// *and* quadratic scheduling time.
     #[serde(default)]
     pub profile_retention: usize,
+    /// Overload-resilience subsystem (flash-crowd surge shaping, admission
+    /// control, retry budgets, circuit breakers, brownout tiers). Disabled
+    /// by default: runs are byte-identical to pre-overload builds — the
+    /// subsystem's RNG fork is never even created.
+    #[serde(default)]
+    pub overload: OverloadConfig,
 }
 
 /// Hand-written (the vendored derive errors on absent fields) so config
@@ -175,6 +182,7 @@ impl Deserialize for ExperimentConfig {
             max_requests: opt(v, "max_requests", None)?,
             stream_stats: opt(v, "stream_stats", false)?,
             profile_retention: opt(v, "profile_retention", 0)?,
+            overload: opt(v, "overload", OverloadConfig::disabled())?,
         })
     }
 }
@@ -209,6 +217,7 @@ impl ExperimentConfig {
             max_requests: None,
             stream_stats: false,
             profile_retention: 0,
+            overload: OverloadConfig::disabled(),
         }
     }
 
@@ -319,6 +328,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the overload-resilience configuration (see [`OverloadConfig`]).
+    pub fn with_overload(mut self, o: OverloadConfig) -> Self {
+        self.overload = o;
+        self
+    }
+
     /// Builds the cluster this config describes.
     pub fn build_cluster(&self) -> mlp_cluster::Cluster {
         let cluster = match self.small_tier {
@@ -417,6 +432,7 @@ mod tests {
                             | "max_requests"
                             | "stream_stats"
                             | "profile_retention"
+                            | "overload"
                     )
                 })
                 .collect(),
@@ -431,6 +447,7 @@ mod tests {
         assert_eq!(back.max_requests, None, "pre-streaming configs use the dense path");
         assert!(!back.stream_stats);
         assert_eq!(back.profile_retention, 0, "pre-knob configs keep unbounded history");
+        assert!(!back.overload.enabled, "pre-overload configs load with the subsystem off");
         assert_eq!(back.machines, c.machines);
         assert_eq!(back.seed, c.seed);
     }

@@ -23,7 +23,9 @@ use crate::runner::{summarize, ExperimentResult};
 use crate::sim::{simulate, SimOutput};
 use mlp_model::RequestCatalog;
 use mlp_sim::SimRng;
-use mlp_workload::{generate_stream, OpenLoopSource, SliceSource};
+use mlp_workload::{
+    generate_stream, validate_stream_params, OpenLoopSource, RateSchedule, SliceSource,
+};
 use std::path::Path;
 
 /// A fully described, not-yet-run experiment.
@@ -149,6 +151,9 @@ impl<'a> Experiment<'a> {
         if c.max_requests == Some(0) {
             return bad("max_requests must be >= 1 when set".into());
         }
+        if let Err(why) = c.overload.validate() {
+            return bad(why);
+        }
         Ok(())
     }
 
@@ -188,34 +193,76 @@ impl<'a> Experiment<'a> {
         // cost is linear in the retained window.
         profiles.set_retention(config.profile_retention);
         let mix = config.mix.resolve(catalog);
+        // The typed workload-parameter check needs the resolved mix, so it
+        // runs here rather than in `validate()`; it still fires before any
+        // arrival is generated.
+        validate_stream_params(config.max_rate, &mix)
+            .map_err(|e| Error::InvalidConfig(format!("workload: {e}")))?;
         let mut scheduler = config.scheme.build();
 
-        // Two arrival paths with the identical RNG draw sequence: the dense
-        // trace replayed through a SliceSource (figure runs, byte-identical
-        // to the historical slice engine), or a lazy OpenLoopSource when a
-        // request cap asks for bounded-memory open-loop traffic.
-        let out = match config.max_requests {
-            None => {
-                let arrivals = generate_stream(
-                    config.pattern,
-                    config.max_rate,
-                    config.horizon_s,
-                    &mix,
-                    &mut arrival_rng,
-                );
-                let mut source = SliceSource::new(&arrivals);
-                simulate(&config, catalog, profiles, &mut source, scheduler.as_mut(), &mut sim_rng)
+        // Three arrival paths. The first two share the identical RNG draw
+        // sequence: the dense trace replayed through a SliceSource (figure
+        // runs, byte-identical to the historical slice engine), or a lazy
+        // OpenLoopSource when a request cap asks for bounded-memory
+        // open-loop traffic. The third drives a flash-crowd rate schedule
+        // when the overload config asks for a surge.
+        let surging = config.overload.enabled && config.overload.surge_multiplier > 1.0;
+        let out = if surging {
+            let o = config.overload;
+            let schedule = RateSchedule::flash_crowd(
+                config.pattern,
+                config.max_rate,
+                o.surge_start_s,
+                o.surge_duration_s,
+                o.surge_multiplier,
+                o.surge_ramp_s,
+            )
+            .map_err(|e| Error::InvalidConfig(format!("overload schedule: {e}")))?;
+            let mut source =
+                OpenLoopSource::scheduled(schedule, config.horizon_s, mix, arrival_rng)
+                    .map_err(|e| Error::InvalidConfig(format!("overload source: {e}")))?;
+            if let Some(cap) = config.max_requests {
+                source = source.with_max_requests(cap);
             }
-            Some(cap) => {
-                let mut source = OpenLoopSource::poisson(
-                    config.pattern,
-                    config.max_rate,
-                    config.horizon_s,
-                    mix,
-                    arrival_rng,
-                )
-                .with_max_requests(cap);
-                simulate(&config, catalog, profiles, &mut source, scheduler.as_mut(), &mut sim_rng)
+            simulate(&config, catalog, profiles, &mut source, scheduler.as_mut(), &mut sim_rng)
+        } else {
+            match config.max_requests {
+                None => {
+                    let arrivals = generate_stream(
+                        config.pattern,
+                        config.max_rate,
+                        config.horizon_s,
+                        &mix,
+                        &mut arrival_rng,
+                    );
+                    let mut source = SliceSource::new(&arrivals);
+                    simulate(
+                        &config,
+                        catalog,
+                        profiles,
+                        &mut source,
+                        scheduler.as_mut(),
+                        &mut sim_rng,
+                    )
+                }
+                Some(cap) => {
+                    let mut source = OpenLoopSource::poisson(
+                        config.pattern,
+                        config.max_rate,
+                        config.horizon_s,
+                        mix,
+                        arrival_rng,
+                    )
+                    .with_max_requests(cap);
+                    simulate(
+                        &config,
+                        catalog,
+                        profiles,
+                        &mut source,
+                        scheduler.as_mut(),
+                        &mut sim_rng,
+                    )
+                }
             }
         };
         let result = summarize(&config, catalog, &out);
@@ -267,6 +314,20 @@ mod tests {
             (ExperimentConfig { mix: MixSpec::HighRatio(1.5), ..base }, "ratio"),
             (base.with_small_tier(999, 0.5), "small_tier"),
             (base.with_shards(99, mlp_cluster::ShardPolicy::RoundRobin), "shards"),
+            (
+                base.with_overload(mlp_sched::OverloadConfig {
+                    admission_slack: 0.5,
+                    ..mlp_sched::OverloadConfig::flash_crowd(3.0, 1.0, 2.0)
+                }),
+                "admission_slack",
+            ),
+            (
+                base.with_overload(mlp_sched::OverloadConfig {
+                    surge_multiplier: f64::NAN,
+                    ..mlp_sched::OverloadConfig::flash_crowd(3.0, 1.0, 2.0)
+                }),
+                "surge_multiplier",
+            ),
         ];
         for (cfg, needle) in cases {
             let err = Experiment::from_config(cfg).run().unwrap_err();

@@ -81,6 +81,22 @@ pub struct ExperimentResult {
     /// before the gauge existed).
     #[serde(default)]
     pub request_table_peak: usize,
+    /// Arrivals refused by the overload admission gate (a subset of
+    /// `unfinished`; 0 when overload resilience is disabled).
+    #[serde(default)]
+    pub shed_requests: usize,
+    /// DAG leaves skipped by brownout branch shedding.
+    #[serde(default)]
+    pub branch_sheds: u64,
+    /// Retries refused by the global retry-token budget.
+    #[serde(default)]
+    pub retries_denied: u64,
+    /// Times any per-service circuit breaker tripped open.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Peak overload pressure signal observed (0 with overload off).
+    #[serde(default)]
+    pub peak_pressure: f64,
 }
 
 impl ExperimentResult {
@@ -196,6 +212,11 @@ pub(crate) fn summarize(
         invariant_violations: out.metrics.counter(names::INVARIANT_VIOLATIONS),
         shard_overflows: out.metrics.counter(names::SHARD_OVERFLOWS),
         request_table_peak: out.request_table_peak,
+        shed_requests: out.shed_requests,
+        branch_sheds: out.metrics.counter(names::OVERLOAD_BRANCH_SHEDS),
+        retries_denied: out.metrics.counter(names::OVERLOAD_RETRIES_DENIED),
+        breaker_opens: out.metrics.gauge(names::BREAKER_OPENS).unwrap_or(0.0) as u64,
+        peak_pressure: out.metrics.gauge(names::OVERLOAD_PRESSURE_PEAK).unwrap_or(0.0),
     }
 }
 

@@ -73,7 +73,59 @@ impl<'c> Sim<'c> {
         if let Err(e) = self.cluster.shards().check_partition(self.cluster.machines()) {
             violations.push(format!("shard partition: {e}"));
         }
+        // Overload-resilience invariants: the retry-token bucket must obey
+        // exact micro-token conservation, and every breaker's transition
+        // history must be a legal state-machine walk.
+        if let Some(o) = self.overload.as_ref() {
+            if !o.budget.conservation_holds() {
+                violations.push(format!(
+                    "retry budget leaks tokens: {} available, {} granted, {} denied",
+                    o.budget.tokens_available(),
+                    o.budget.granted(),
+                    o.budget.denied(),
+                ));
+            }
+            if let Err(e) = o.breakers.check_legal() {
+                violations.push(format!("breaker state machine: {e}"));
+            }
+        }
         self.report_violations(now, &violations);
+    }
+
+    /// End-of-run replay of the admission log: every admitted request's
+    /// recorded ideal critical path must match a recomputation from the
+    /// catalog, and its feasibility inequality must actually have held at
+    /// gate time. Catches a drifting critical-path estimate or a gate that
+    /// admits infeasible work under pressure. Resilience-off runs keep no
+    /// admission log and pass trivially.
+    pub(super) fn audit_overload_end(&mut self) {
+        let Some(o) = self.overload.as_ref() else { return };
+        let mut violations: Vec<String> = Vec::new();
+        let mut last = SimTime::ZERO;
+        for rec in &o.admission_log {
+            last = last.max(rec.at);
+            let ideal = ideal_cp_ms(self.catalog, rec.rtype);
+            if (ideal - rec.ideal_cp_ms).abs() > 1e-6 {
+                violations.push(format!(
+                    "request {} admission recorded ideal cp {} ms but catalog gives {} ms",
+                    rec.request.0, rec.ideal_cp_ms, ideal
+                ));
+                continue;
+            }
+            let remaining_ms = rec.deadline.since(rec.at).as_millis_f64();
+            if o.cfg.admission_slack * rec.ideal_cp_ms > remaining_ms + 1e-6 {
+                violations.push(format!(
+                    "request {} admitted infeasibly: slack*cp = {} ms > {} ms to deadline",
+                    rec.request.0,
+                    o.cfg.admission_slack * rec.ideal_cp_ms,
+                    remaining_ms
+                ));
+            }
+        }
+        // Once the admission log wraps (admission_log_dropped > 0) the
+        // replay is best-effort over the retained tail — still a real
+        // check, just not exhaustive.
+        self.report_violations(last, &violations);
     }
 
     /// End-of-run cross-checks between the audit trail and the recorded

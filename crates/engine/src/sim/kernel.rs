@@ -12,6 +12,7 @@
 //! dense path.
 
 use super::*;
+use mlp_trace::metrics::names;
 use mlp_trace::{Decision, DecisionKind};
 
 impl<'c> Sim<'c> {
@@ -77,7 +78,7 @@ impl<'c> Sim<'c> {
                     self.maybe_round(now, scheduler);
                 }
                 Event::Sample => {
-                    self.on_sample(now);
+                    self.on_sample(now, scheduler.waiting());
                     if self.auditor {
                         self.audit_tick(now);
                     }
@@ -101,8 +102,52 @@ impl<'c> Sim<'c> {
     /// notify the scheduler. Note the event-queue clock is *not* advanced
     /// here (nothing was popped); every schedule issued downstream uses
     /// times ≥ the arrival instant, which is ≥ the last popped time.
+    ///
+    /// Under overload the admission gate runs first: an arrival that the
+    /// queue cap, the deadline-feasibility check, or an open circuit
+    /// breaker rejects is shed on the spot — it consumes a request id and
+    /// counts as arrived-but-unfinished, and the scheduler never sees it.
     fn arrival(&mut self, a: Arrival, scheduler: &mut dyn Scheduler) {
         let now = a.at;
+        if let Some(o) = self.overload.as_mut() {
+            use mlp_sched::AdmissionVerdict;
+            let rt = self.catalog.request(a.request_type);
+            let ideal = ideal_cp_ms(self.catalog, a.request_type);
+            let deadline = now + SimDuration::from_millis_f64(rt.slo_ms);
+            // Backlog is everything in the system, not just the admission
+            // queue: schedulers that admit eagerly park the excess in
+            // machine plans, where it still queues ahead of this arrival.
+            let depth = scheduler.waiting() + self.table.live();
+            let id = RequestId(self.next_request_id);
+            let verdict = o.admission(
+                now,
+                id,
+                a.request_type,
+                depth,
+                ideal,
+                deadline,
+                rt.dag.nodes().iter().map(|n| n.service),
+            );
+            let reason = match verdict {
+                AdmissionVerdict::Admit { .. } => None,
+                AdmissionVerdict::RejectQueueFull { .. } => Some("queue-full"),
+                AdmissionVerdict::RejectInfeasible { .. } => Some("deadline-infeasible"),
+                AdmissionVerdict::RejectBreaker { .. } => Some("breaker-open"),
+            };
+            if let Some(reason) = reason {
+                self.next_request_id += 1;
+                self.arrived += 1;
+                self.shed_requests += 1;
+                self.metrics.inc(names::OVERLOAD_SHED_REQUESTS);
+                self.audit.record(
+                    Decision::new(now, DecisionKind::AdmissionReject, reason)
+                        .request(id)
+                        .budget_ms(ideal)
+                        .value(depth as f64),
+                );
+                return;
+            }
+        }
         let id = self.next_request_id;
         self.next_request_id += 1;
         self.arrived += 1;
@@ -137,13 +182,23 @@ impl<'c> Sim<'c> {
             self.metrics.set_gauge(names::MTTR_MS, mean_ms);
         }
         self.metrics.set_gauge(names::REQUEST_TABLE_PEAK, self.table.peak() as f64);
+        if let Some(o) = self.overload.as_ref() {
+            self.metrics.set_gauge(names::OVERLOAD_PRESSURE_PEAK, o.brownout.peak_pressure());
+            self.metrics.set_gauge(names::BREAKER_OPENS, o.breakers.opens() as f64);
+            self.metrics.set_gauge(names::RETRY_TOKENS, o.budget.tokens_available());
+            self.metrics.set_gauge(names::OVERLOAD_RETRIES_GRANTED, o.budget.granted() as f64);
+        }
         if self.auditor {
             self.audit_end_of_run();
+            self.audit_overload_end();
         }
         // Abandoned requests never complete, so they are counted as
-        // unfinished and request conservation holds under faults.
-        let unfinished =
-            (self.table.admitted() - self.completed_reqs) as usize + scheduler.waiting();
+        // unfinished and request conservation holds under faults. Shed
+        // arrivals were never admitted anywhere, so they are added on top:
+        // arrived == finished + unfinished still balances.
+        let unfinished = (self.table.admitted() - self.completed_reqs) as usize
+            + scheduler.waiting()
+            + self.shed_requests as usize;
         SimOutput {
             collector: std::mem::take(&mut self.collector),
             utilization: std::mem::replace(
@@ -154,6 +209,7 @@ impl<'c> Sim<'c> {
             unfinished,
             abandoned: self.abandoned,
             arrived: self.arrived as usize,
+            shed_requests: self.shed_requests as usize,
             request_table_peak: self.table.peak(),
             profiles: std::mem::take(&mut self.profiles),
             audit: self.audit.clone(),

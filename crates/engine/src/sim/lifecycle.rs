@@ -174,6 +174,13 @@ impl<'c> Sim<'c> {
                 }
             }
             HealingAction::StretchRunning { request, node, factor } => {
+                // Brownout tier 1+: resource stretches are a luxury the
+                // cluster cannot afford under pressure — suppress them so
+                // the spare capacity serves admissions instead.
+                if self.overload.as_ref().is_some_and(|o| o.suppress_stretch()) {
+                    self.metrics.inc(names::OVERLOAD_STRETCHES_SUPPRESSED);
+                    return;
+                }
                 let id = request.0;
                 if factor <= 1.0 {
                     return;
@@ -223,6 +230,22 @@ impl<'c> Sim<'c> {
             }
             HealingAction::Retry { request, node, backoff } => {
                 let id = request.0;
+                // Scheduler-issued retries draw from the same global token
+                // bucket as engine blind retries: under overload an
+                // exhausted budget sheds the request instead of feeding a
+                // retry storm.
+                if let Some(o) = self.overload.as_mut() {
+                    if !o.try_retry_token(now) {
+                        self.metrics.inc(names::OVERLOAD_RETRIES_DENIED);
+                        self.audit.record(
+                            Decision::new(now, DecisionKind::Shed, "retry-budget-exhausted")
+                                .request(request)
+                                .node(node),
+                        );
+                        self.abandon_request(now, id, scheduler);
+                        return;
+                    }
+                }
                 let Some(req) = self.table.get_mut(id) else {
                     return;
                 };
@@ -321,8 +344,18 @@ impl<'c> Sim<'c> {
         req.state[node] = NState::Ready { at: now };
         req.gens[node] += 1;
         let rid = req.info.id;
+        let rtype = req.info.rtype;
         self.cluster.machine_mut(np.machine).release(grant);
         self.metrics.inc(names::NODE_FAILURES);
+        // Feed the per-service circuit breaker: repeated failures of one
+        // service trip its breaker open, and the admission gate then
+        // rejects new requests whose DAGs depend on it.
+        if let Some(o) = self.overload.as_mut() {
+            if o.cfg.resilience {
+                let svc = self.catalog.request(rtype).dag.node(node).service;
+                o.breakers.record_failure(svc, now);
+            }
+        }
 
         let failure = NodeFailure { request: rid, node, machine: np.machine, attempt, at: now };
         let actions = {
@@ -363,6 +396,26 @@ impl<'c> Sim<'c> {
         } else {
             let gen = req.gens[node];
             let attempts = req.attempts[node];
+            // Under resilience the blind retry draws a token from the
+            // global budget (shed on exhaustion) and backs off with
+            // exponential jitter instead of the fixed engine backoff.
+            let backoff = if self.overload.as_ref().is_some_and(|o| o.cfg.resilience) {
+                let o = self.overload.as_mut().expect("checked above");
+                if !o.try_retry_token(now) {
+                    self.metrics.inc(names::OVERLOAD_RETRIES_DENIED);
+                    self.audit.record(
+                        Decision::new(now, DecisionKind::Shed, "retry-budget-exhausted")
+                            .request(rid)
+                            .node(node)
+                            .value(attempts as f64),
+                    );
+                    self.abandon_request(now, request, scheduler);
+                    return;
+                }
+                SimDuration::from_millis_f64(o.retry_backoff_ms(attempts))
+            } else {
+                RETRY_BACKOFF
+            };
             self.metrics.inc(names::RETRIES);
             self.audit.record(
                 Decision::new(now, DecisionKind::Retry, "engine-blind-retry")
@@ -370,7 +423,7 @@ impl<'c> Sim<'c> {
                     .node(node)
                     .value(attempts as f64),
             );
-            self.queue.schedule(now + RETRY_BACKOFF, Event::TryInvoke { request, node, gen });
+            self.queue.schedule(now + backoff, Event::TryInvoke { request, node, gen });
         }
     }
 
@@ -490,6 +543,13 @@ impl<'c> Sim<'c> {
                 exec_ms: now.since(start).as_millis_f64(),
             },
         );
+        // A completed span is a success vote for its service's breaker
+        // (HalfOpen probes recover through here).
+        if let Some(o) = self.overload.as_mut() {
+            if o.cfg.resilience {
+                o.breakers.record_success(service, now);
+            }
+        }
         let heal = {
             let mut ctx = sched_ctx!(self, now);
             scheduler.on_span_complete(&span, &mut ctx)
@@ -501,12 +561,32 @@ impl<'c> Sim<'c> {
         // Ready the children. The entry is still present even if a healing
         // action just abandoned this request (reclamation is deferred).
         let degrade = self.faults.degradation_at(now);
+        // Brownout tier 2+: optional terminal branches are shed — a leaf
+        // child whose only unmet dependency is this completing node is
+        // marked done without ever running. One leaf is always kept so
+        // every request still produces a meaningful response.
+        let shed_branches = self.overload.as_ref().is_some_and(|o| o.shed_optional_branches());
         let req = self.table.get_mut(request).expect("entry lives until end of turn");
         let children = dag.children(node);
+        let keep_leaf = if shed_branches {
+            children.iter().copied().filter(|&c| dag.children(c).is_empty()).max()
+        } else {
+            None
+        };
         let parent_machine = np.machine;
         let mut newly_ready: Vec<(RequestId, usize, SimTime)> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
         let mut violations = 0u64;
         for c in children {
+            if shed_branches && dag.children(c).is_empty() && Some(c) != keep_leaf {
+                if let NState::WaitingDeps { deps_left: 1, .. } = req.state[c] {
+                    req.state[c] = NState::Done;
+                    req.remaining -= 1;
+                    req.gens[c] += 1; // kill any stale events for the node
+                    skipped.push(c);
+                    continue;
+                }
+            }
             let callee = self.catalog.services.get(dag.node(c).service);
             let same = req.plan.nodes[c].machine == parent_machine;
             let mut comm = self.net.sample_delay(same, callee.comm, rng);
@@ -547,6 +627,22 @@ impl<'c> Sim<'c> {
         }
         if violations > 0 {
             self.metrics.add(names::INVARIANT_VIOLATIONS, violations);
+        }
+
+        if !skipped.is_empty() {
+            if let Some(o) = self.overload.as_mut() {
+                o.branch_sheds += skipped.len() as u64;
+            }
+            for &c in &skipped {
+                self.metrics.inc(names::OVERLOAD_BRANCH_SHEDS);
+                self.audit.record(
+                    Decision::new(now, DecisionKind::Shed, "brownout-branch-shed")
+                        .request(rid)
+                        .node(c),
+                );
+                let mut ctx = sched_ctx!(self, now);
+                scheduler.on_node_skipped(rid, c, &mut ctx);
+            }
         }
 
         for (rid, c, at) in newly_ready {

@@ -53,9 +53,9 @@
 use crate::config::ExperimentConfig;
 use mlp_cluster::{Cluster, GrantId, MachineId};
 use mlp_faults::FaultSchedule;
-use mlp_model::{RequestCatalog, ResourceVector};
+use mlp_model::{RequestCatalog, RequestTypeId, ResourceVector};
 use mlp_net::NetworkModel;
-use mlp_sched::{RequestInfo, RequestPlan, Scheduler, SchedulerCtx};
+use mlp_sched::{OverloadRuntime, RequestInfo, RequestPlan, Scheduler, SchedulerCtx};
 use mlp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mlp_stats::TimeSeries;
 use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId, TraceCollector};
@@ -216,6 +216,9 @@ pub struct SimOutput {
     /// First invariant violation the auditor caught, as a minimized repro
     /// dump (`None` when the auditor is off or nothing fired).
     pub invariant_report: Option<String>,
+    /// Requests shed at the overload admission gate (a subset of
+    /// `unfinished`; always 0 with the overload subsystem off).
+    pub shed_requests: usize,
 }
 
 /// Runs one experiment: arrivals pulled from `source` against `scheduler`
@@ -285,6 +288,15 @@ pub fn simulate_with(
         audit: if cfg.audit { AuditLog::enabled() } else { AuditLog::disabled() },
         auditor: cfg.auditor,
         invariant_report: None,
+        // The overload runtime (and its RNG fork) exists only when the
+        // subsystem is on: disabled runs draw exactly the historical RNG
+        // streams and stay byte-identical.
+        overload: cfg
+            .overload
+            .enabled
+            .then(|| OverloadRuntime::new(cfg.overload, SimRng::new(cfg.seed).fork(3))),
+        shed_requests: 0,
+        breaker_log_cursor: 0,
         cfg: *cfg,
     };
     sim.run(source, scheduler, rng)
@@ -350,8 +362,28 @@ struct Sim<'c> {
     auditor: bool,
     /// First violation's repro dump.
     invariant_report: Option<String>,
+    /// Overload-resilience runtime (`None` unless `cfg.overload.enabled`).
+    overload: Option<OverloadRuntime>,
+    /// Requests shed at the overload admission gate.
+    shed_requests: u64,
+    /// How many breaker transitions have already been mirrored into the
+    /// decision-audit trail (the telemetry tick drains the rest).
+    breaker_log_cursor: usize,
     /// The run's config, kept for the repro dump.
     cfg: ExperimentConfig,
+}
+
+/// Zero-contention critical path of a request type, ms: nominal execution
+/// times (`base_ms × work_factor`) along the longest DAG chain, no
+/// communication or queueing. The overload admission gate compares this
+/// against the remaining deadline budget; the auditor recomputes it to
+/// confirm every admitted request was feasible at its gate time.
+pub(crate) fn ideal_cp_ms(catalog: &RequestCatalog, rtype: RequestTypeId) -> f64 {
+    let rt = catalog.request(rtype);
+    rt.dag.critical_path(|i| {
+        let n = rt.dag.node(i);
+        catalog.services.get(n.service).base_ms * n.work_factor
+    })
 }
 
 /// Builds a [`SchedulerCtx`] borrowing the relevant `Sim` fields. A macro

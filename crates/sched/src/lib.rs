@@ -15,10 +15,15 @@
 //! same trait.
 
 pub mod baselines;
+pub mod overload;
 pub mod placement;
 pub mod plan;
 pub mod scheduler;
 
 pub use baselines::{CurSched, FairSched, FullProfile, PartProfile};
+pub use overload::{
+    pressure_signal, AdmissionRecord, AdmissionVerdict, BreakerBank, BreakerState,
+    BreakerTransition, BrownoutController, OverloadConfig, OverloadRuntime, RetryBudget,
+};
 pub use plan::{NodePlan, RequestInfo, RequestPlan};
 pub use scheduler::{HealingAction, LateInfo, NodeFailure, Scheduler, SchedulerCtx};

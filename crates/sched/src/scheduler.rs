@@ -215,6 +215,12 @@ pub trait Scheduler {
     /// reservations still held for it.
     fn on_request_abandoned(&mut self, _request: RequestId, _ctx: &mut SchedulerCtx<'_>) {}
 
+    /// The engine skipped a DAG node that will never run (brownout branch
+    /// shedding under overload): it counts as done for dependency purposes
+    /// and the request still completes. Schemes holding reservations for
+    /// the node release them here.
+    fn on_node_skipped(&mut self, _request: RequestId, _node: usize, _ctx: &mut SchedulerCtx<'_>) {}
+
     /// Number of requests still waiting for admission.
     fn waiting(&self) -> usize;
 }

@@ -46,7 +46,10 @@ impl Cdf {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in Cdf"));
+            // `total_cmp`, not `partial_cmp().unwrap()`: a NaN-bearing
+            // sample set must degrade (NaNs sort to the top, inflating the
+            // extreme quantiles) instead of panicking mid-soak.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -172,6 +175,22 @@ mod tests {
         // Truncating to even 1% keeps at least one sample.
         let t1 = c.truncate_fastest(0.0);
         assert_eq!(t1.len(), 1);
+    }
+
+    /// Regression: a NaN sample used to panic the lazy sort
+    /// (`partial_cmp().expect(..)`) on the next query, killing a soak run
+    /// mid-flight. With `total_cmp` the NaN sorts above every finite value:
+    /// low/mid quantiles stay exact, only the extreme tail degrades.
+    #[test]
+    fn nan_samples_degrade_instead_of_panicking() {
+        let mut c = Cdf::from_samples(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(c.quantile(0.25), Some(1.0));
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert!(c.quantile(1.0).unwrap().is_nan(), "NaN lands in the top rank");
+        assert_eq!(c.fraction_below(3.0), 0.75);
+        // Truncating away the slow tail also drops the NaN.
+        let mut fast = c.truncate_fastest(75.0);
+        assert_eq!(fast.quantile(1.0), Some(3.0));
     }
 
     #[test]

@@ -22,9 +22,9 @@ pub struct P2Quantile {
     increments: [f64; 5],
     /// Observations seen so far.
     count: usize,
-    /// Non-finite samples skipped (NaN/±inf would poison the marker sort
-    /// and every later interpolation). Absent in estimators serialized
-    /// before the field existed.
+    /// Non-finite samples skipped (NaN/±inf would poison the marker
+    /// interpolation). Absent in estimators serialized before the field
+    /// existed.
     #[serde(default)]
     skipped: u64,
 }
@@ -60,8 +60,8 @@ impl P2Quantile {
     }
 
     /// Adds one observation. Non-finite samples (NaN, ±inf) are skipped
-    /// and counted: once 5 observations exist the markers are kept sorted
-    /// with `partial_cmp`, and a single NaN would panic there — a latency
+    /// and counted: the parabolic marker adjustment assumes finite heights,
+    /// and a single NaN would corrupt every later estimate — a latency
     /// monitor must survive a poisoned input instead.
     pub fn record(&mut self, x: f64) {
         if !x.is_finite() {
@@ -72,7 +72,7 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -144,7 +144,7 @@ impl P2Quantile {
             0 => None,
             n if n < 5 => {
                 let mut seen = self.heights[..n].to_vec();
-                seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                seen.sort_by(f64::total_cmp);
                 let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
                 Some(seen[idx])
             }

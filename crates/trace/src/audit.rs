@@ -43,6 +43,13 @@ pub enum DecisionKind {
     MachineDown,
     /// A machine came back.
     MachineUp,
+    /// The overload admission gate refused an arrival (queue cap,
+    /// deadline infeasibility, or an open circuit breaker).
+    AdmissionReject,
+    /// A per-service circuit breaker changed state.
+    BreakerTransition,
+    /// The brownout degradation tier changed.
+    Brownout,
 }
 
 /// One audited scheduling decision.

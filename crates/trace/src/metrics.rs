@@ -123,6 +123,29 @@ pub mod names {
     /// arrivals: on a healthy open-loop run this plateaus near
     /// rate × residence time while arrivals grow without bound.
     pub const REQUEST_TABLE_PEAK: &str = "request_table_peak";
+    /// Requests shed at the overload admission gate (queue cap, deadline
+    /// infeasibility, or open circuit). Always 0 with the subsystem off.
+    pub const OVERLOAD_SHED_REQUESTS: &str = "overload_shed_requests";
+    /// Optional DAG branches skipped under brownout tier ≥ 2.
+    pub const OVERLOAD_BRANCH_SHEDS: &str = "overload_branch_sheds";
+    /// Retries refused by the exhausted global retry budget.
+    pub const OVERLOAD_RETRIES_DENIED: &str = "overload_retries_denied";
+    /// Stretch healing actions suppressed under brownout tier ≥ 1.
+    pub const OVERLOAD_STRETCHES_SUPPRESSED: &str = "overload_stretches_suppressed";
+    /// Gauge: cluster pressure signal in [0, 1] at the latest tick.
+    pub const OVERLOAD_PRESSURE: &str = "overload_pressure";
+    /// Gauge: highest pressure sample of the run.
+    pub const OVERLOAD_PRESSURE_PEAK: &str = "overload_pressure_peak";
+    /// Gauge: brownout degradation tier (0–3) at the latest tick.
+    pub const BROWNOUT_TIER: &str = "brownout_tier";
+    /// Gauge: circuits currently not Closed at the latest tick.
+    pub const BREAKER_OPEN_CIRCUITS: &str = "breaker_open_circuits";
+    /// Gauge: total circuit-breaker Open trips over the run.
+    pub const BREAKER_OPENS: &str = "breaker_opens";
+    /// Gauge: whole retry tokens left in the global budget.
+    pub const RETRY_TOKENS: &str = "retry_tokens";
+    /// Gauge: retries granted by the global budget over the run.
+    pub const OVERLOAD_RETRIES_GRANTED: &str = "overload_retries_granted";
 
     /// Gauge name for one machine's retained ledger timeline length.
     pub fn ledger_timeline(machine: u32) -> String {

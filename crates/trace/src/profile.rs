@@ -184,7 +184,7 @@ impl ProfileStore {
 
     /// Smallest retained execution time (the `Δt₀` of the reorder ratio).
     pub fn min_exec_ms(&self, service: ServiceId) -> Option<f64> {
-        self.cases(service).iter().map(|c| c.exec_ms).min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.cases(service).iter().map(|c| c.exec_ms).min_by(|a, b| a.total_cmp(b))
     }
 
     /// Services with any history.

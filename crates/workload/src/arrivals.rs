@@ -1,5 +1,6 @@
 //! Non-homogeneous Poisson arrival generation and request-mix sampling.
 
+use crate::error::WorkloadError;
 use crate::patterns::WorkloadPattern;
 use mlp_model::RequestTypeId;
 use mlp_sim::{SimRng, SimTime};
@@ -25,6 +26,10 @@ pub struct Arrival {
 ///
 /// Deterministic for a given `rng` seed, so the identical stream can be
 /// replayed against every scheduling scheme (Section IV's methodology).
+///
+/// Panics on invalid parameters; [`try_generate_stream`] returns the typed
+/// [`WorkloadError`] instead, and `Experiment::validate()` runs the same
+/// checks up front so engine users never reach the panic.
 pub fn generate_stream(
     pattern: WorkloadPattern,
     max_rate: f64,
@@ -32,10 +37,39 @@ pub fn generate_stream(
     mix: &[(RequestTypeId, f64)],
     rng: &mut SimRng,
 ) -> Vec<Arrival> {
-    assert!(max_rate > 0.0, "max_rate must be positive");
-    assert!(!mix.is_empty(), "request mix must be non-empty");
+    try_generate_stream(pattern, max_rate, horizon_s, mix, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Validates arrival-stream parameters, returning the total mix weight.
+///
+/// These used to be `assert!`s inside [`generate_stream`]; as a fallible
+/// check they can gate an experiment config before any simulation runs.
+pub fn validate_stream_params(
+    max_rate: f64,
+    mix: &[(RequestTypeId, f64)],
+) -> Result<f64, WorkloadError> {
+    if !(max_rate > 0.0 && max_rate.is_finite()) {
+        return Err(WorkloadError::NonPositiveRate(max_rate));
+    }
+    if mix.is_empty() {
+        return Err(WorkloadError::EmptyMix);
+    }
     let total_w: f64 = mix.iter().map(|(_, w)| w).sum();
-    assert!(total_w > 0.0, "request mix weights must sum to a positive value");
+    if mix.iter().any(|&(_, w)| w < 0.0) || !(total_w > 0.0 && total_w.is_finite()) {
+        return Err(WorkloadError::BadMixWeights(total_w));
+    }
+    Ok(total_w)
+}
+
+/// Fallible twin of [`generate_stream`].
+pub fn try_generate_stream(
+    pattern: WorkloadPattern,
+    max_rate: f64,
+    horizon_s: f64,
+    mix: &[(RequestTypeId, f64)],
+    rng: &mut SimRng,
+) -> Result<Vec<Arrival>, WorkloadError> {
+    let total_w = validate_stream_params(max_rate, mix)?;
 
     let mut out = Vec::with_capacity((max_rate * horizon_s * 0.7) as usize);
     let mut t = 0.0f64;
@@ -51,7 +85,7 @@ pub fn generate_stream(
             out.push(Arrival { at: SimTime::from_secs_f64(t), request_type });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Advances the homogeneous majorant process by one exponential gap.
@@ -189,6 +223,28 @@ mod tests {
     fn empty_mix_rejected() {
         let mut rng = SimRng::new(0);
         generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &[], &mut rng);
+    }
+
+    /// The `try_` path returns typed errors where the infallible path
+    /// panics, and both agree on what is valid.
+    #[test]
+    fn try_generate_stream_reports_typed_errors() {
+        use crate::error::WorkloadError;
+        let mut rng = SimRng::new(0);
+        let e = try_generate_stream(WorkloadPattern::Constant, 0.0, 1.0, &mix2(), &mut rng);
+        assert_eq!(e.unwrap_err(), WorkloadError::NonPositiveRate(0.0));
+        let e = try_generate_stream(WorkloadPattern::Constant, f64::NAN, 1.0, &mix2(), &mut rng);
+        assert!(matches!(e.unwrap_err(), WorkloadError::NonPositiveRate(_)));
+        let e = try_generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &[], &mut rng);
+        assert_eq!(e.unwrap_err(), WorkloadError::EmptyMix);
+        let zero = vec![(RequestTypeId(0), 0.0)];
+        let e = try_generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &zero, &mut rng);
+        assert_eq!(e.unwrap_err(), WorkloadError::BadMixWeights(0.0));
+        let neg = vec![(RequestTypeId(0), 2.0), (RequestTypeId(1), -1.0)];
+        let e = try_generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &neg, &mut rng);
+        assert!(matches!(e.unwrap_err(), WorkloadError::BadMixWeights(_)));
+        let ok = try_generate_stream(WorkloadPattern::Constant, 10.0, 1.0, &mix2(), &mut rng);
+        assert!(ok.is_ok());
     }
 
     /// Regression: a zero-rate window emits nothing even when the

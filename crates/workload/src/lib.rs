@@ -17,10 +17,16 @@
 
 pub mod alibaba;
 pub mod arrivals;
+pub mod error;
 pub mod patterns;
+pub mod schedule;
 pub mod source;
 
 pub use alibaba::AlibabaTraceConfig;
-pub use arrivals::{empirical_rate, generate_stream, Arrival};
+pub use arrivals::{
+    empirical_rate, generate_stream, try_generate_stream, validate_stream_params, Arrival,
+};
+pub use error::WorkloadError;
 pub use patterns::WorkloadPattern;
+pub use schedule::{RateSchedule, RateSegment};
 pub use source::{collect_source, ArrivalSource, OpenLoopSource, SliceSource, ThinnedSource};

@@ -1,0 +1,279 @@
+//! Piecewise rate schedules: offered load that surges past capacity.
+//!
+//! A [`WorkloadPattern`] shapes load *within* its peak rate; it cannot
+//! express "at t = 30 s a flash crowd triples the offered load for twenty
+//! seconds". A [`RateSchedule`] multiplies a base pattern by piecewise
+//! trapezoid segments — flash crowds, diurnal crests — so open-loop
+//! traffic can be driven deliberately past cluster capacity on a schedule,
+//! which is exactly what the overload-resilience experiments need.
+//!
+//! The schedule is a pure function of time (no RNG), so every scheduling
+//! scheme faces the identical offered-load curve, and its
+//! [`peak_rate`](RateSchedule::peak_rate) is a true majorant for
+//! Lewis–Shedler thinning.
+
+use crate::error::WorkloadError;
+use crate::patterns::WorkloadPattern;
+use serde::{Deserialize, Serialize};
+
+/// One multiplicative load segment: ramps from 1× up to `multiplier` over
+/// `ramp_s` seconds after `start_s`, holds, and ramps back down to 1× by
+/// `end_s` (a trapezoid; `ramp_s = 0` makes it a step).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSegment {
+    /// When the surge begins, seconds into the run.
+    pub start_s: f64,
+    /// When the surge is fully over, seconds into the run.
+    pub end_s: f64,
+    /// Peak load multiplier relative to the base pattern (3.0 = a 3× flash
+    /// crowd; values below 1.0 model troughs).
+    pub multiplier: f64,
+    /// Linear ramp duration on each edge of the segment.
+    pub ramp_s: f64,
+}
+
+impl RateSegment {
+    /// The segment's multiplicative contribution at time `t` (1.0 outside
+    /// the segment).
+    fn factor_at(&self, t: f64) -> f64 {
+        if t <= self.start_s || t >= self.end_s {
+            return 1.0;
+        }
+        let edge = if self.ramp_s > 0.0 {
+            let up = (t - self.start_s) / self.ramp_s;
+            let down = (self.end_s - t) / self.ramp_s;
+            up.min(down).min(1.0)
+        } else {
+            1.0
+        };
+        1.0 + (self.multiplier - 1.0) * edge
+    }
+}
+
+/// A base [`WorkloadPattern`] at `base_rate` req/s, modulated by zero or
+/// more [`RateSegment`]s. Overlapping segments compound multiplicatively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    pattern: WorkloadPattern,
+    base_rate: f64,
+    segments: Vec<RateSegment>,
+}
+
+impl RateSchedule {
+    /// Validates and builds a schedule.
+    pub fn try_new(
+        pattern: WorkloadPattern,
+        base_rate: f64,
+        segments: Vec<RateSegment>,
+    ) -> Result<Self, WorkloadError> {
+        if !(base_rate > 0.0 && base_rate.is_finite()) {
+            return Err(WorkloadError::NonPositiveRate(base_rate));
+        }
+        for (i, s) in segments.iter().enumerate() {
+            let bad =
+                |why: String| Err(WorkloadError::InvalidSchedule(format!("segment {i}: {why}")));
+            if !(s.start_s >= 0.0 && s.start_s.is_finite()) {
+                return bad(format!("start_s must be non-negative, got {}", s.start_s));
+            }
+            if !(s.end_s > s.start_s && s.end_s.is_finite()) {
+                return bad(format!("end_s {} must exceed start_s {}", s.end_s, s.start_s));
+            }
+            if !(s.multiplier > 0.0 && s.multiplier.is_finite()) {
+                return bad(format!("multiplier must be positive, got {}", s.multiplier));
+            }
+            if !(s.ramp_s >= 0.0 && s.ramp_s.is_finite()) {
+                return bad(format!("ramp_s must be non-negative, got {}", s.ramp_s));
+            }
+        }
+        Ok(RateSchedule { pattern, base_rate, segments })
+    }
+
+    /// A schedule with no segments: identical offered load to the bare
+    /// pattern (useful as the 1× control point of a surge sweep).
+    pub fn steady(pattern: WorkloadPattern, base_rate: f64) -> Result<Self, WorkloadError> {
+        Self::try_new(pattern, base_rate, Vec::new())
+    }
+
+    /// A single flash-crowd surge: `multiplier`× the base load from
+    /// `start_s` for `duration_s` seconds, with `ramp_s` linear edges.
+    pub fn flash_crowd(
+        pattern: WorkloadPattern,
+        base_rate: f64,
+        start_s: f64,
+        duration_s: f64,
+        multiplier: f64,
+        ramp_s: f64,
+    ) -> Result<Self, WorkloadError> {
+        if !(duration_s > 0.0 && duration_s.is_finite()) {
+            return Err(WorkloadError::InvalidSchedule(format!(
+                "flash crowd duration must be positive, got {duration_s}"
+            )));
+        }
+        let seg = RateSegment { start_s, end_s: start_s + duration_s, multiplier, ramp_s };
+        Self::try_new(pattern, base_rate, vec![seg])
+    }
+
+    /// A diurnal cycle over `horizon_s`: each `period_s` window carries one
+    /// wide crest at `peak_multiplier` (trapezoid over the middle half of
+    /// the period) — the piecewise stand-in for day/night traffic swings.
+    pub fn diurnal(
+        pattern: WorkloadPattern,
+        base_rate: f64,
+        period_s: f64,
+        peak_multiplier: f64,
+        horizon_s: f64,
+    ) -> Result<Self, WorkloadError> {
+        if !(period_s > 0.0 && period_s.is_finite() && horizon_s > 0.0 && horizon_s.is_finite()) {
+            return Err(WorkloadError::InvalidSchedule(format!(
+                "diurnal period and horizon must be positive, got {period_s} / {horizon_s}"
+            )));
+        }
+        let mut segments = Vec::new();
+        let mut start = 0.25 * period_s;
+        while start < horizon_s {
+            segments.push(RateSegment {
+                start_s: start,
+                end_s: start + 0.5 * period_s,
+                multiplier: peak_multiplier,
+                ramp_s: 0.2 * period_s,
+            });
+            start += period_s;
+        }
+        Self::try_new(pattern, base_rate, segments)
+    }
+
+    /// The base pattern.
+    pub fn pattern(&self) -> WorkloadPattern {
+        self.pattern
+    }
+
+    /// The base (1×) peak rate.
+    pub fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    /// The segments in force.
+    pub fn segments(&self) -> &[RateSegment] {
+        &self.segments
+    }
+
+    /// Combined segment multiplier at time `t`.
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        self.segments.iter().map(|s| s.factor_at(t)).product()
+    }
+
+    /// Instantaneous offered rate at `t` seconds (req/s).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.pattern.rate_at(t, self.base_rate) * self.multiplier_at(t)
+    }
+
+    /// Majorant for thinning: `rate_at(t) ≤ peak_rate()` for every `t`.
+    /// Each segment contributes at most `max(1, multiplier)`, and the base
+    /// pattern never exceeds `base_rate`, so the product bound is exact
+    /// for non-overlapping segments and conservative for overlaps.
+    pub fn peak_rate(&self) -> f64 {
+        let m: f64 = self.segments.iter().map(|s| s.multiplier.max(1.0)).product();
+        self.base_rate * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flash3x() -> RateSchedule {
+        RateSchedule::flash_crowd(WorkloadPattern::Constant, 100.0, 30.0, 20.0, 3.0, 4.0).unwrap()
+    }
+
+    #[test]
+    fn steady_matches_bare_pattern() {
+        let s = RateSchedule::steady(WorkloadPattern::L2Fluctuating, 250.0).unwrap();
+        for t in [0.0, 7.3, 41.0, 99.9] {
+            assert_eq!(s.rate_at(t), WorkloadPattern::L2Fluctuating.rate_at(t, 250.0));
+        }
+        assert_eq!(s.peak_rate(), 250.0);
+    }
+
+    #[test]
+    fn flash_crowd_surges_and_recovers() {
+        let s = flash3x();
+        assert_eq!(s.rate_at(10.0), 100.0, "before the surge");
+        assert_eq!(s.rate_at(40.0), 300.0, "at the plateau");
+        assert_eq!(s.rate_at(90.0), 100.0, "after the surge");
+        // Linear ramp: halfway up the edge is halfway to 3×.
+        assert!((s.rate_at(32.0) - 200.0).abs() < 1e-9);
+        assert_eq!(s.peak_rate(), 300.0);
+    }
+
+    #[test]
+    fn rate_never_exceeds_majorant() {
+        let s = RateSchedule::try_new(
+            WorkloadPattern::L1Pulse,
+            400.0,
+            vec![
+                RateSegment { start_s: 20.0, end_s: 50.0, multiplier: 2.5, ramp_s: 5.0 },
+                RateSegment { start_s: 45.0, end_s: 70.0, multiplier: 1.5, ramp_s: 0.0 },
+                RateSegment { start_s: 80.0, end_s: 90.0, multiplier: 0.4, ramp_s: 2.0 },
+            ],
+        )
+        .unwrap();
+        let peak = s.peak_rate();
+        let mut t = 0.0;
+        while t < 100.0 {
+            assert!(s.rate_at(t) <= peak + 1e-9, "rate at {t} exceeds majorant");
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn trough_segments_reduce_load() {
+        let s = RateSchedule::try_new(
+            WorkloadPattern::Constant,
+            100.0,
+            vec![RateSegment { start_s: 10.0, end_s: 20.0, multiplier: 0.2, ramp_s: 0.0 }],
+        )
+        .unwrap();
+        assert!((s.rate_at(15.0) - 20.0).abs() < 1e-9);
+        assert_eq!(s.peak_rate(), 100.0, "troughs do not raise the majorant");
+    }
+
+    #[test]
+    fn diurnal_crests_repeat() {
+        let s = RateSchedule::diurnal(WorkloadPattern::Constant, 100.0, 40.0, 2.0, 120.0).unwrap();
+        assert_eq!(s.segments().len(), 3);
+        // Crest centers sit mid-period, troughs at period boundaries.
+        for k in 0..3 {
+            let center = 40.0 * k as f64 + 20.0;
+            assert!(s.rate_at(center) > 190.0, "no crest at {center}");
+            assert!(s.rate_at(40.0 * k as f64) < 110.0, "no trough at period edge");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let seg = |start_s, end_s, multiplier, ramp_s| {
+            RateSchedule::try_new(
+                WorkloadPattern::Constant,
+                100.0,
+                vec![RateSegment { start_s, end_s, multiplier, ramp_s }],
+            )
+        };
+        assert!(matches!(
+            RateSchedule::steady(WorkloadPattern::Constant, 0.0),
+            Err(WorkloadError::NonPositiveRate(_))
+        ));
+        assert!(matches!(
+            RateSchedule::steady(WorkloadPattern::Constant, f64::NAN),
+            Err(WorkloadError::NonPositiveRate(_))
+        ));
+        assert!(matches!(seg(-1.0, 5.0, 2.0, 0.0), Err(WorkloadError::InvalidSchedule(_))));
+        assert!(matches!(seg(5.0, 5.0, 2.0, 0.0), Err(WorkloadError::InvalidSchedule(_))));
+        assert!(matches!(seg(0.0, 5.0, 0.0, 0.0), Err(WorkloadError::InvalidSchedule(_))));
+        assert!(matches!(seg(0.0, 5.0, 2.0, -1.0), Err(WorkloadError::InvalidSchedule(_))));
+        assert!(matches!(
+            RateSchedule::flash_crowd(WorkloadPattern::Constant, 100.0, 0.0, 0.0, 2.0, 0.0),
+            Err(WorkloadError::InvalidSchedule(_))
+        ));
+        assert!(seg(0.0, 5.0, 2.0, 0.0).is_ok());
+    }
+}

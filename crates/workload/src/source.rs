@@ -13,8 +13,10 @@
 //! pre-generated trace exactly, so the fixed-seed figure pipeline keeps its
 //! byte-identical outputs.
 
-use crate::arrivals::{next_candidate, sample_mix, thin_accept, Arrival};
+use crate::arrivals::{next_candidate, sample_mix, thin_accept, validate_stream_params, Arrival};
+use crate::error::WorkloadError;
 use crate::patterns::WorkloadPattern;
+use crate::schedule::RateSchedule;
 use mlp_model::RequestTypeId;
 use mlp_sim::{SimRng, SimTime};
 use rand::Rng;
@@ -80,6 +82,10 @@ enum RateModel {
     /// Deterministic rate curve (the paper's L1/L2/L3/constant patterns):
     /// a non-homogeneous Poisson process by Lewis–Shedler thinning.
     Pattern(WorkloadPattern),
+    /// A pattern modulated by a piecewise [`RateSchedule`] (flash crowds,
+    /// diurnal crests): still deterministic in `t`, thinned against the
+    /// schedule's peak rate.
+    Schedule(RateSchedule),
     /// Markov-modulated Poisson process: the rate jumps between phases,
     /// each holding for an exponentially distributed dwell time. The
     /// closest synthetic stand-in for bursty production traffic whose
@@ -122,6 +128,7 @@ pub struct OpenLoopSource {
 impl OpenLoopSource {
     /// A non-homogeneous Poisson source following `pattern`, exactly the
     /// process behind [`generate_stream`](crate::generate_stream).
+    /// Panics on invalid parameters; see [`Self::try_poisson`].
     pub fn poisson(
         pattern: WorkloadPattern,
         max_rate: f64,
@@ -129,9 +136,20 @@ impl OpenLoopSource {
         mix: Vec<(RequestTypeId, f64)>,
         rng: SimRng,
     ) -> Self {
-        assert!(max_rate > 0.0, "max_rate must be positive");
-        let total_w = Self::check_mix(&mix);
-        OpenLoopSource {
+        Self::try_poisson(pattern, max_rate, horizon_s, mix, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Self::poisson`]: returns the typed
+    /// [`WorkloadError`] instead of panicking.
+    pub fn try_poisson(
+        pattern: WorkloadPattern,
+        max_rate: f64,
+        horizon_s: f64,
+        mix: Vec<(RequestTypeId, f64)>,
+        rng: SimRng,
+    ) -> Result<Self, WorkloadError> {
+        let total_w = validate_stream_params(max_rate, &mix)?;
+        Ok(OpenLoopSource {
             model: RateModel::Pattern(pattern),
             max_rate,
             horizon_s,
@@ -142,28 +160,68 @@ impl OpenLoopSource {
             t: 0.0,
             rng,
             done: false,
-        }
+        })
+    }
+
+    /// A source driven by a piecewise [`RateSchedule`]: the base pattern's
+    /// load times the schedule's segment multipliers, thinned against the
+    /// schedule's [`peak_rate`](RateSchedule::peak_rate). With no segments
+    /// this draws the *identical* RNG sequence as [`Self::poisson`] at the
+    /// base rate, so surge-off runs stay byte-identical.
+    pub fn scheduled(
+        schedule: RateSchedule,
+        horizon_s: f64,
+        mix: Vec<(RequestTypeId, f64)>,
+        rng: SimRng,
+    ) -> Result<Self, WorkloadError> {
+        let max_rate = schedule.peak_rate();
+        let total_w = validate_stream_params(max_rate, &mix)?;
+        Ok(OpenLoopSource {
+            model: RateModel::Schedule(schedule),
+            max_rate,
+            horizon_s,
+            mix,
+            total_w,
+            max_requests: None,
+            emitted: 0,
+            t: 0.0,
+            rng,
+            done: false,
+        })
     }
 
     /// A Markov-modulated Poisson source cycling through `phases` of
     /// `(rate req/s, mean dwell s)`. Dwell times are exponential; the
     /// thinning majorant is the largest phase rate.
+    /// Panics on invalid parameters; see [`Self::try_mmpp`].
     pub fn mmpp(
         phases: Vec<(f64, f64)>,
         horizon_s: f64,
         mix: Vec<(RequestTypeId, f64)>,
-        mut rng: SimRng,
+        rng: SimRng,
     ) -> Self {
-        assert!(!phases.is_empty(), "MMPP needs at least one phase");
-        assert!(
-            phases.iter().all(|&(r, d)| r >= 0.0 && d > 0.0),
-            "MMPP phases need non-negative rates and positive dwell times"
-        );
+        Self::try_mmpp(phases, horizon_s, mix, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Self::mmpp`].
+    pub fn try_mmpp(
+        phases: Vec<(f64, f64)>,
+        horizon_s: f64,
+        mix: Vec<(RequestTypeId, f64)>,
+        mut rng: SimRng,
+    ) -> Result<Self, WorkloadError> {
+        if phases.is_empty() {
+            return Err(WorkloadError::InvalidPhases("MMPP needs at least one phase".into()));
+        }
+        if let Some(&(r, d)) = phases.iter().find(|&&(r, d)| !(r >= 0.0 && d > 0.0)) {
+            return Err(WorkloadError::InvalidPhases(format!(
+                "MMPP phases need non-negative rates and positive dwell times, got ({r}, {d})"
+            )));
+        }
         let max_rate = phases.iter().map(|&(r, _)| r).fold(0.0f64, f64::max);
-        assert!(max_rate > 0.0, "at least one MMPP phase must have a positive rate");
-        let total_w = Self::check_mix(&mix);
+        let total_w = validate_stream_params(max_rate, &mix)?;
         let first_dwell = exp_draw(phases[0].1, &mut rng);
-        OpenLoopSource {
+        Ok(OpenLoopSource {
             model: RateModel::Mmpp { phases, phase: 0, next_switch_s: first_dwell },
             max_rate,
             horizon_s,
@@ -174,7 +232,7 @@ impl OpenLoopSource {
             t: 0.0,
             rng,
             done: false,
-        }
+        })
     }
 
     /// Caps the stream at `n` arrivals (in addition to the horizon).
@@ -188,19 +246,13 @@ impl OpenLoopSource {
         self.emitted
     }
 
-    fn check_mix(mix: &[(RequestTypeId, f64)]) -> f64 {
-        assert!(!mix.is_empty(), "request mix must be non-empty");
-        let total_w: f64 = mix.iter().map(|(_, w)| w).sum();
-        assert!(total_w > 0.0, "request mix weights must sum to a positive value");
-        total_w
-    }
-
     /// Instantaneous target rate at candidate time `t` (advancing MMPP
     /// phases as needed; phase transitions draw from the RNG exactly once
     /// per dwell, so the stream stays deterministic however it is pulled).
     fn rate_at(&mut self, t: f64) -> f64 {
         match &mut self.model {
             RateModel::Pattern(p) => p.rate_at(t, self.max_rate),
+            RateModel::Schedule(s) => s.rate_at(t),
             RateModel::Mmpp { phases, phase, next_switch_s } => {
                 while *next_switch_s <= t {
                     *phase = (*phase + 1) % phases.len();
@@ -341,6 +393,40 @@ mod tests {
         assert_eq!(sa.len(), 1000, "count cap must bound the stream");
         assert_eq!(a.emitted(), 1000);
         assert!(sa.windows(2).all(|w| w[0].at <= w[1].at), "stream must be time-ordered");
+    }
+
+    #[test]
+    fn steady_schedule_matches_poisson_bit_for_bit() {
+        // A schedule with no segments has peak_rate == base_rate and the
+        // identical rate curve, so the thinning draws — and therefore the
+        // whole stream — must match the plain poisson source exactly.
+        let sched = RateSchedule::steady(WorkloadPattern::L2Fluctuating, 300.0).unwrap();
+        let mut a = OpenLoopSource::scheduled(sched, 25.0, mix2(), SimRng::new(17)).unwrap();
+        let mut b = OpenLoopSource::poisson(
+            WorkloadPattern::L2Fluctuating,
+            300.0,
+            25.0,
+            mix2(),
+            SimRng::new(17),
+        );
+        assert_eq!(collect_source(&mut a), collect_source(&mut b));
+    }
+
+    #[test]
+    fn flash_crowd_schedule_surges_the_stream() {
+        let sched =
+            RateSchedule::flash_crowd(WorkloadPattern::Constant, 200.0, 30.0, 20.0, 3.0, 2.0)
+                .unwrap();
+        let mut src = OpenLoopSource::scheduled(sched, 80.0, mix2(), SimRng::new(23)).unwrap();
+        let arrivals = collect_source(&mut src);
+        let rate = crate::empirical_rate(&arrivals, 80.0, 5.0);
+        let v = rate.values();
+        // Buckets inside the surge (35–45 s) run ~3× the pre-surge ones.
+        let pre = (v[0] + v[1] + v[2]) / 3.0;
+        let surge = (v[7] + v[8]) / 2.0;
+        let post = (v[12] + v[13] + v[14]) / 3.0;
+        assert!(surge > 2.2 * pre, "surge {surge} vs pre {pre}");
+        assert!(post < 1.4 * pre, "load must recover, post {post} vs pre {pre}");
     }
 
     #[test]

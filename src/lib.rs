@@ -80,4 +80,5 @@ pub mod prelude {
 
     // Robustness extensions.
     pub use mlp_faults::FaultConfig;
+    pub use mlp_sched::OverloadConfig;
 }

@@ -95,6 +95,82 @@ fn disabled_faults_leave_runs_byte_identical() {
 }
 
 #[test]
+fn disabled_overload_leaves_runs_byte_identical() {
+    // A disabled OverloadConfig must be inert no matter what junk the
+    // tuning fields carry: the runtime (and its RNG fork) is only
+    // constructed when `enabled`, so the run must be byte-identical to
+    // the plain config's.
+    let junk = OverloadConfig {
+        enabled: false,
+        resilience: true,
+        surge_multiplier: 9.0,
+        surge_start_s: 0.1,
+        surge_duration_s: 99.0,
+        surge_ramp_s: 1.0,
+        max_queue_depth: 1,
+        admission_slack: 7.0,
+        retry_rate_per_s: 0.001,
+        retry_burst: 0.001,
+        retry_base_backoff_ms: 500.0,
+        breaker_min_samples: 1,
+        breaker_failure_rate: 0.01,
+        breaker_open_ms: 60_000.0,
+        breaker_half_open_probes: 1,
+        tier1_pressure: 0.2,
+        tier2_pressure: 0.3,
+        tier3_pressure: 0.4,
+        tier_hysteresis: 0.05,
+    };
+    for scheme in [Scheme::VMlp, Scheme::CurSched] {
+        let plain = ExperimentConfig::smoke(scheme).with_seed(77);
+        let gated = plain.with_overload(junk);
+        let a = run_experiment(&plain);
+        let b = run_experiment(&gated);
+        assert_eq!(a.completed, b.completed, "{}", scheme.label());
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.violation_rate, b.violation_rate);
+        assert_eq!(a.mean_utilization, b.mean_utilization);
+        assert_eq!(a.healing, b.healing);
+        assert_eq!(a.utilization.values(), b.utilization.values());
+        assert_eq!(b.shed_requests, 0);
+        assert_eq!(b.branch_sheds, 0);
+        assert_eq!(b.retries_denied, 0);
+        assert_eq!(b.breaker_opens, 0);
+        assert_eq!(b.peak_pressure, 0.0);
+    }
+}
+
+#[test]
+fn overload_runs_are_bit_reproducible() {
+    // The resilience stack (admission gate, token bucket, breakers,
+    // brownout, jittered backoff from the dedicated RNG fork) must be
+    // fully deterministic in the seed.
+    let overload =
+        OverloadConfig { max_queue_depth: 16, ..OverloadConfig::flash_crowd(4.0, 0.5, 4.0) };
+    for scheme in [Scheme::VMlp, Scheme::CurSched] {
+        let cfg = ExperimentConfig::smoke(scheme)
+            .with_pattern(WorkloadPattern::Constant)
+            .with_seed(13)
+            .with_overload(overload);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.completed, b.completed, "{}", scheme.label());
+        assert_eq!(a.arrived, b.arrived);
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.violation_rate, b.violation_rate);
+        assert_eq!(a.utilization.values(), b.utilization.values());
+        assert_eq!(a.shed_requests, b.shed_requests);
+        assert_eq!(a.branch_sheds, b.branch_sheds);
+        assert_eq!(a.retries_denied, b.retries_denied);
+        assert_eq!(a.breaker_opens, b.breaker_opens);
+        assert_eq!(a.peak_pressure, b.peak_pressure);
+        // The surge must actually overload the gate at these settings.
+        assert!(a.shed_requests > 0, "{}: surge never tripped admission", scheme.label());
+        assert_eq!(a.arrived, a.completed + a.unfinished, "{}", scheme.label());
+    }
+}
+
+#[test]
 fn fault_storms_are_bit_reproducible() {
     let storm = FaultConfig {
         enabled: true,
