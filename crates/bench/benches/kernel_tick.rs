@@ -1,0 +1,74 @@
+//! One admission-round "kernel tick" at growing shard counts: the unit of
+//! work `run_round` issues every sampling period, isolated from the event
+//! loop. Each iteration rebuilds a fresh v-MLP scheduler, queues 64
+//! arrivals, and runs one `schedule_parallel` round against a fleet of 16
+//! machines per shard (the `fig_scale` sharding regime). The cluster
+//! clone per iteration is part of the measured cost but is a flat memcpy,
+//! identical across the worker axis, so worker-to-worker deltas isolate
+//! the pool itself. `w1` is the inline path — literally the sequential
+//! code; `w2` adds the scatter/merge machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlp_cluster::{Cluster, ShardPolicy, ShardPool};
+use mlp_core::VMlpScheduler;
+use mlp_engine::profiling::warm_profiles;
+use mlp_model::{RequestCatalog, ResourceVector};
+use mlp_net::NetworkModel;
+use mlp_sched::{RequestInfo, Scheduler, SchedulerCtx};
+use mlp_sim::{SimRng, SimTime};
+use mlp_trace::{AuditLog, MetricsRegistry, RequestId};
+
+/// Queued arrivals per tick — deep enough that every shard sees work at
+/// 64 shards, small enough that one round drains it.
+const QUEUE: usize = 64;
+
+fn bench_kernel_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_tick");
+    g.sample_size(10);
+    let catalog = RequestCatalog::paper();
+    let profiles = warm_profiles(&catalog, 100, &mut SimRng::new(3));
+    let net = NetworkModel::paper_default();
+    let metrics = MetricsRegistry::new();
+    let audit = AuditLog::disabled();
+
+    let mix = catalog.balanced_mix();
+    let reqs: Vec<RequestInfo> = (0..QUEUE)
+        .map(|i| RequestInfo {
+            id: RequestId(i as u64),
+            rtype: mix[i % mix.len()].0,
+            arrival: SimTime::ZERO,
+        })
+        .collect();
+
+    for &shards in &[1usize, 16, 64] {
+        let base = Cluster::homogeneous(shards * 16, ResourceVector::new(2.4, 2_500.0, 350.0))
+            .with_shards(shards, ShardPolicy::RoundRobin);
+        for &workers in &[1usize, 2] {
+            let pool = ShardPool::new(workers);
+            let id = BenchmarkId::from_parameter(format!("s{shards}_w{workers}"));
+            g.bench_with_input(id, &shards, |b, _| {
+                b.iter(|| {
+                    let mut cluster = base.clone();
+                    let mut sched = VMlpScheduler::new();
+                    let mut ctx = SchedulerCtx {
+                        now: SimTime::from_secs(1),
+                        cluster: &mut cluster,
+                        profiles: &profiles,
+                        catalog: &catalog,
+                        net: &net,
+                        metrics: &metrics,
+                        audit: &audit,
+                    };
+                    for r in &reqs {
+                        sched.on_arrival(*r, &mut ctx);
+                    }
+                    black_box(sched.schedule_parallel(&mut ctx, &pool))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_tick);
+criterion_main!(benches);

@@ -2,10 +2,12 @@
 //!
 //! The paper evaluates an 8-machine cluster; the ROADMAP north-star is
 //! thousands of machines. This sweep holds the *per-machine* offered load
-//! constant (the small-scale regime) while the fleet grows 8 → 1024, with
+//! constant (the small-scale regime) while the fleet grows 8 → 4096, with
 //! the cluster partitioned into one shard per 16 machines so placement and
-//! healing scan a shard instead of the whole fleet. The invariant auditor
-//! runs at every point: scaling out must never cost correctness.
+//! healing scan a shard instead of the whole fleet, crossed with a
+//! worker-thread axis (shard ticks fan out over the pool; results are
+//! bit-identical across the axis, only wall time moves). The invariant
+//! auditor runs at every point: scaling out must never cost correctness.
 
 use crate::scale::Scale;
 use mlp_cluster::ShardPolicy;
@@ -30,13 +32,26 @@ pub const HORIZON_S: f64 = 8.0;
 pub const MACHINES_PER_SHARD: usize = 16;
 
 /// Fleet sizes swept at a given scale. Paper scale runs the full
-/// trajectory; small trims the 1024-machine point (CI-friendly); tiny
-/// keeps just the smallest two for smoke tests.
+/// trajectory; small trims the 1024- and 4096-machine points
+/// (CI-friendly); tiny keeps just the smallest two for smoke tests.
 pub fn machine_counts(scale: &Scale) -> &'static [usize] {
     match scale.label {
-        "paper" => &[8, 64, 256, 1024],
+        "paper" => &[8, 64, 256, 1024, 4096],
         "tiny" => &[8, 64],
         _ => &[8, 64, 256],
+    }
+}
+
+/// Worker-thread counts swept at each fleet size — the threads axis of
+/// the trajectory. Results are bit-identical across the axis (the pool
+/// only changes wall time); sweeping it records what the hardware
+/// actually delivers. Small scale keeps one multi-worker point so CI
+/// exercises the threaded path; tiny stays inline.
+pub fn worker_counts(scale: &Scale) -> &'static [usize] {
+    match scale.label {
+        "paper" => &[1, 4, 8],
+        "tiny" => &[1],
+        _ => &[1, 2],
     }
 }
 
@@ -52,6 +67,8 @@ pub struct ScalePoint {
     pub machines: usize,
     /// Shards the fleet was partitioned into.
     pub shards: usize,
+    /// Worker threads ticking the shards (1 = inline).
+    pub workers: usize,
     /// Wall-clock of the whole run, milliseconds.
     pub wall_ms: f64,
     /// Requests that arrived / completed.
@@ -72,7 +89,7 @@ pub struct ScalePoint {
 }
 
 /// The experiment config for one sweep point.
-pub fn config_for(machines: usize, seed: u64) -> ExperimentConfig {
+pub fn config_for(machines: usize, workers: usize, seed: u64) -> ExperimentConfig {
     ExperimentConfig {
         machines,
         max_rate: RATE_PER_MACHINE * machines as f64,
@@ -81,16 +98,17 @@ pub fn config_for(machines: usize, seed: u64) -> ExperimentConfig {
     }
     .with_seed(seed)
     .with_shards(shards_for(machines), ShardPolicy::RoundRobin)
+    .with_workers(workers)
     .with_auditor(true)
 }
 
 /// Runs one sweep point, timing the whole experiment (profiling, stream
 /// generation, simulation, summarization — the unit a capacity planner
 /// would actually re-run).
-pub fn data_point(machines: usize, seed: u64) -> ScalePoint {
+pub fn data_point(machines: usize, workers: usize, seed: u64) -> ScalePoint {
     let shards = shards_for(machines);
     let start = Instant::now();
-    let (r, out) = Experiment::from_config(config_for(machines, seed))
+    let (r, out) = Experiment::from_config(config_for(machines, workers, seed))
         .run_full()
         .expect("scale sweep config is valid");
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -104,6 +122,7 @@ pub fn data_point(machines: usize, seed: u64) -> ScalePoint {
     ScalePoint {
         machines,
         shards,
+        workers,
         wall_ms,
         arrived: r.arrived,
         completed: r.completed,
@@ -119,9 +138,13 @@ pub fn data_point(machines: usize, seed: u64) -> ScalePoint {
 pub fn data(scale: &Scale, seed: u64) -> Vec<ScalePoint> {
     machine_counts(scale)
         .iter()
-        .map(|&machines| {
-            eprintln!("fig_scale: {machines} machines ({} shards)…", shards_for(machines));
-            data_point(machines, seed)
+        .flat_map(|&machines| worker_counts(scale).iter().map(move |&workers| (machines, workers)))
+        .map(|(machines, workers)| {
+            eprintln!(
+                "fig_scale: {machines} machines ({} shards, {workers} workers)…",
+                shards_for(machines)
+            );
+            data_point(machines, workers, seed)
         })
         .collect()
 }
@@ -134,6 +157,7 @@ pub fn report(points: &[ScalePoint], scale: &Scale) -> String {
             vec![
                 format!("{}", p.machines),
                 format!("{}", p.shards),
+                format!("{}", p.workers),
                 format!("{:.0}", p.wall_ms),
                 format!("{:.1}", p.wall_ms / p.completed.max(1) as f64 * 1000.0),
                 format!("{}", p.completed),
@@ -153,6 +177,7 @@ pub fn report(points: &[ScalePoint], scale: &Scale) -> String {
         &[
             "machines",
             "shards",
+            "workers",
             "wall ms",
             "µs/req",
             "completed",
@@ -176,21 +201,26 @@ mod tests {
         assert_eq!(shards_for(64), 4);
         assert_eq!(shards_for(256), 16);
         assert_eq!(shards_for(1024), 64);
+        assert_eq!(shards_for(4096), 256);
     }
 
     #[test]
     fn tiny_scale_trims_the_trajectory() {
         assert_eq!(machine_counts(&Scale::tiny()), &[8, 64]);
         assert_eq!(machine_counts(&Scale::small()), &[8, 64, 256]);
-        assert_eq!(machine_counts(&Scale::paper()), &[8, 64, 256, 1024]);
+        assert_eq!(machine_counts(&Scale::paper()), &[8, 64, 256, 1024, 4096]);
+        assert_eq!(worker_counts(&Scale::tiny()), &[1]);
+        assert_eq!(worker_counts(&Scale::small()), &[1, 2]);
+        assert_eq!(worker_counts(&Scale::paper()), &[1, 4, 8]);
     }
 
     /// A sharded point runs clean end to end and publishes per-shard
     /// metrics — the acceptance shape of the full sweep, at test size.
     #[test]
     fn sharded_point_is_clean_and_reports_per_shard_metrics() {
-        let p = data_point(32, 7);
+        let p = data_point(32, 2, 7);
         assert_eq!(p.shards, 2);
+        assert_eq!(p.workers, 2);
         assert_eq!(p.invariant_violations, 0, "auditor must stay clean");
         assert!(p.completed > 0);
         assert!(p.wall_ms > 0.0);

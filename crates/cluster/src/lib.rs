@@ -12,6 +12,7 @@ pub mod ledger;
 pub mod ledger_naive;
 pub mod machine;
 pub mod monitor;
+pub mod pool;
 pub mod shard;
 
 pub use controller::{proportional_satisfaction, ControllerTool};
@@ -19,4 +20,5 @@ pub use ledger::ResourceLedger;
 pub use ledger_naive::NaiveLedger;
 pub use machine::{Cluster, GrantId, Machine, MachineId};
 pub use monitor::{MonitorTool, UsageMonitor};
+pub use pool::ShardPool;
 pub use shard::{ShardId, ShardMap, ShardPolicy};

@@ -4,7 +4,7 @@
 use crate::volatility::{Volatility, VolatilityBand};
 use mlp_model::Microservice;
 use mlp_sched::placement::{MachinePolicy, PlanPolicy};
-use mlp_sched::SchedulerCtx;
+use mlp_sched::PlanEnv;
 use mlp_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -64,28 +64,28 @@ impl OrganizerPolicy {
     }
 
     /// Δt estimate in milliseconds for one microservice.
-    pub fn delta_t_ms(&self, svc: &Microservice, work_factor: f64, ctx: &SchedulerCtx<'_>) -> f64 {
+    pub fn delta_t_ms(&self, svc: &Microservice, work_factor: f64, env: &PlanEnv<'_>) -> f64 {
         let nominal = svc.base_ms * work_factor;
         let x = self.vr.x_percent(self.sla_weight);
         let est = match self.dt_policy {
-            DtPolicy::AlwaysMean => ctx.profiles.mean_exec_ms(svc.id).unwrap_or(nominal),
-            DtPolicy::AlwaysP99 => ctx.profiles.delta_t_ms(svc.id, 100.0, 0.99, nominal * 1.5),
+            DtPolicy::AlwaysMean => env.profiles.mean_exec_ms(svc.id).unwrap_or(nominal),
+            DtPolicy::AlwaysP99 => env.profiles.delta_t_ms(svc.id, 100.0, 0.99, nominal * 1.5),
             DtPolicy::Banded => match self.vr.band() {
-                VolatilityBand::Low => ctx.profiles.last_exec_ms(svc.id).unwrap_or(nominal),
+                VolatilityBand::Low => env.profiles.last_exec_ms(svc.id).unwrap_or(nominal),
                 VolatilityBand::Medium => {
                     // "Δt = 50 % latency of x % executions" — floored at the
                     // historical mean: capping penalties make execution-time
                     // histories right-skewed, where the median alone
                     // under-budgets the very contention it was measured
                     // under (the conservative principle of Section III-B).
-                    let median = ctx.profiles.delta_t_ms(svc.id, x, 0.5, nominal);
-                    let mean = ctx.profiles.mean_exec_ms(svc.id).unwrap_or(nominal);
+                    let median = env.profiles.delta_t_ms(svc.id, x, 0.5, nominal);
+                    let mean = env.profiles.mean_exec_ms(svc.id).unwrap_or(nominal);
                     median.max(mean)
                 }
                 VolatilityBand::High => {
                     // Cold-start fallback is deliberately conservative for
                     // volatile services.
-                    ctx.profiles.delta_t_ms(svc.id, x, 0.99, nominal * 1.5)
+                    env.profiles.delta_t_ms(svc.id, x, 0.99, nominal * 1.5)
                 }
             },
         };
@@ -99,16 +99,16 @@ impl PlanPolicy for OrganizerPolicy {
         _node: usize,
         svc: &Microservice,
         work_factor: f64,
-        ctx: &SchedulerCtx<'_>,
+        env: &PlanEnv<'_>,
     ) -> SimDuration {
-        SimDuration::from_millis_f64(self.delta_t_ms(svc, work_factor, ctx))
+        SimDuration::from_millis_f64(self.delta_t_ms(svc, work_factor, env))
     }
 
     fn grant(
         &self,
         _node: usize,
         svc: &Microservice,
-        _ctx: &SchedulerCtx<'_>,
+        _env: &PlanEnv<'_>,
     ) -> mlp_model::ResourceVector {
         svc.demand
     }
@@ -129,30 +129,23 @@ impl PlanPolicy for OrganizerPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlp_cluster::Cluster;
     use mlp_model::{RequestCatalog, ResourceVector, ServiceId};
     use mlp_net::NetworkModel;
     use mlp_sim::SimTime;
-    use mlp_trace::{AuditLog, ExecutionCase, MetricsRegistry, ProfileStore};
+    use mlp_trace::{ExecutionCase, ProfileStore};
 
     struct H {
-        cluster: Cluster,
         catalog: RequestCatalog,
         net: NetworkModel,
         profiles: ProfileStore,
-        metrics: MetricsRegistry,
-        audit: AuditLog,
     }
 
     impl H {
         fn new() -> Self {
             H {
-                cluster: Cluster::homogeneous(2, ResourceVector::new(6.0, 32_000.0, 1_000.0)),
                 catalog: RequestCatalog::paper(),
                 net: NetworkModel::paper_default(),
                 profiles: ProfileStore::new(),
-                metrics: MetricsRegistry::new(),
-                audit: AuditLog::disabled(),
             }
         }
         fn with_history(svc: ServiceId, times: &[f64]) -> Self {
@@ -165,15 +158,12 @@ mod tests {
             }
             h
         }
-        fn ctx(&mut self) -> SchedulerCtx<'_> {
-            SchedulerCtx {
+        fn env(&self) -> PlanEnv<'_> {
+            PlanEnv {
                 now: SimTime::ZERO,
-                cluster: &mut self.cluster,
                 profiles: &self.profiles,
                 catalog: &self.catalog,
                 net: &self.net,
-                metrics: &self.metrics,
-                audit: &self.audit,
             }
         }
     }
@@ -182,8 +172,8 @@ mod tests {
 
     #[test]
     fn cold_start_uses_nominal() {
-        let mut h = H::new();
-        let ctx = h.ctx();
+        let h = H::new();
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         let p = OrganizerPolicy::new(Volatility::new(0.5));
         assert_eq!(p.delta_t_ms(&svc, 1.0, &ctx), svc.base_ms);
@@ -194,8 +184,8 @@ mod tests {
 
     #[test]
     fn low_band_uses_last_historical_value() {
-        let mut h = H::with_history(SVC, &[10.0, 20.0, 30.0]);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &[10.0, 20.0, 30.0]);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         let p = OrganizerPolicy::new(Volatility::new(0.2));
         assert_eq!(p.delta_t_ms(&svc, 1.0, &ctx), 30.0, "most recent case");
@@ -204,8 +194,8 @@ mod tests {
     #[test]
     fn medium_band_uses_median_of_window() {
         let times: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let mut h = H::with_history(SVC, &times);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &times);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         // Default SLA weight: x clamps to 100 — Δt is the median floored
         // at the mean (50.5 for 1..=100, the skew guard).
@@ -218,8 +208,8 @@ mod tests {
         assert_eq!(tight.delta_t_ms(&svc, 1.0, &ctx), 50.5);
         // With a symmetric, uncontended history the floor is inactive:
         // a history whose mean is below its median keeps the median.
-        let mut h2 = H::with_history(SVC, &[10.0, 10.0, 10.0, 10.0, 9.0]);
-        let ctx2 = h2.ctx();
+        let h2 = H::with_history(SVC, &[10.0, 10.0, 10.0, 10.0, 9.0]);
+        let ctx2 = h2.env();
         let svc2 = ctx2.catalog.services.get(SVC).clone();
         let dt = OrganizerPolicy::new(Volatility::new(0.5)).delta_t_ms(&svc2, 1.0, &ctx2);
         assert_eq!(dt, 10.0, "median 10 ≥ mean 9.8: median wins");
@@ -228,8 +218,8 @@ mod tests {
     #[test]
     fn high_band_uses_tail_of_window() {
         let times: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let mut h = H::with_history(SVC, &times);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &times);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         // Default weight: p99 over the full history.
         let p = OrganizerPolicy::new(Volatility::new(0.8));
@@ -244,8 +234,8 @@ mod tests {
     #[test]
     fn higher_band_budgets_are_more_conservative() {
         let times: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let mut h = H::with_history(SVC, &times);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &times);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         let mid = OrganizerPolicy::new(Volatility::new(0.5)).delta_t_ms(&svc, 1.0, &ctx);
         let high = OrganizerPolicy::new(Volatility::new(0.8)).delta_t_ms(&svc, 1.0, &ctx);
@@ -256,8 +246,8 @@ mod tests {
     fn nominal_floor_protects_against_thin_history() {
         // One unrealistically fast observation must not produce a
         // too-optimistic budget for a heavy work factor.
-        let mut h = H::with_history(SVC, &[0.01]);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &[0.01]);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         let p = OrganizerPolicy::new(Volatility::new(0.5));
         assert_eq!(p.delta_t_ms(&svc, 3.0, &ctx), svc.base_ms * 3.0);
@@ -266,8 +256,8 @@ mod tests {
     #[test]
     fn ablation_policies_differ() {
         let times: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let mut h = H::with_history(SVC, &times);
-        let ctx = h.ctx();
+        let h = H::with_history(SVC, &times);
+        let ctx = h.env();
         let svc = ctx.catalog.services.get(SVC).clone();
         let mut p = OrganizerPolicy::new(Volatility::new(0.5));
         p.dt_policy = DtPolicy::AlwaysMean;

@@ -9,9 +9,9 @@ use crate::interface::InterfaceLayer;
 use crate::organizer::{DtPolicy, OrganizerPolicy};
 use crate::reorder::sort_by_reorder_ratio;
 use crate::volatility::Volatility;
-use mlp_cluster::MachineId;
+use mlp_cluster::{MachineId, ShardPool};
 use mlp_model::VolatilityClass;
-use mlp_sched::placement::{plan_request, unreserve_plan};
+use mlp_sched::placement::{plan_request, plan_request_in_shard, unreserve_plan};
 use mlp_sched::{
     HealingAction, LateInfo, NodeFailure, RequestInfo, RequestPlan, Scheduler, SchedulerCtx,
 };
@@ -220,6 +220,27 @@ impl Default for VMlpScheduler {
     }
 }
 
+/// The admission policy for one request (Algorithm 1's banded Δt).
+fn organizer_policy(dt_policy: DtPolicy, volatility: f64) -> OrganizerPolicy {
+    OrganizerPolicy {
+        vr: Volatility::new(volatility),
+        sla_weight: OrganizerPolicy::DEFAULT_SLA_WEIGHT,
+        dt_policy,
+        horizon: SimDuration::from_secs(10),
+    }
+}
+
+/// Everything one shard worker produces during a parallel admission pass.
+/// Side effects (admissions, audit records, deferrals) are buffered here
+/// and applied at the barrier in shard-index order, so the merged outcome
+/// is independent of worker count and completion order.
+#[derive(Default)]
+struct ShardPass {
+    admitted: Vec<(RequestInfo, RequestPlan)>,
+    deferred: Vec<RequestInfo>,
+    decisions: Vec<Decision>,
+}
+
 impl Scheduler for VMlpScheduler {
     fn name(&self) -> &'static str {
         "v-MLP"
@@ -318,6 +339,199 @@ impl Scheduler for VMlpScheduler {
                         deferred.extend_from_slice(&pending[idx..]);
                         break;
                     }
+                }
+            }
+        }
+        self.queue = deferred;
+        plans
+    }
+
+    /// The parallel admission pass (DESIGN.md §16). Three phases:
+    ///
+    /// 1. **Reorder** (sequential): the global reorder-ratio sort, exactly
+    ///    as in [`schedule`](Scheduler::schedule).
+    /// 2. **Shard-local placement** (on the pool): the sorted queue is
+    ///    partitioned by home shard (preserving relative order) and each
+    ///    shard worker plans its requests against *its own* machines via
+    ///    [`plan_request_in_shard`], buffering plans, deferrals, and audit
+    ///    records. Workers share no mutable state, so the per-shard
+    ///    outcome is a pure function of the shard's inputs — identical at
+    ///    any worker count.
+    /// 3. **Barrier merge + overflow** (sequential): buffered effects are
+    ///    applied in shard-index order, then requests that found no slot
+    ///    in their home shard get one sequential cross-shard overflow pass
+    ///    with the full [`plan_request`] scan.
+    ///
+    /// With one shard the sequential pass *is* the algorithm, so it is
+    /// called directly (byte-identical output). With `K > 1` the schedule
+    /// may differ from the sequential pass (home-shard failures overflow
+    /// at the barrier instead of mid-scan) but is bit-reproducible across
+    /// worker counts. The head-of-line-blocking ablation
+    /// (`queue_switch = false`) is an inherently global-order semantic and
+    /// also stays sequential.
+    fn schedule_parallel(
+        &mut self,
+        ctx: &mut SchedulerCtx<'_>,
+        pool: &ShardPool,
+    ) -> Vec<RequestPlan> {
+        let shards = ctx.cluster.shard_count();
+        if shards <= 1 || !self.cfg.queue_switch {
+            return self.schedule(ctx);
+        }
+        // Admission rounds fire on every arrival while the queue is short,
+        // so most rounds see an empty or near-empty queue. Every phase
+        // below is a no-op on an empty queue (the reorder needs two
+        // entries, and no shard gets a job), so bail before paying for
+        // the fan-out scaffolding.
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase 1 — reorder, exactly as the sequential pass does it.
+        if self.cfg.reorder && self.queue.len() > 1 {
+            sort_by_reorder_ratio(&mut self.queue, ctx.now, ctx);
+            if ctx.audit.is_enabled() {
+                let head = self.queue[0];
+                let rank = crate::reorder::reorder_ratio(&head, ctx.now, ctx);
+                ctx.audit.record(
+                    Decision::new(ctx.now, DecisionKind::Reorder, "reorder-ratio-sort")
+                        .request(head.id)
+                        .rank(rank)
+                        .value(self.queue.len() as f64),
+                );
+            }
+        }
+
+        // Phase 2 — partition by home shard and plan on the pool. Only
+        // shards with queued work get a scatter job: fanning out all `K`
+        // per round would pay O(shards + machines) in job scaffolding and
+        // machine-reference collection that a short queue never uses.
+        // The wanted-shard set is a pure function of queue content —
+        // never of worker timing — and jobs stay in ascending shard
+        // order, so the barrier merge order is unchanged.
+        let pending = std::mem::take(&mut self.queue);
+        let mut shard_queues: Vec<Vec<RequestInfo>> = Vec::with_capacity(shards);
+        shard_queues.resize_with(shards, Vec::new);
+        let mut wanted = vec![false; shards];
+        for req in pending {
+            let s = ctx.cluster.home_shard(req.id.0).0 as usize;
+            wanted[s] = true;
+            shard_queues[s].push(req);
+        }
+
+        let env = ctx.env();
+        let dt_policy = self.cfg.dt_policy;
+        let audit_on = ctx.audit.is_enabled();
+        let by_shard = ctx.cluster.machines_in_shards_mut(&wanted);
+        let jobs: Vec<_> = by_shard
+            .into_iter()
+            .map(|(s, mut machines)| {
+                let reqs = std::mem::take(&mut shard_queues[s]);
+                move |_shard: usize| {
+                    let mut out = ShardPass::default();
+                    let mut failures = 0usize;
+                    for (i, req) in reqs.iter().enumerate() {
+                        if failures >= mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND {
+                            // Shard saturated for this round: everything
+                            // behind the cap rides to the overflow pass.
+                            out.deferred.extend_from_slice(&reqs[i..]);
+                            break;
+                        }
+                        let rt = env.catalog.request(req.rtype);
+                        let policy = organizer_policy(dt_policy, rt.volatility);
+                        match plan_request_in_shard(req, &policy, &env, &mut machines) {
+                            Some(plan) => {
+                                if audit_on {
+                                    let root_budget = plan
+                                        .nodes
+                                        .first()
+                                        .map_or(0.0, |np| np.budget.as_millis_f64());
+                                    out.decisions.push(
+                                        Decision::new(
+                                            env.now,
+                                            DecisionKind::BudgetTier,
+                                            "banded-dt",
+                                        )
+                                        .request(req.id)
+                                        .vr(policy.vr.value())
+                                        .budget_ms(root_budget),
+                                    );
+                                }
+                                out.admitted.push((*req, plan));
+                            }
+                            None => {
+                                failures += 1;
+                                if audit_on {
+                                    out.decisions.push(
+                                        Decision::new(
+                                            env.now,
+                                            DecisionKind::Defer,
+                                            "no-home-shard-slot",
+                                        )
+                                        .request(req.id)
+                                        .vr(policy.vr.value()),
+                                    );
+                                }
+                                out.deferred.push(*req);
+                            }
+                        }
+                    }
+                    out
+                }
+            })
+            .collect();
+        let outcomes = pool.scatter(jobs);
+
+        // Phase 3a — barrier merge, fixed shard-index order.
+        let mut plans = Vec::new();
+        let mut overflow: Vec<RequestInfo> = Vec::new();
+        for out in outcomes {
+            for d in out.decisions {
+                ctx.audit.record(d);
+            }
+            for (req, plan) in out.admitted {
+                self.admit(req, plan.clone(), ctx);
+                plans.push(plan);
+            }
+            overflow.extend(out.deferred);
+        }
+
+        // Phase 3b — sequential overflow pass: whole-cluster scan for
+        // requests their home shard could not host (the cross-shard work
+        // stealing the shard-local phase deliberately forgoes).
+        let mut deferred = Vec::new();
+        let mut failures = 0usize;
+        for (i, req) in overflow.iter().enumerate() {
+            if failures >= mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND {
+                deferred.extend_from_slice(&overflow[i..]);
+                break;
+            }
+            let rt = ctx.catalog.request(req.rtype);
+            let policy = organizer_policy(dt_policy, rt.volatility);
+            match plan_request(req, &policy, &mut self.rr_cursor, ctx) {
+                Some(plan) => {
+                    if ctx.audit.is_enabled() {
+                        let root_budget =
+                            plan.nodes.first().map_or(0.0, |np| np.budget.as_millis_f64());
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::BudgetTier, "banded-dt")
+                                .request(req.id)
+                                .vr(policy.vr.value())
+                                .budget_ms(root_budget),
+                        );
+                    }
+                    self.admit(*req, plan.clone(), ctx);
+                    plans.push(plan);
+                }
+                None => {
+                    failures += 1;
+                    deferred.push(*req);
+                    ctx.metrics.inc(names::QUEUE_SWITCHES);
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Defer, "queue-switch")
+                            .request(req.id)
+                            .vr(policy.vr.value()),
+                    );
                 }
             }
         }

@@ -38,12 +38,13 @@ use std::path::Path;
 pub struct Experiment<'a> {
     config: ExperimentConfig,
     catalog: Option<&'a RequestCatalog>,
+    unindexed_dt: bool,
 }
 
 impl Experiment<'static> {
     /// Starts a builder from an in-memory config.
     pub fn from_config(config: ExperimentConfig) -> Self {
-        Experiment { config, catalog: None }
+        Experiment { config, catalog: None, unindexed_dt: false }
     }
 
     /// Starts a builder from a JSON config file (the `vmlp --config=FILE`
@@ -61,7 +62,16 @@ impl<'a> Experiment<'a> {
     /// Uses a caller-supplied request catalog (shared across a sweep)
     /// instead of constructing the paper catalog per run.
     pub fn catalog<'b>(self, catalog: &'b RequestCatalog) -> Experiment<'b> {
-        Experiment { config: self.config, catalog: Some(catalog) }
+        Experiment { config: self.config, catalog: Some(catalog), unindexed_dt: self.unindexed_dt }
+    }
+
+    /// Testing hook: forces every Δt percentile estimate through the
+    /// sort-based reference path instead of the banded index + memo.
+    /// Equivalence tests run the same config both ways and assert the
+    /// decision-audit trails (and results) are identical.
+    pub fn unindexed_dt(mut self, force: bool) -> Self {
+        self.unindexed_dt = force;
+        self
     }
 
     /// Enables or disables the decision-audit trail.
@@ -192,6 +202,9 @@ impl<'a> Experiment<'a> {
         // engine records one case per completed span, and Δt estimation
         // cost is linear in the retained window.
         profiles.set_retention(config.profile_retention);
+        if self.unindexed_dt {
+            profiles.set_unindexed(true);
+        }
         let mix = config.mix.resolve(catalog);
         // The typed workload-parameter check needs the resolved mix, so it
         // runs here rather than in `validate()`; it still fires before any

@@ -4,6 +4,32 @@
 use super::*;
 use mlp_trace::{metrics::names, DecisionKind};
 
+/// The per-machine invariant checks of [`Sim::audit_tick`]: occupancy
+/// conservation (grants ≙ actual usage ≙ running-span sum) and the
+/// reservation ledger's incremental index against a from-scratch rebuild.
+/// A free function so shard workers can run it without touching `Sim`.
+fn machine_checks(m: &mlp_cluster::Machine, used: &HashMap<u32, ResourceVector>) -> Vec<String> {
+    let mut violations = Vec::new();
+    let (_, grants_total, actual_used, _) = m.occupancy();
+    if !rv_close(grants_total, actual_used) {
+        violations.push(format!(
+            "machine {:?}: grants sum to {grants_total:?} but used is {actual_used:?}",
+            m.id
+        ));
+    }
+    let expect = used.get(&m.id.0).copied().unwrap_or(ResourceVector::ZERO);
+    if !rv_close(expect, actual_used) {
+        violations.push(format!(
+            "machine {:?}: running spans occupy {expect:?} but used is {actual_used:?}",
+            m.id
+        ));
+    }
+    if let Err(e) = m.ledger.check_consistency() {
+        violations.push(format!("machine {:?} ledger: {e}", m.id));
+    }
+    violations
+}
+
 impl<'c> Sim<'c> {
     /// Cross-checks conservation invariants over the live state: every
     /// `Running` span is backed by a live grant of the right size on an
@@ -45,23 +71,35 @@ impl<'c> Sim<'c> {
                 *used.entry(mid.0).or_insert(ResourceVector::ZERO) += occupied;
             }
         }
-        for m in self.cluster.machines() {
-            let (_, grants_total, actual_used, _) = m.occupancy();
-            if !rv_close(grants_total, actual_used) {
-                violations.push(format!(
-                    "machine {:?}: grants sum to {grants_total:?} but used is {actual_used:?}",
-                    m.id
-                ));
+        // Per-machine checks (occupancy conservation + ledger consistency
+        // rebuild) are independent, so a sharded cluster fans them out
+        // over the worker pool; results are re-sorted by machine id before
+        // merging, making the violation list byte-identical to the
+        // sequential ascending-id walk at any worker count.
+        if self.cluster.shard_count() > 1 {
+            let used_ref = &used;
+            let jobs: Vec<_> = self
+                .cluster
+                .machines_by_shard_mut()
+                .into_iter()
+                .map(|machines| {
+                    move |_s: usize| {
+                        machines
+                            .iter()
+                            .map(|m| (m.id.0, machine_checks(m, used_ref)))
+                            .collect::<Vec<(u32, Vec<String>)>>()
+                    }
+                })
+                .collect();
+            let mut per_machine: Vec<(u32, Vec<String>)> =
+                self.pool.scatter(jobs).into_iter().flatten().collect();
+            per_machine.sort_by_key(|(id, _)| *id);
+            for (_, v) in per_machine {
+                violations.extend(v);
             }
-            let expect = used.get(&m.id.0).copied().unwrap_or(ResourceVector::ZERO);
-            if !rv_close(expect, actual_used) {
-                violations.push(format!(
-                    "machine {:?}: running spans occupy {expect:?} but used is {actual_used:?}",
-                    m.id
-                ));
-            }
-            if let Err(e) = m.ledger.check_consistency() {
-                violations.push(format!("machine {:?} ledger: {e}", m.id));
+        } else {
+            for m in self.cluster.machines() {
+                violations.extend(machine_checks(m, &used));
             }
         }
         // Shard-partition consistency: the shard map must remain a strict

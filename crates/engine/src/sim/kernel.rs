@@ -229,7 +229,7 @@ impl<'c> Sim<'c> {
         self.last_round = now;
         let plans = {
             let mut ctx = sched_ctx!(self, now);
-            scheduler.schedule(&mut ctx)
+            scheduler.schedule_parallel(&mut ctx, &self.pool)
         };
         // Adapt the round spacing: a saturated cluster gains nothing from
         // re-examining the same backlog every few milliseconds.

@@ -51,7 +51,7 @@
 //! plateaus near rate × residence time while arrivals grow without bound.
 
 use crate::config::ExperimentConfig;
-use mlp_cluster::{Cluster, GrantId, MachineId};
+use mlp_cluster::{Cluster, GrantId, MachineId, ShardPool};
 use mlp_faults::FaultSchedule;
 use mlp_model::{RequestCatalog, RequestTypeId, ResourceVector};
 use mlp_net::NetworkModel;
@@ -259,6 +259,7 @@ pub fn simulate_with(
     let cap = source.size_hint().map_or(4096, |n| (n * 4 + 16).min(1 << 20));
     let mut sim = Sim {
         cluster: cfg.build_cluster(),
+        pool: ShardPool::new(cfg.workers),
         catalog,
         profiles,
         net: NetworkModel::paper_default(),
@@ -304,6 +305,9 @@ pub fn simulate_with(
 
 struct Sim<'c> {
     cluster: Cluster,
+    /// Worker pool for per-tick shard work (admission, telemetry,
+    /// auditing). One worker (the default) executes inline.
+    pool: ShardPool,
     catalog: &'c RequestCatalog,
     profiles: ProfileStore,
     net: NetworkModel,

@@ -2,7 +2,7 @@
 
 use crate::placement::{plan_request, MachinePolicy, PlanPolicy};
 use crate::plan::{RequestInfo, RequestPlan};
-use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::scheduler::{PlanEnv, Scheduler, SchedulerCtx};
 use mlp_model::{Microservice, ResourceVector};
 use mlp_sim::SimDuration;
 use mlp_trace::{Decision, DecisionKind};
@@ -44,15 +44,20 @@ impl FairSched {
     }
 }
 
-struct FairPolicy;
+/// Budgets and grants are cluster-independent once the slice is captured
+/// (the env carries no cluster view), so `FairSched::schedule` computes
+/// the equal slice up front from the (homogeneous) machine capacity.
+struct FairPolicy {
+    slice: ResourceVector,
+}
 
 impl PlanPolicy for FairPolicy {
-    fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _c: &SchedulerCtx<'_>) -> SimDuration {
+    fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _e: &PlanEnv<'_>) -> SimDuration {
         SimDuration::from_millis_f64(NAIVE_BUDGET_MS)
     }
-    fn grant(&self, _n: usize, _s: &Microservice, ctx: &SchedulerCtx<'_>) -> ResourceVector {
+    fn grant(&self, _n: usize, _s: &Microservice, _e: &PlanEnv<'_>) -> ResourceVector {
         // An equal slice of a (homogeneous) machine.
-        ctx.cluster.machines()[0].capacity * (1.0 / FAIR_SLOTS)
+        self.slice
     }
     fn machine_policy(&self) -> MachinePolicy {
         MachinePolicy::RoundRobin
@@ -72,9 +77,10 @@ impl Scheduler for FairSched {
     }
 
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
+        let policy = FairPolicy { slice: ctx.cluster.machines()[0].capacity * (1.0 / FAIR_SLOTS) };
         let mut plans = Vec::with_capacity(self.queue.len());
         while let Some(req) = self.queue.pop_front() {
-            let plan = plan_request(&req, &FairPolicy, &mut self.rr_cursor, ctx)
+            let plan = plan_request(&req, &policy, &mut self.rr_cursor, ctx)
                 .expect("round-robin placement cannot fail");
             plans.push(plan);
         }
@@ -110,10 +116,10 @@ impl CurSched {
 struct CurPolicy;
 
 impl PlanPolicy for CurPolicy {
-    fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _c: &SchedulerCtx<'_>) -> SimDuration {
+    fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _e: &PlanEnv<'_>) -> SimDuration {
         SimDuration::from_millis_f64(NAIVE_BUDGET_MS)
     }
-    fn grant(&self, _n: usize, svc: &Microservice, _c: &SchedulerCtx<'_>) -> ResourceVector {
+    fn grant(&self, _n: usize, svc: &Microservice, _e: &PlanEnv<'_>) -> ResourceVector {
         svc.demand
     }
     fn machine_policy(&self) -> MachinePolicy {
@@ -196,17 +202,11 @@ impl PartProfile {
 struct PartPolicy;
 
 impl PlanPolicy for PartPolicy {
-    fn budget(
-        &self,
-        _n: usize,
-        svc: &Microservice,
-        wf: f64,
-        ctx: &SchedulerCtx<'_>,
-    ) -> SimDuration {
-        let mean = ctx.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
+    fn budget(&self, _n: usize, svc: &Microservice, wf: f64, env: &PlanEnv<'_>) -> SimDuration {
+        let mean = env.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
         SimDuration::from_millis_f64(mean * wf)
     }
-    fn grant(&self, _n: usize, svc: &Microservice, _c: &SchedulerCtx<'_>) -> ResourceVector {
+    fn grant(&self, _n: usize, svc: &Microservice, _e: &PlanEnv<'_>) -> ResourceVector {
         svc.demand
     }
     fn machine_policy(&self) -> MachinePolicy {
@@ -284,19 +284,13 @@ impl FullProfile {
 struct FullPolicy;
 
 impl PlanPolicy for FullPolicy {
-    fn budget(
-        &self,
-        _n: usize,
-        svc: &Microservice,
-        wf: f64,
-        ctx: &SchedulerCtx<'_>,
-    ) -> SimDuration {
-        let mean = ctx.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
+    fn budget(&self, _n: usize, svc: &Microservice, wf: f64, env: &PlanEnv<'_>) -> SimDuration {
+        let mean = env.profiles.mean_exec_ms(svc.id).unwrap_or(svc.base_ms);
         // Small engineering margin over the mean; still far short of tails.
         SimDuration::from_millis_f64(mean * wf * 1.1)
     }
-    fn grant(&self, _n: usize, svc: &Microservice, ctx: &SchedulerCtx<'_>) -> ResourceVector {
-        let observed = ctx.profiles.mean_usage(svc.id);
+    fn grant(&self, _n: usize, svc: &Microservice, env: &PlanEnv<'_>) -> ResourceVector {
+        let observed = env.profiles.mean_usage(svc.id);
         if observed == ResourceVector::ZERO {
             svc.demand
         } else {

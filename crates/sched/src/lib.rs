@@ -26,4 +26,4 @@ pub use overload::{
     BreakerTransition, BrownoutController, OverloadConfig, OverloadRuntime, RetryBudget,
 };
 pub use plan::{NodePlan, RequestInfo, RequestPlan};
-pub use scheduler::{HealingAction, LateInfo, NodeFailure, Scheduler, SchedulerCtx};
+pub use scheduler::{HealingAction, LateInfo, NodeFailure, PlanEnv, Scheduler, SchedulerCtx};

@@ -1,8 +1,8 @@
 //! Shared DAG-planning machinery used by all schemes.
 
 use crate::plan::{NodePlan, RequestInfo, RequestPlan};
-use crate::scheduler::SchedulerCtx;
-use mlp_cluster::MachineId;
+use crate::scheduler::{PlanEnv, SchedulerCtx};
+use mlp_cluster::{Machine, MachineId};
 use mlp_model::{Microservice, ResourceVector};
 use mlp_sim::{SimDuration, SimTime};
 
@@ -20,6 +20,11 @@ pub enum MachinePolicy {
 }
 
 /// Per-node planning inputs a scheme provides to the builder.
+///
+/// Budgets and grants consult only the read-only [`PlanEnv`] (profiles,
+/// catalog, network, now) — never the mutable cluster — which is what
+/// lets shard workers evaluate policies concurrently during a parallel
+/// admission pass.
 pub trait PlanPolicy {
     /// Execution-time budget Δt for a node.
     fn budget(
@@ -27,11 +32,11 @@ pub trait PlanPolicy {
         node: usize,
         svc: &Microservice,
         work_factor: f64,
-        ctx: &SchedulerCtx<'_>,
+        env: &PlanEnv<'_>,
     ) -> SimDuration;
 
     /// Resource grant for a node.
-    fn grant(&self, node: usize, svc: &Microservice, ctx: &SchedulerCtx<'_>) -> ResourceVector;
+    fn grant(&self, node: usize, svc: &Microservice, env: &PlanEnv<'_>) -> ResourceVector;
 
     /// Machine-selection policy.
     fn machine_policy(&self) -> MachinePolicy;
@@ -65,6 +70,7 @@ pub fn plan_request(
     rr_cursor: &mut usize,
     ctx: &mut SchedulerCtx<'_>,
 ) -> Option<RequestPlan> {
+    let env = ctx.env();
     let rtype = ctx.catalog.request(req.rtype);
     let dag = &rtype.dag;
     let order = dag.topo_order().expect("request DAGs are validated acyclic");
@@ -78,8 +84,8 @@ pub fn plan_request(
     for &i in &order {
         let node = dag.node(i);
         let svc = ctx.catalog.services.get(node.service);
-        let budget = policy.budget(i, svc, node.work_factor, ctx);
-        let grant = policy.grant(i, svc, ctx);
+        let budget = policy.budget(i, svc, node.work_factor, &env);
+        let grant = policy.grant(i, svc, &env);
 
         // Earliest start: all parents done + expected comm (assume the
         // conservative cross-machine delay; co-location is decided later).
@@ -190,6 +196,109 @@ pub fn plan_request(
     })
 }
 
+/// Plans `req`'s DAG against a single shard's machines — the shard-local
+/// arm of [`plan_request`], runnable on a worker thread.
+///
+/// `machines` is the shard's machine slice in ascending-id order (as
+/// produced by `Cluster::machines_by_shard_mut`). The scan, tie-break,
+/// reservation, and rollback logic are identical to `plan_request`'s
+/// home-shard pass with `MachinePolicy::LedgerEarliestFit`; the one
+/// difference is that there is **no cross-shard overflow** — a request
+/// that does not fit in its home shard returns `None` and the caller
+/// retries it sequentially at the barrier, where the whole cluster is
+/// visible again. That keeps every worker's writes confined to machines
+/// it owns, which is the entire determinism argument.
+pub fn plan_request_in_shard(
+    req: &RequestInfo,
+    policy: &impl PlanPolicy,
+    env: &PlanEnv<'_>,
+    machines: &mut [&mut Machine],
+) -> Option<RequestPlan> {
+    let rtype = env.catalog.request(req.rtype);
+    let dag = &rtype.dag;
+    let order = dag.topo_order().expect("request DAGs are validated acyclic");
+    if machines.is_empty() {
+        return None;
+    }
+
+    let mut nodes: Vec<Option<NodePlan>> = vec![None; dag.len()];
+    let horizon_end = env.now + policy.horizon();
+    let mut reserved: Vec<(MachineId, SimTime, SimTime, ResourceVector)> = Vec::new();
+
+    for &i in &order {
+        let node = dag.node(i);
+        let svc = env.catalog.services.get(node.service);
+        let budget = policy.budget(i, svc, node.work_factor, env);
+        let grant = policy.grant(i, svc, env);
+
+        let mut ready = env.now;
+        for p in dag.parents(i) {
+            let parent = nodes[p].as_ref().expect("topo order visits parents first");
+            let comm = env.net.expected_delay(false, svc.comm);
+            let t = parent.planned_end() + comm;
+            if t > ready {
+                ready = t;
+            }
+        }
+
+        let mut best: Option<(MachineId, SimTime, f64)> = None;
+        for m in machines.iter() {
+            if !m.is_up() {
+                continue;
+            }
+            if !m.ledger.might_fit(grant) {
+                continue;
+            }
+            if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant) {
+                let headroom =
+                    m.ledger.available(slot, slot + budget).utilization_against(&m.capacity);
+                let better = match best {
+                    None => true,
+                    Some((_, t, h)) => slot < t || (slot == t && headroom > h),
+                };
+                if better {
+                    best = Some((m.id, slot, headroom));
+                }
+            }
+        }
+
+        let (machine, start) = match best {
+            Some((m, t, _)) => (m, t),
+            None => {
+                for (m, from, to, amt) in reserved {
+                    let idx = machines
+                        .binary_search_by_key(&m, |mm| mm.id)
+                        .expect("reserved on a shard machine");
+                    machines[idx].ledger.unreserve(from, to, amt);
+                }
+                return None;
+            }
+        };
+
+        if policy.reserve() && budget > SimDuration::ZERO {
+            let end = start + budget;
+            let idx = machines
+                .binary_search_by_key(&machine, |mm| mm.id)
+                .expect("placed on a shard machine");
+            machines[idx].ledger.reserve(start, end, grant);
+            reserved.push((machine, start, end, grant));
+        }
+
+        nodes[i] = Some(NodePlan {
+            machine,
+            planned_start: start,
+            budget,
+            grant,
+            reserved: policy.reserve() && budget > SimDuration::ZERO,
+        });
+    }
+
+    Some(RequestPlan {
+        request: req.id,
+        nodes: nodes.into_iter().map(|n| n.expect("all nodes planned")).collect(),
+    })
+}
+
 /// Rolls back every reservation a plan wrote (when a plan is abandoned or
 /// re-made by the self-healing module).
 pub fn unreserve_plan(plan: &RequestPlan, ctx: &mut SchedulerCtx<'_>) {
@@ -220,16 +329,10 @@ mod tests {
     }
 
     impl PlanPolicy for TestPolicy {
-        fn budget(
-            &self,
-            _n: usize,
-            _s: &Microservice,
-            _wf: f64,
-            _c: &SchedulerCtx<'_>,
-        ) -> SimDuration {
+        fn budget(&self, _n: usize, _s: &Microservice, _wf: f64, _e: &PlanEnv<'_>) -> SimDuration {
             SimDuration::from_millis(self.budget_ms)
         }
-        fn grant(&self, _n: usize, _s: &Microservice, _c: &SchedulerCtx<'_>) -> ResourceVector {
+        fn grant(&self, _n: usize, _s: &Microservice, _e: &PlanEnv<'_>) -> ResourceVector {
             self.grant
         }
         fn machine_policy(&self) -> MachinePolicy {
@@ -425,6 +528,77 @@ mod tests {
             );
         }
         assert!(met.counter(mlp_trace::metrics::names::SHARD_OVERFLOWS) > 0);
+    }
+
+    #[test]
+    fn shard_local_plan_matches_full_plan_bitwise() {
+        // When the home shard has room, plan_request never leaves it — so
+        // the shard-local planner (run on just that shard's machines) must
+        // produce the byte-identical plan and ledger writes.
+        let (cluster, cat, net, prof, met) = harness();
+        let mut full = cluster.clone().with_shards(2, mlp_cluster::ShardPolicy::RoundRobin);
+        let mut local = full.clone();
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 25,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let r = req(&cat, "read-user-timeline"); // RequestId(1) → home shard 1
+
+        let mut ctx = ctx!(full, cat, net, prof, met);
+        let mut cursor = 0;
+        let reference = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+
+        let home = local.home_shard(r.id.0).0 as usize;
+        let env = PlanEnv { now: SimTime::ZERO, profiles: &prof, catalog: &cat, net: &net };
+        let mut by_shard = local.machines_by_shard_mut();
+        let shard_plan = plan_request_in_shard(&r, &p, &env, &mut by_shard[home]).unwrap();
+        drop(by_shard);
+
+        assert_eq!(shard_plan, reference);
+        for (a, b) in full.machines().iter().zip(local.machines()) {
+            let wa = a.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
+            let wb = b.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
+            assert_eq!(wa, wb, "ledger divergence on {:?}", a.id);
+        }
+    }
+
+    #[test]
+    fn shard_local_plan_rolls_back_on_failure() {
+        let (cluster, cat, net, prof, _met) = harness();
+        let mut local = cluster.with_shards(2, mlp_cluster::ShardPolicy::RoundRobin);
+        // Saturate shard 1 (odd ids) so the shard-local pass must fail.
+        for m in local.machines_mut() {
+            if m.id.0 % 2 == 1 {
+                m.ledger.reserve(
+                    SimTime::ZERO,
+                    SimTime::from_secs(60),
+                    ResourceVector::new(6.0, 32_000.0, 1_000.0),
+                );
+            }
+        }
+        let baseline: Vec<ResourceVector> = local
+            .machines()
+            .iter()
+            .map(|m| m.ledger.available(SimTime::ZERO, SimTime::from_secs(30)))
+            .collect();
+        let p = TestPolicy {
+            policy: MachinePolicy::LedgerEarliestFit,
+            reserve: true,
+            budget_ms: 10,
+            grant: ResourceVector::new(1.0, 100.0, 10.0),
+        };
+        let r = req(&cat, "read-user-timeline");
+        let home = local.home_shard(r.id.0).0 as usize;
+        let env = PlanEnv { now: SimTime::ZERO, profiles: &prof, catalog: &cat, net: &net };
+        let mut by_shard = local.machines_by_shard_mut();
+        assert!(plan_request_in_shard(&r, &p, &env, &mut by_shard[home]).is_none());
+        drop(by_shard);
+        for (m, before) in local.machines().iter().zip(baseline) {
+            let after = m.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
+            assert_eq!(after, before, "machine {:?} not rolled back", m.id);
+        }
     }
 
     #[test]

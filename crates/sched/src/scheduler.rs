@@ -1,11 +1,29 @@
 //! The scheduler interface the evaluation engine drives.
 
 use crate::plan::{RequestInfo, RequestPlan};
-use mlp_cluster::{Cluster, MachineId};
+use mlp_cluster::{Cluster, MachineId, ShardPool};
 use mlp_model::RequestCatalog;
 use mlp_net::NetworkModel;
 use mlp_sim::{SimDuration, SimTime};
 use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId, Span};
+
+/// The read-only planning environment: everything per-node budget/grant
+/// estimation consults. Split out of [`SchedulerCtx`] so planning can run
+/// on shard workers that hold only *their shard's* machines — the full
+/// ctx owns `&mut Cluster` and cannot cross a thread boundary in pieces.
+/// All fields are shared references to `Sync` data, so a `PlanEnv` is
+/// `Copy + Send + Sync` and one value can serve every worker of a tick.
+#[derive(Clone, Copy)]
+pub struct PlanEnv<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Historical execution profiles (the `s_i` matrices).
+    pub profiles: &'a ProfileStore,
+    /// Request catalog (DAGs, SLOs, volatility).
+    pub catalog: &'a RequestCatalog,
+    /// Communication model, for expected-delay planning.
+    pub net: &'a NetworkModel,
+}
 
 /// Everything a scheduler may consult (and the ledgers it may write)
 /// during a callback. Borrowed from the engine per call.
@@ -24,6 +42,16 @@ pub struct SchedulerCtx<'a> {
     pub metrics: &'a MetricsRegistry,
     /// Decision-audit sink (no-op unless the run enables auditing).
     pub audit: &'a AuditLog,
+}
+
+impl<'a> SchedulerCtx<'a> {
+    /// The read-only planning environment of this ctx. The returned value
+    /// copies the shared references out of the ctx, so it does not borrow
+    /// `self` — callers can keep using (and mutating through) the ctx
+    /// while the env is alive.
+    pub fn env(&self) -> PlanEnv<'a> {
+        PlanEnv { now: self.now, profiles: self.profiles, catalog: self.catalog, net: self.net }
+    }
 }
 
 /// Raised by the engine when a planned invocation is *late*: its planned
@@ -142,6 +170,20 @@ pub trait Scheduler {
 
     /// Admission pass: place whichever waiting requests the scheme can.
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan>;
+
+    /// Admission pass with a shard worker pool available. Schemes that
+    /// partition their work by shard override this to fan placement out
+    /// over the pool (with effects merged back in shard-index order so
+    /// results are identical at any worker count); the default ignores
+    /// the pool and runs the sequential [`schedule`](Scheduler::schedule).
+    fn schedule_parallel(
+        &mut self,
+        ctx: &mut SchedulerCtx<'_>,
+        pool: &ShardPool,
+    ) -> Vec<RequestPlan> {
+        let _ = pool;
+        self.schedule(ctx)
+    }
 
     /// A node's dependencies (and their communication) have all resolved:
     /// it can physically start from `at`. Self-healing schemes use this to

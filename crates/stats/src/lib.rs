@@ -12,6 +12,7 @@ pub mod cdf;
 pub mod dist;
 pub mod histogram;
 pub mod quantile;
+pub mod ranked;
 pub mod summary;
 pub mod timeseries;
 
@@ -19,5 +20,6 @@ pub use cdf::Cdf;
 pub use dist::{Dist, Distribution};
 pub use histogram::LogHistogram;
 pub use quantile::P2Quantile;
+pub use ranked::RankedSamples;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

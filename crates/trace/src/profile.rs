@@ -9,9 +9,10 @@
 //! executions) from the same history.
 
 use mlp_model::{ResourceVector, ServiceId};
-use mlp_stats::{Cdf, Summary};
+use mlp_stats::{Cdf, RankedSamples, Summary};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// One historical execution case — one row of `s_i`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +33,16 @@ struct ServiceHistory {
     exec_summary: Summary,
     #[serde(skip)]
     usage_summary: [Summary; 3],
+    /// Always-sorted index over `cases[i].exec_ms`, kept in lockstep with
+    /// `cases` so banded-Δt queries are order-statistic lookups instead of
+    /// full re-sorts. Skipped by serde (like the summaries) and rebuilt on
+    /// the first mutation after deserialization; until then `ranked.len()
+    /// != cases.len()` flags it stale and queries take the sort path.
+    #[serde(skip)]
+    ranked: RankedSamples,
+    /// Bumped on every mutation of `cases`; versions the Δt memo.
+    #[serde(skip)]
+    version: u64,
 }
 
 impl ServiceHistory {
@@ -40,17 +51,70 @@ impl ServiceHistory {
         self.usage_summary[0].record(case.usage.cpu);
         self.usage_summary[1].record(case.usage.mem);
         self.usage_summary[2].record(case.usage.io);
+        if self.ranked.len() != self.cases.len() {
+            self.rebuild_ranked();
+        }
+        self.ranked.insert(case.exec_ms);
         self.cases.push(case);
+        self.version += 1;
+    }
+
+    /// Drops the `overflow` oldest cases, keeping the ranked index in
+    /// lockstep (or rebuilding it if it was stale).
+    fn evict(&mut self, overflow: usize) {
+        let in_sync = self.ranked.len() == self.cases.len();
+        for c in self.cases.drain(..overflow) {
+            if in_sync {
+                self.ranked.remove_one(c.exec_ms);
+            }
+        }
+        if !in_sync {
+            self.rebuild_ranked();
+        }
+        self.version += 1;
+    }
+
+    fn rebuild_ranked(&mut self) {
+        let samples: Vec<f64> = self.cases.iter().map(|c| c.exec_ms).collect();
+        self.ranked = RankedSamples::from_samples(&samples);
     }
 }
 
+/// Memo key for a banded-Δt query: (service, `x_percent` bits, `q` bits).
+/// The value is independent of the caller's fallback (a non-empty history
+/// always yields a quantile), so the fallback is deliberately not keyed.
+type DeltaKey = (u32, u64, u64);
+
 /// The historical profile store shared by all profile-driven schedulers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct ProfileStore {
     histories: HashMap<u32, ServiceHistory>,
     /// Cap on retained cases per service (ring-buffer semantics); `0`
     /// means unbounded.
     retention: usize,
+    /// Banded-Δt memo: `(service, x, q) → (history version, Δt)`. Entries
+    /// are validated against the service's current version, so a stale hit
+    /// is impossible; interior mutability keeps `delta_t_ms` a `&self`
+    /// query (and the `Mutex` keeps the store shareable across shard
+    /// workers). Never serialized; cleared by `clone`.
+    #[serde(skip)]
+    memo: Mutex<HashMap<DeltaKey, (u64, f64)>>,
+    /// Debug escape hatch: `true` forces the historical sort-based Δt
+    /// path, bypassing the ranked index and the memo. Used by equivalence
+    /// tests to prove the fast path changes no scheduling decision.
+    #[serde(skip)]
+    force_unindexed: bool,
+}
+
+impl Clone for ProfileStore {
+    fn clone(&self) -> Self {
+        ProfileStore {
+            histories: self.histories.clone(),
+            retention: self.retention,
+            memo: Mutex::new(HashMap::new()),
+            force_unindexed: self.force_unindexed,
+        }
+    }
 }
 
 impl ProfileStore {
@@ -62,7 +126,7 @@ impl ProfileStore {
     /// Creates a store that retains at most `retention` recent cases per
     /// service (cheap online operation for long runs).
     pub fn with_retention(retention: usize) -> Self {
-        ProfileStore { histories: HashMap::new(), retention }
+        ProfileStore { retention, ..ProfileStore::default() }
     }
 
     /// Changes the retention cap (`0` = unbounded) and trims any history
@@ -76,9 +140,16 @@ impl ProfileStore {
         for h in self.histories.values_mut() {
             if h.cases.len() > retention {
                 let overflow = h.cases.len() - retention;
-                h.cases.drain(..overflow);
+                h.evict(overflow);
             }
         }
+    }
+
+    /// Forces the historical sort-based Δt path (debug/test aid; see
+    /// `memo`/`force_unindexed` docs). The fast path is exact, so toggling
+    /// this must not change any scheduling decision.
+    pub fn set_unindexed(&mut self, force: bool) {
+        self.force_unindexed = force;
     }
 
     /// The current retention cap (`0` = unbounded).
@@ -92,7 +163,7 @@ impl ProfileStore {
         h.record(case);
         if self.retention > 0 && h.cases.len() > self.retention {
             let overflow = h.cases.len() - self.retention;
-            h.cases.drain(..overflow);
+            h.evict(overflow);
             // Summaries intentionally stay cumulative — they describe the
             // service's lifetime behaviour, while `cases` bounds the Δt
             // estimation window.
@@ -166,7 +237,58 @@ impl ProfileStore {
     /// * high volatility: `q = 0.99` ("Δt = 99 % latency of x % executions")
     ///
     /// Falls back to `fallback_ms` when no history exists (cold start).
+    ///
+    /// Answered from the per-service ranked index when it is in sync: the
+    /// truncate-then-quantile composition is `sorted[idx]` with
+    /// `keep = ⌈x/100·n⌉` (clamped to `1..=n`) and
+    /// `idx = min(max(⌈q·keep⌉, 1) − 1, keep − 1)` — exactly the
+    /// [`Cdf::truncate_fastest`]/[`Cdf::quantile`] arithmetic — so the
+    /// fast path returns bit-identical values to the sort path (proven in
+    /// tests). Results are memoized per `(service, x, q)` keyed on the
+    /// history version.
     pub fn delta_t_ms(&self, service: ServiceId, x_percent: f64, q: f64, fallback_ms: f64) -> f64 {
+        let Some(h) = self.histories.get(&service.0) else { return fallback_ms };
+        let n = h.cases.len();
+        if n == 0 {
+            return fallback_ms;
+        }
+        if self.force_unindexed {
+            return self.delta_t_ms_unindexed(service, x_percent, q, fallback_ms);
+        }
+        let key: DeltaKey = (service.0, x_percent.to_bits(), q.to_bits());
+        if let Ok(memo) = self.memo.lock() {
+            if let Some(&(version, value)) = memo.get(&key) {
+                if version == h.version {
+                    return value;
+                }
+            }
+        }
+        let value = if h.ranked.len() == n {
+            let keep = (((x_percent / 100.0) * n as f64).ceil() as usize).clamp(1.min(n), n);
+            let idx = (((q * keep as f64).ceil() as usize).max(1) - 1).min(keep - 1);
+            h.ranked.select(idx).unwrap_or(fallback_ms)
+        } else {
+            // Freshly deserialized: the index is stale until the next
+            // mutation rebuilds it. Take the sort path (still memoized).
+            self.delta_t_ms_unindexed(service, x_percent, q, fallback_ms)
+        };
+        if let Ok(mut memo) = self.memo.lock() {
+            memo.insert(key, (h.version, value));
+        }
+        value
+    }
+
+    /// The historical sort-based Δt computation (builds and truncates a
+    /// fresh [`Cdf`] per call). Kept as the reference implementation the
+    /// indexed path must match bit-for-bit, and as the fallback while the
+    /// index is stale after deserialization.
+    pub fn delta_t_ms_unindexed(
+        &self,
+        service: ServiceId,
+        x_percent: f64,
+        q: f64,
+        fallback_ms: f64,
+    ) -> f64 {
         let mut cdf = self.exec_cdf(service);
         if cdf.is_empty() {
             return fallback_ms;
@@ -183,7 +305,16 @@ impl ProfileStore {
     }
 
     /// Smallest retained execution time (the `Δt₀` of the reorder ratio).
+    /// `O(1)` off the ranked index when in sync (same `total_cmp` order,
+    /// so the returned bits match the scan).
     pub fn min_exec_ms(&self, service: ServiceId) -> Option<f64> {
+        if !self.force_unindexed {
+            if let Some(h) = self.histories.get(&service.0) {
+                if h.ranked.len() == h.cases.len() {
+                    return h.ranked.min();
+                }
+            }
+        }
         self.cases(service).iter().map(|c| c.exec_ms).min_by(|a, b| a.total_cmp(b))
     }
 
@@ -283,6 +414,57 @@ mod tests {
     }
 
     #[test]
+    fn indexed_delta_t_matches_reference_bitwise() {
+        let mut p = ProfileStore::with_retention(16);
+        // Awkward values: duplicates, sub-ms, and a retention window that
+        // keeps evicting — the index must track the survivors exactly.
+        for i in 0..200u32 {
+            p.record(S, case(((i * 37) % 50) as f64 / 7.0 + 0.013));
+            for &(x, q) in &[(100.0, 0.5), (62.5, 0.99), (30.0, 0.5), (5.0, 0.99)] {
+                let fast = p.delta_t_ms(S, x, q, -1.0);
+                let slow = p.delta_t_ms_unindexed(S, x, q, -1.0);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "i={i} x={x} q={q}");
+            }
+            assert_eq!(
+                p.min_exec_ms(S),
+                p.cases(S).iter().map(|c| c.exec_ms).min_by(|a, b| a.total_cmp(b))
+            );
+        }
+    }
+
+    #[test]
+    fn memo_invalidated_by_new_history() {
+        let mut p = ProfileStore::new();
+        p.record(S, case(10.0));
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.99, 0.0), 10.0);
+        // A repeated query hits the memo; a new recording must invalidate.
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.99, 0.0), 10.0);
+        p.record(S, case(90.0));
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.99, 0.0), 90.0);
+        // Eviction invalidates too.
+        p.set_retention(1);
+        assert_eq!(p.delta_t_ms(S, 100.0, 0.5, 0.0), 90.0);
+    }
+
+    #[test]
+    fn deserialized_store_answers_exactly_then_reindexes() {
+        let mut p = ProfileStore::new();
+        for ms in [14.0, 3.0, 8.0, 3.0] {
+            p.record(S, case(ms));
+        }
+        let js = serde_json::to_string(&p).unwrap();
+        let mut q: ProfileStore = serde_json::from_str(&js).unwrap();
+        // Stale index: queries take the sort path but stay exact.
+        assert_eq!(q.delta_t_ms(S, 100.0, 0.5, 0.0), p.delta_t_ms(S, 100.0, 0.5, 0.0));
+        assert_eq!(q.min_exec_ms(S), Some(3.0));
+        // First mutation rebuilds the index; answers stay in lockstep.
+        q.record(S, case(1.0));
+        p.record(S, case(1.0));
+        assert_eq!(q.delta_t_ms(S, 80.0, 0.99, 0.0), p.delta_t_ms(S, 80.0, 0.99, 0.0));
+        assert_eq!(q.min_exec_ms(S), Some(1.0));
+    }
+
+    #[test]
     fn json_roundtrip_preserves_cases() {
         let mut p = ProfileStore::new();
         p.record(S, case(12.5));
@@ -318,6 +500,23 @@ mod prop_tests {
             let min = times.iter().copied().fold(f64::INFINITY, f64::min);
             prop_assert!(d99 <= max + 1e-9);
             prop_assert!(d50 >= min - 1e-9);
+        }
+
+        /// The indexed Δt path is bit-identical to the sort-based
+        /// reference for arbitrary histories, bands, and retention caps.
+        #[test]
+        fn indexed_equals_reference(times in prop::collection::vec(0.01f64..1e4, 1..200),
+                                    x in 0.5f64..100.0,
+                                    q in 0.0f64..1.0,
+                                    retention in 0usize..64) {
+            let mut p = ProfileStore::with_retention(retention);
+            for &t in &times {
+                p.record(ServiceId(3), ExecutionCase {
+                    usage: ResourceVector::ZERO, machine_load: 0.0, exec_ms: t });
+            }
+            let fast = p.delta_t_ms(ServiceId(3), x, q, -1.0);
+            let slow = p.delta_t_ms_unindexed(ServiceId(3), x, q, -1.0);
+            prop_assert_eq!(fast.to_bits(), slow.to_bits());
         }
     }
 }

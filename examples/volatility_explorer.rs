@@ -7,10 +7,9 @@
 //! ```
 
 use v_mlp::core::organizer::OrganizerPolicy;
-use v_mlp::model::ResourceVector;
 use v_mlp::prelude::*;
-use v_mlp::sched::SchedulerCtx;
-use v_mlp::trace::{AuditLog, ExecutionCase, MetricsRegistry, ProfileStore};
+use v_mlp::sched::PlanEnv;
+use v_mlp::trace::{ExecutionCase, ProfileStore};
 
 fn main() {
     let catalog = RequestCatalog::paper();
@@ -47,19 +46,12 @@ fn main() {
             },
         );
     }
-    let mut cluster =
-        v_mlp::cluster::Cluster::homogeneous(1, ResourceVector::new(2.4, 2500.0, 350.0));
     let net = v_mlp::net::NetworkModel::paper_default();
-    let metrics = MetricsRegistry::new();
-    let audit = AuditLog::disabled();
-    let ctx = SchedulerCtx {
+    let ctx = PlanEnv {
         now: v_mlp::sim::SimTime::ZERO,
-        cluster: &mut cluster,
         profiles: &profiles,
         catalog: &catalog,
         net: &net,
-        metrics: &metrics,
-        audit: &audit,
     };
     println!("Δt budgets for {} (500 historical cases, nominal {} ms):", svc.name, svc.base_ms);
     for vr in [0.2, 0.5, 0.8] {

@@ -215,3 +215,38 @@ fn parallel_sweep_is_deterministic() {
         assert_eq!(a.latency_ms, b.latency_ms);
     }
 }
+
+#[test]
+fn banded_dt_fast_path_matches_sort_based_reference() {
+    // The banded Δt estimate is served from the per-service rank index
+    // plus a (service, band, percentile) memo; the sort-based scan
+    // survives as a debug reference. Equivalence must hold at the
+    // *schedule* level, not just per estimate: the same config run both
+    // ways must produce identical results and a decision-audit trail
+    // identical entry for entry (every budget tier, defer, and admit) —
+    // unsharded and sharded, where the parallel round buffers decisions
+    // on the workers.
+    for shards in [1usize, 4] {
+        let cfg = ExperimentConfig::smoke(Scheme::VMlp)
+            .with_seed(17)
+            .with_shards(shards, ShardPolicy::RoundRobin);
+        let (fast_r, fast_out) =
+            Experiment::from_config(cfg).audit(true).run_full().expect("fast path runs");
+        let (ref_r, ref_out) = Experiment::from_config(cfg)
+            .audit(true)
+            .unindexed_dt(true)
+            .run_full()
+            .expect("reference path runs");
+        let label = format!("shards={shards}");
+        assert_eq!(fast_r.completed, ref_r.completed, "{label}: completed");
+        assert_eq!(fast_r.latency_ms, ref_r.latency_ms, "{label}: latency percentiles");
+        assert_eq!(fast_r.violation_rate, ref_r.violation_rate, "{label}: violation rate");
+        assert_eq!(fast_r.healing, ref_r.healing, "{label}: healing counters");
+        let fast_ds = fast_out.audit.decisions();
+        let ref_ds = ref_out.audit.decisions();
+        assert_eq!(fast_ds.len(), ref_ds.len(), "{label}: decision counts");
+        for (i, (a, b)) in fast_ds.iter().zip(ref_ds.iter()).enumerate() {
+            assert_eq!(a, b, "{label}: decision #{i} diverges between Δt paths");
+        }
+    }
+}

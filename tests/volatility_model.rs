@@ -7,9 +7,8 @@ use v_mlp::engine::profiling::warm_profiles;
 use v_mlp::model::{RequestCatalog, VolatilityClass};
 use v_mlp::net::NetworkModel;
 use v_mlp::prelude::*;
-use v_mlp::sched::SchedulerCtx;
+use v_mlp::sched::PlanEnv;
 use v_mlp::sim::{SimRng, SimTime};
-use v_mlp::trace::{AuditLog, MetricsRegistry};
 
 #[test]
 fn table5_bands_survive_the_full_pipeline() {
@@ -43,18 +42,7 @@ fn delta_t_is_monotone_in_volatility_on_live_profiles() {
     let catalog = RequestCatalog::paper();
     let profiles = warm_profiles(&catalog, 300, &mut SimRng::new(3));
     let net = NetworkModel::paper_default();
-    let metrics = MetricsRegistry::new();
-    let audit = AuditLog::disabled();
-    let mut cluster = v_mlp::cluster::Cluster::paper_default();
-    let ctx = SchedulerCtx {
-        now: SimTime::ZERO,
-        cluster: &mut cluster,
-        profiles: &profiles,
-        catalog: &catalog,
-        net: &net,
-        metrics: &metrics,
-        audit: &audit,
-    };
+    let ctx = PlanEnv { now: SimTime::ZERO, profiles: &profiles, catalog: &catalog, net: &net };
     // For every service with meaningful variance, the high-band budget must
     // dominate the medium-band budget, which must dominate the fastest
     // historical observation.
@@ -74,18 +62,7 @@ fn dt_policies_order_correctly_on_live_profiles() {
     let catalog = RequestCatalog::paper();
     let profiles = warm_profiles(&catalog, 300, &mut SimRng::new(4));
     let net = NetworkModel::paper_default();
-    let metrics = MetricsRegistry::new();
-    let audit = AuditLog::disabled();
-    let mut cluster = v_mlp::cluster::Cluster::paper_default();
-    let ctx = SchedulerCtx {
-        now: SimTime::ZERO,
-        cluster: &mut cluster,
-        profiles: &profiles,
-        catalog: &catalog,
-        net: &net,
-        metrics: &metrics,
-        audit: &audit,
-    };
+    let ctx = PlanEnv { now: SimTime::ZERO, profiles: &profiles, catalog: &catalog, net: &net };
     let svc = catalog.services.by_name("ts-order-service").unwrap(); // High I
     let mk = |policy| OrganizerPolicy {
         dt_policy: policy,
