@@ -10,7 +10,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlp_cluster::{Cluster, ShardPolicy, ShardPool};
-use mlp_core::VMlpScheduler;
+use mlp_core::{VMlpConfig, VMlpScheduler};
 use mlp_engine::profiling::warm_profiles;
 use mlp_model::{RequestCatalog, ResourceVector};
 use mlp_net::NetworkModel;
@@ -70,5 +70,60 @@ fn bench_kernel_tick(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernel_tick);
+/// The tentpole's queue-depth axis: one sequential admission round over a
+/// waiting queue of 16 / 256 / 4096 requests, sorted reference vs
+/// incremental index. The sort pays `O(n log n)` per round regardless of
+/// how many requests actually admit; the index pays per pop. A single
+/// 16-machine shard keeps placement cost fixed so the spread between the
+/// two variants isolates queue maintenance.
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_depth_tick");
+    g.sample_size(10);
+    let catalog = RequestCatalog::paper();
+    let profiles = warm_profiles(&catalog, 100, &mut SimRng::new(3));
+    let net = NetworkModel::paper_default();
+    let metrics = MetricsRegistry::new();
+    let audit = AuditLog::disabled();
+    let mix = catalog.balanced_mix();
+    let base = Cluster::homogeneous(16, ResourceVector::new(2.4, 2_500.0, 350.0));
+
+    for &depth in &[16usize, 256, 4096] {
+        let reqs: Vec<RequestInfo> = (0..depth)
+            .map(|i| RequestInfo {
+                id: RequestId(i as u64),
+                rtype: mix[i % mix.len()].0,
+                // Spread arrivals so the reorder ranks are non-trivial.
+                arrival: SimTime::from_millis((i as u64 * 7) % 900),
+            })
+            .collect();
+        for (variant, cfg) in [
+            ("indexed", VMlpConfig::paper()),
+            ("sorted", VMlpConfig { unindexed_reorder: true, ..VMlpConfig::paper() }),
+        ] {
+            let id = BenchmarkId::from_parameter(format!("q{depth}_{variant}"));
+            g.bench_with_input(id, &depth, |b, _| {
+                b.iter(|| {
+                    let mut cluster = base.clone();
+                    let mut sched = VMlpScheduler::with_config(cfg);
+                    let mut ctx = SchedulerCtx {
+                        now: SimTime::from_secs(1),
+                        cluster: &mut cluster,
+                        profiles: &profiles,
+                        catalog: &catalog,
+                        net: &net,
+                        metrics: &metrics,
+                        audit: &audit,
+                    };
+                    for r in &reqs {
+                        sched.on_arrival(*r, &mut ctx);
+                    }
+                    black_box(sched.schedule(&mut ctx))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_tick, bench_queue_depth);
 criterion_main!(benches);

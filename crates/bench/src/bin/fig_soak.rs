@@ -4,9 +4,10 @@
 //! streaming mode. Prints the soak table and merges the points into the
 //! repo-root `BENCH_sim.json` under the `fig_soak` key. Exits non-zero if
 //! any scheme reports an invariant violation, pulls fewer arrivals than
-//! the target (the cap must bind, not the horizon), or lets the request
-//! table grow with total arrivals instead of in-flight load — so CI's
-//! soak-smoke job can gate on all three.
+//! the target (the cap must bind, not the horizon), lets the request
+//! table grow with total arrivals instead of in-flight load, or blows
+//! v-MLP's per-request wall budget relative to FullProfile — so CI's
+//! soak-smoke job can gate on all four.
 
 use mlp_bench::fig_soak;
 
@@ -34,6 +35,20 @@ fn main() {
                 "fig_soak: {}: request table peak {} not ≪ {} arrivals",
                 p.scheme, p.request_table_peak, p.arrived
             );
+            failed = true;
+        }
+    }
+    match fig_soak::vmlp_within_budget(&points) {
+        Some(true) => {}
+        Some(false) => {
+            eprintln!(
+                "fig_soak: v-MLP µs/req exceeds {}× the FullProfile baseline",
+                fig_soak::VMLP_BUDGET_MULTIPLE
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!("fig_soak: missing v-MLP or FullProfile point for the perf budget gate");
             failed = true;
         }
     }

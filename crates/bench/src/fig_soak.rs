@@ -89,6 +89,27 @@ pub fn memory_bounded(p: &SoakPoint) -> bool {
     p.request_table_peak * 5 <= p.arrived
 }
 
+/// CI perf budget: v-MLP's wall-µs per request may cost at most this
+/// multiple of FullProfile's on the same soak. FullProfile shares the
+/// engine, event loop, and placement scan but none of v-MLP's reorder /
+/// healing machinery, so the ratio isolates the scheme's own overhead
+/// from the simulator's — and stays meaningful on noisy shared CI
+/// runners where absolute µs/req thresholds would flake. The incremental
+/// reorder index + placement cursor hold the observed ratio near 2×;
+/// 4× is the regression alarm, not the aspiration.
+pub const VMLP_BUDGET_MULTIPLE: f64 = 4.0;
+
+/// Whether v-MLP's per-request wall cost is within
+/// [`VMLP_BUDGET_MULTIPLE`] of FullProfile's. `None` when either scheme
+/// is missing from the points.
+pub fn vmlp_within_budget(points: &[SoakPoint]) -> Option<bool> {
+    let us_per_req =
+        |label: &str| points.iter().find(|p| p.scheme == label).map(|p| p.wall_us_per_req);
+    let vmlp = us_per_req("v-MLP")?;
+    let full = us_per_req("FullProfile")?;
+    Some(vmlp <= full * VMLP_BUDGET_MULTIPLE)
+}
+
 /// Per-service profile-history window for soak runs. Unbounded history
 /// (the figure-run default) grows with every completed span and makes
 /// v-MLP's banded Δt estimation quadratic in run length; 512 recent cases

@@ -150,6 +150,15 @@ pub struct ResourceLedger {
     ///
     /// [`might_fit`]: ResourceLedger::might_fit
     min_level: ResourceVector,
+    /// Monotonic write counter: bumped on every mutation that can change a
+    /// query answer (`reserve`/`unreserve`, crash [`clear`], and
+    /// [`prune_before`]). Lets placement-probe caches validate a memoized
+    /// `earliest_fit`/`available` answer in O(1) — an unchanged epoch means
+    /// the timeline is bit-identical to when the probe ran.
+    ///
+    /// [`clear`]: ResourceLedger::clear
+    /// [`prune_before`]: ResourceLedger::prune_before
+    epoch: u64,
 }
 
 impl ResourceLedger {
@@ -164,12 +173,20 @@ impl ResourceLedger {
             bucket_max: Vec::new(),
             bucket_min: Vec::new(),
             min_level: ResourceVector::ZERO,
+            epoch: 0,
         }
     }
 
     /// Machine capacity.
     pub fn capacity(&self) -> ResourceVector {
         self.capacity
+    }
+
+    /// The current write epoch (see the field docs). Strictly increases on
+    /// every `reserve`/`unreserve`/`clear`/`prune_before`; equal epochs
+    /// guarantee every query answers exactly as it did before.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Inserts (or accumulates into) the delta at instant `t` and returns
@@ -242,6 +259,7 @@ impl ResourceLedger {
     /// `∓amount` at `to`) and restores the index invariants.
     fn write(&mut self, from: SimTime, to: SimTime, amount: ResourceVector, add: bool) {
         query_stats::count(Counter::Write);
+        self.epoch += 1;
         let lo = self.upsert_delta(from.as_micros(), amount, add);
         let hi = self.upsert_delta(to.as_micros(), amount, !add);
         // `hi > lo` always (the keys are distinct and sorted); removing
@@ -343,6 +361,7 @@ impl ResourceLedger {
     /// planned on it is void, and pre-crash reservations must not shadow
     /// the recovered (empty) machine.
     pub fn clear(&mut self) {
+        self.epoch += 1;
         self.times.clear();
         self.deltas.clear();
         self.prefix.clear();
@@ -359,6 +378,9 @@ impl ResourceLedger {
         if cut == 0 {
             return;
         }
+        // Pruning never changes answers for instants >= t, but probe caches
+        // key on (window, grant), not on instants — bump so they revalidate.
+        self.epoch += 1;
         // Ascending fold into base — the same addition order a naive
         // rescan would have used, so retained levels are unchanged.
         for d in &self.deltas[..cut] {

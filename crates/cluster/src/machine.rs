@@ -383,11 +383,16 @@ impl Cluster {
 
     /// Id of the live machine with the lowest instantaneous utilization
     /// (CurSched's placement rule). Crashed machines are skipped.
+    ///
+    /// `total_cmp` plus an explicit id tie-break: a NaN utilization (e.g. a
+    /// degenerate zero-capacity machine) must not panic the scheduler, and
+    /// ties must resolve to the lowest id regardless of iteration quirks —
+    /// the same convention as shard-level scans.
     pub fn least_loaded(&self) -> Option<MachineId> {
         self.machines
             .iter()
             .filter(|m| m.is_up())
-            .min_by(|a, b| a.utilization().partial_cmp(&b.utilization()).unwrap())
+            .min_by(|a, b| a.utilization().total_cmp(&b.utilization()).then(a.id.cmp(&b.id)))
             .map(|m| m.id)
     }
 }
@@ -496,6 +501,19 @@ mod tests {
         let mut c = Cluster::homogeneous(3, rv(4.0, 1000.0, 100.0));
         let _ = c.machine_mut(MachineId(0)).occupy(rv(2.0, 0.0, 0.0));
         let _ = c.machine_mut(MachineId(2)).occupy(rv(1.0, 0.0, 0.0));
+        assert_eq!(c.least_loaded(), Some(MachineId(1)));
+    }
+
+    /// Regression: this scan once compared with `partial_cmp().unwrap()`,
+    /// which panicked the first time a utilization came out NaN (poisoned
+    /// occupancy accounting). `total_cmp` ranks NaN above every real
+    /// utilization, so the scan must skip the poisoned machine and resolve
+    /// the remaining zero-utilization tie to the lowest id.
+    #[test]
+    fn least_loaded_survives_nan_utilization() {
+        let mut c = Cluster::homogeneous(3, rv(4.0, 1000.0, 100.0));
+        c.machine_mut(MachineId(0)).actual_used = rv(f64::NAN, 0.0, 0.0);
+        assert!(c.machine(MachineId(0)).utilization().is_nan(), "fixture must poison m0");
         assert_eq!(c.least_loaded(), Some(MachineId(1)));
     }
 

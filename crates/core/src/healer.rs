@@ -14,7 +14,9 @@ use mlp_model::{RequestCatalog, ResourceSensitivity};
 use mlp_sched::{NodePlan, RequestInfo, RequestPlan};
 use mlp_sim::SimTime;
 use mlp_trace::RequestId;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::BuildHasher;
 
 /// Lifecycle state of one planned DAG node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +57,7 @@ impl ActiveRequest {
     /// late-invoking services).
     pub fn deps_done(&self, node: usize, catalog: &RequestCatalog) -> bool {
         let dag = &catalog.request(self.info.rtype).dag;
-        dag.parents(node).into_iter().all(|p| self.state[p] == NodeState::Done)
+        dag.parents_iter(node).all(|p| self.state[p] == NodeState::Done)
     }
 }
 
@@ -76,13 +78,33 @@ pub struct DelaySlotCandidate {
 /// is still in the future (so starting them *now* buys idle time back).
 /// Sorted by how much idle time promotion could reclaim (latest planned
 /// start first), with ids as deterministic tie-breaks.
-pub fn delay_slot_candidates(
-    active: &HashMap<RequestId, ActiveRequest>,
+pub fn delay_slot_candidates<S: BuildHasher>(
+    active: &HashMap<RequestId, ActiveRequest, S>,
     exclude: (RequestId, usize),
     now: SimTime,
     catalog: &RequestCatalog,
 ) -> Vec<DelaySlotCandidate> {
+    top_delay_slot_candidates(active, exclude, now, catalog, usize::MAX)
+}
+
+/// [`delay_slot_candidates`] truncated to its best `k` entries —
+/// exactly `delay_slot_candidates(..).truncate(k)`, but selecting before
+/// sorting. Late invocations fire constantly under load and the healer
+/// only promotes `heal_fanout` candidates, so ordering the full candidate
+/// set was wasted work; the comparator is a total order (unique
+/// `(request, node)` tie-break), which is what makes the partial selection
+/// bit-identical to the full sort's prefix.
+pub fn top_delay_slot_candidates<S: BuildHasher>(
+    active: &HashMap<RequestId, ActiveRequest, S>,
+    exclude: (RequestId, usize),
+    now: SimTime,
+    catalog: &RequestCatalog,
+    k: usize,
+) -> Vec<DelaySlotCandidate> {
     let mut out = Vec::new();
+    if k == 0 {
+        return out;
+    }
     for (&rid, ar) in active {
         for (i, &st) in ar.state.iter().enumerate() {
             if st != NodeState::Planned || (rid, i) == exclude {
@@ -94,14 +116,115 @@ pub fn delay_slot_candidates(
             }
         }
     }
-    out.sort_by(|a, b| {
+    let cmp = |a: &DelaySlotCandidate, b: &DelaySlotCandidate| {
         b.plan
             .planned_start
             .cmp(&a.plan.planned_start)
             .then_with(|| a.request.cmp(&b.request))
             .then_with(|| a.node.cmp(&b.node))
-    });
+    };
+    if out.len() > k {
+        out.select_nth_unstable_by(k - 1, cmp);
+        out.truncate(k);
+    }
+    out.sort_by(cmp);
     out
+}
+
+/// Incremental index over delay-slot candidates, replacing the per-late-
+/// invocation `O(active × nodes)` rescan in [`top_delay_slot_candidates`]
+/// with an ordered set walked lazily from the best key down.
+///
+/// The set is keyed `(planned_start, Reverse(request), Reverse(node))` so
+/// reverse iteration replays the reference comparator exactly: latest
+/// planned start first, then ascending request id, then ascending node.
+/// Entries are *hints*, not truth — [`top_k`](Self::top_k) revalidates
+/// each one against the live [`ActiveRequest`] table and discards entries
+/// whose request finished, whose node left the `Planned` state, or whose
+/// planned start was re-keyed by a promotion or crash replan. Staleness is
+/// therefore harmless; the correctness obligation is *insertion
+/// completeness*: every transition that can make `(request, node)` a
+/// candidate — admission of a root node, a dependency completing, a
+/// failure resetting a node to `Planned`, or any planned-start rewrite —
+/// must [`note`](Self::note) it. A lazily removed entry can only become
+/// valid again through one of those same transitions, which re-inserts it.
+///
+/// Keys at or before `now` are drained wholesale on every query: simulated
+/// time is monotone and planned-start rewrites re-insert under the new
+/// key, so such entries can never validate again.
+#[derive(Debug, Clone, Default)]
+pub struct DelaySlotIndex {
+    set: BTreeSet<(SimTime, Reverse<RequestId>, Reverse<usize>)>,
+}
+
+impl DelaySlotIndex {
+    /// Records `(request, node)` as a *possible* candidate at its current
+    /// planned start. Over-noting is safe (queries revalidate); noting a
+    /// start at or before `now` is skipped because it could never satisfy
+    /// the `planned_start > now` candidate test at any later query.
+    pub fn note(&mut self, request: RequestId, node: usize, planned_start: SimTime, now: SimTime) {
+        if planned_start > now {
+            self.set.insert((planned_start, Reverse(request), Reverse(node)));
+        }
+    }
+
+    /// Entries currently held (stale hints included) — diagnostics only.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the index holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The best `k` valid candidates, bit-identical to
+    /// [`top_delay_slot_candidates`] with the same arguments. Walks the
+    /// set best-first, dropping entries that no longer validate and
+    /// stopping as soon as `k` survivors are found.
+    pub fn top_k<S: BuildHasher>(
+        &mut self,
+        active: &HashMap<RequestId, ActiveRequest, S>,
+        exclude: (RequestId, usize),
+        now: SimTime,
+        catalog: &RequestCatalog,
+        k: usize,
+    ) -> Vec<DelaySlotCandidate> {
+        // Drain dead history: keys at or before `now` are unreachable
+        // forever (see type docs). `split_off` keeps everything at or
+        // above the smallest key strictly after `now`.
+        self.set = self.set.split_off(&(
+            SimTime(now.0 + 1),
+            Reverse(RequestId(u64::MAX)),
+            Reverse(usize::MAX),
+        ));
+        let mut out = Vec::new();
+        let mut stale = Vec::new();
+        for &entry in self.set.iter().rev() {
+            if out.len() >= k {
+                break;
+            }
+            let (start, Reverse(rid), Reverse(node)) = entry;
+            if (rid, node) == exclude {
+                continue;
+            }
+            let plan = active.get(&rid).and_then(|ar| {
+                let np = *ar.plan.nodes.get(node)?;
+                let live = ar.state[node] == NodeState::Planned
+                    && np.planned_start == start
+                    && ar.deps_done(node, catalog);
+                live.then_some(np)
+            });
+            match plan {
+                Some(plan) => out.push(DelaySlotCandidate { request: rid, node, plan }),
+                None => stale.push(entry),
+            }
+        }
+        for entry in stale {
+            self.set.remove(&entry);
+        }
+        out
+    }
 }
 
 /// A candidate for resource stretch: a *running* node on the stalled
@@ -122,8 +245,8 @@ pub struct StretchCandidate {
 /// Finds running nodes on `machine` eligible for resource stretch, ordered
 /// by the paper's two principles: (1) earliest deadline first, (2) high
 /// variability first.
-pub fn stretch_candidates(
-    active: &HashMap<RequestId, ActiveRequest>,
+pub fn stretch_candidates<S: BuildHasher>(
+    active: &HashMap<RequestId, ActiveRequest, S>,
     machine: MachineId,
     catalog: &RequestCatalog,
 ) -> Vec<StretchCandidate> {

@@ -11,6 +11,9 @@
 //! * [`reorder`] — the reorder ratio `R` that prioritizes the waiting
 //!   queue (a blend of volatility, SLA urgency, FCFS waiting time, and
 //!   SJF's preference for short jobs, per Section III-E).
+//! * [`reorder_index`] — the incremental waiting-queue index: per-(shard,
+//!   type) arrival-ordered deques whose lazy head merge replays the
+//!   reorder sort's exact order without re-sorting the queue each round.
 //! * [`organizer`] — the **self-organizing module** (Algorithm 1):
 //!   volatility-banded Δt estimation and ledger-checked placement.
 //! * [`healer`] — the **self-healing module** (Section III-F): delay-slot
@@ -28,6 +31,7 @@ pub mod interface;
 pub mod organizer;
 pub mod parallelism;
 pub mod reorder;
+pub mod reorder_index;
 pub mod scheduler;
 pub mod volatility;
 

@@ -26,8 +26,8 @@ use mlp_sim::{SimDuration, SimTime};
 /// The per-request-*type* inputs to the reorder ratio. They depend only on
 /// the catalog entry and the (immutable-within-a-round) profile store, so a
 /// sort round computes them once per type instead of once per request.
-#[derive(Debug, Clone, Copy)]
-struct RatioTerms {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RatioTerms {
     /// `V_r` (floored).
     vr: f64,
     /// The type's SLO in milliseconds (the urgency numerator).
@@ -40,7 +40,7 @@ struct RatioTerms {
 }
 
 impl RatioTerms {
-    fn for_type(rtype: RequestTypeId, ctx: &SchedulerCtx<'_>) -> Self {
+    pub(crate) fn for_type(rtype: RequestTypeId, ctx: &SchedulerCtx<'_>) -> Self {
         let rt = ctx.catalog.request(rtype);
         let vr = Volatility::new(rt.volatility).value().max(1e-3);
         let dt0 = rt
@@ -55,13 +55,17 @@ impl RatioTerms {
             })
             .unwrap_or(1.0)
             .max(0.1);
-        RatioTerms { vr, slo_ms: rt.slo_ms, slo: SimDuration::from_millis_f64(rt.slo_ms), dt0 }
+        // Catalogs are workspace-authored today, but a hand-edited TOML with
+        // a NaN/zero/negative SLO must not poison every ratio of that type
+        // (NaN propagates through the product) — fall back to a benign 1 ms.
+        let slo_ms = if rt.slo_ms.is_finite() && rt.slo_ms > 0.0 { rt.slo_ms } else { 1.0 };
+        RatioTerms { vr, slo_ms, slo: SimDuration::from_millis_f64(slo_ms), dt0 }
     }
 
     /// The ratio for one request given its type's terms. The arithmetic —
     /// operand values and evaluation order — is exactly the uncached
     /// computation's, so cached and uncached ranks agree bit-for-bit.
-    fn ratio(&self, req: &RequestInfo, now: SimTime) -> f64 {
+    pub(crate) fn ratio(&self, req: &RequestInfo, now: SimTime) -> f64 {
         // FCFS term: milliseconds waited (≥ a small epsilon so new arrivals
         // still get nonzero priority).
         let waited_ms = now.since(req.arrival).as_millis_f64().max(0.1);
@@ -73,6 +77,13 @@ impl RatioTerms {
         let urgency = self.slo_ms / slack_ms.max(0.1);
 
         let raw = self.vr * urgency * waited_ms / self.dt0;
+        // All factors are finite and positive after `for_type`'s floors, so
+        // `raw` is finite in practice; if an overflow ever produced +∞ the
+        // normalization below would turn it into NaN (∞/∞). Saturate to the
+        // supremum instead — "infinitely overdue" means top priority.
+        if !raw.is_finite() {
+            return 1.0;
+        }
         // α-normalization into (0, 1).
         raw / (1.0 + raw)
     }
@@ -81,6 +92,23 @@ impl RatioTerms {
 /// Computes the reorder ratio `R ∈ (0, 1)` for a waiting request.
 pub fn reorder_ratio(req: &RequestInfo, now: SimTime, ctx: &SchedulerCtx<'_>) -> f64 {
     RatioTerms::for_type(req.rtype, ctx).ratio(req, now)
+}
+
+/// The total order the reorder queue is popped in: descending ratio,
+/// ties broken by (arrival, id) ascending. `total_cmp` (not
+/// `partial_cmp().unwrap()`) so a pathological non-finite ratio — which
+/// [`RatioTerms`] already guards against — can never panic the scheduler
+/// mid-run. Under `total_cmp`'s total order a positive NaN ranks above
+/// every real number, so a NaN rank would deterministically sort *first*
+/// — the same "treat the unrankable as top priority" semantics as the
+/// saturation guard in [`RatioTerms::ratio`].
+pub(crate) fn ratio_order(
+    ra: f64,
+    a: &RequestInfo,
+    rb: f64,
+    b: &RequestInfo,
+) -> std::cmp::Ordering {
+    rb.total_cmp(&ra).then_with(|| a.arrival.cmp(&b.arrival)).then_with(|| a.id.cmp(&b.id))
 }
 
 /// Sorts a waiting queue by descending `R` (highest priority first), with
@@ -105,12 +133,7 @@ pub fn sort_by_reorder_ratio(queue: &mut [RequestInfo], now: SimTime, ctx: &Sche
             (t.ratio(r, now), *r)
         })
         .collect();
-    keyed.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap()
-            .then_with(|| a.1.arrival.cmp(&b.1.arrival))
-            .then_with(|| a.1.id.cmp(&b.1.id))
-    });
+    keyed.sort_by(|a, b| ratio_order(a.0, &a.1, b.0, &b.1));
     for (slot, (_, r)) in queue.iter_mut().zip(keyed) {
         *slot = r;
     }
@@ -236,6 +259,53 @@ mod tests {
         let ratios: Vec<f64> = queue.iter().map(|r| reorder_ratio(r, now, &ctx)).collect();
         for w in ratios.windows(2) {
             assert!(w[0] >= w[1], "not descending: {ratios:?}");
+        }
+    }
+
+    /// Regression: the sort comparator once used `partial_cmp().unwrap()`,
+    /// which panicked mid-run the first time a rank came out NaN. The
+    /// `total_cmp` order must stay panic-free and deterministic for any
+    /// rank bit pattern.
+    #[test]
+    fn non_finite_ranks_order_without_panic() {
+        use std::cmp::Ordering;
+        let h = H::new();
+        let a = h.req(1, "basicSearch", 0);
+        let b = h.req(2, "basicSearch", 10);
+        // A positive-NaN rank outranks any real rank (top priority), on
+        // either side of the comparison — no panic, no order dependence.
+        assert_eq!(ratio_order(f64::NAN, &a, 0.5, &b), Ordering::Less);
+        assert_eq!(ratio_order(0.5, &a, f64::NAN, &b), Ordering::Greater);
+        // Two unrankables fall back to the (arrival, id) FCFS tie-break.
+        assert_eq!(ratio_order(f64::NAN, &a, f64::NAN, &b), Ordering::Less);
+        assert_eq!(ratio_order(f64::INFINITY, &b, f64::INFINITY, &a), Ordering::Greater);
+    }
+
+    /// Regression: poisoned per-type terms (a hand-edited catalog with a
+    /// NaN SLO, an overflow in the volatility product) must yield a finite
+    /// ratio, not propagate NaN into the queue order.
+    #[test]
+    fn poisoned_terms_still_produce_finite_ratio() {
+        let h = H::new();
+        let r = h.req(1, "compose-post", 0);
+        let now = SimTime::from_millis(500);
+        for terms in [
+            RatioTerms {
+                vr: f64::INFINITY,
+                slo_ms: 100.0,
+                slo: SimDuration::from_millis_f64(100.0),
+                dt0: 0.1,
+            },
+            RatioTerms {
+                vr: 1.0,
+                slo_ms: f64::NAN,
+                slo: SimDuration::from_millis_f64(100.0),
+                dt0: 0.1,
+            },
+        ] {
+            let ratio = terms.ratio(&r, now);
+            assert!(ratio.is_finite(), "poisoned terms leaked a non-finite ratio: {ratio}");
+            assert!((0.0..=1.0).contains(&ratio));
         }
     }
 

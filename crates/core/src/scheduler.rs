@@ -1,25 +1,26 @@
 //! [`VMlpScheduler`]: the full v-MLP scheme behind the common
 //! [`Scheduler`] trait.
 
+use crate::healer::top_delay_slot_candidates;
 use crate::healer::{
-    delay_slot_candidates, remaining_ideal_ms, stretch_candidates, stretch_factor,
-    stretch_is_useful, ActiveRequest, NodeState,
+    remaining_ideal_ms, stretch_candidates, stretch_factor, stretch_is_useful, ActiveRequest,
+    DelaySlotIndex, NodeState,
 };
 use crate::interface::InterfaceLayer;
 use crate::organizer::{DtPolicy, OrganizerPolicy};
 use crate::reorder::sort_by_reorder_ratio;
+use crate::reorder_index::ReorderIndex;
 use crate::volatility::Volatility;
 use mlp_cluster::{MachineId, ShardPool};
 use mlp_model::VolatilityClass;
-use mlp_sched::placement::{plan_request, plan_request_in_shard, unreserve_plan};
+use mlp_sched::placement::{plan_request, plan_request_in_shard, unreserve_plan, FitCursor};
 use mlp_sched::{
     HealingAction, LateInfo, NodeFailure, RequestInfo, RequestPlan, Scheduler, SchedulerCtx,
 };
-use mlp_sim::{SimDuration, SimTime};
+use mlp_sim::{FastHashMap, SimDuration, SimTime};
 use mlp_trace::metrics::names;
 use mlp_trace::{Decision, DecisionKind, RequestId, Span};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Feature switches for v-MLP; every design decision called out in
 /// DESIGN.md §6 can be ablated independently. [`VMlpConfig::paper`] is the
@@ -42,6 +43,13 @@ pub struct VMlpConfig {
     pub trim_reservations: bool,
     /// How many delay-slot / stretch candidates to act on per deviation.
     pub heal_fanout: usize,
+    /// Keep the waiting queue as a flat `Vec` re-sorted by
+    /// [`sort_by_reorder_ratio`] every round instead of the incremental
+    /// [`ReorderIndex`]. The two paths admit in the same order and emit
+    /// the same audit trail (modulo `IndexInvalidate` records); this
+    /// escape hatch exists to prove that equivalence and to measure the
+    /// index's win.
+    pub unindexed_reorder: bool,
 }
 
 impl VMlpConfig {
@@ -55,6 +63,7 @@ impl VMlpConfig {
             dt_policy: DtPolicy::Banded,
             trim_reservations: true,
             heal_fanout: 2,
+            unindexed_reorder: false,
         }
     }
 
@@ -73,9 +82,25 @@ impl Default for VMlpConfig {
 /// The volatility-aware MLP scheduler (Section III).
 pub struct VMlpScheduler {
     cfg: VMlpConfig,
+    /// Sort-based waiting queue; used (and non-empty) only when
+    /// `cfg.unindexed_reorder` is set.
     queue: Vec<RequestInfo>,
-    active: HashMap<RequestId, ActiveRequest>,
+    /// Incremental waiting-queue index (the default path).
+    index: ReorderIndex,
+    active: FastHashMap<RequestId, ActiveRequest>,
+    /// Ordered hint set over future-planned, dependency-free nodes, so a
+    /// late invocation's candidate search stops after `heal_fanout` hits
+    /// instead of rescanning every active request (see
+    /// [`DelaySlotIndex`]). Maintained only when `cfg.delay_slot` is on.
+    delay_slots: DelaySlotIndex,
     rr_cursor: usize,
+    fit: FitCursor,
+    /// Per-shard placement cursors for the parallel passes, kept across
+    /// rounds so their probe maps retain capacity — a fresh map per job
+    /// per round spent more time growing and rehashing than probing.
+    /// `begin_round` inside the job gives them the exact same lifetime
+    /// semantics as the sequential `fit` above.
+    shard_fits: Vec<FitCursor>,
     interface: InterfaceLayer,
 }
 
@@ -90,8 +115,12 @@ impl VMlpScheduler {
         VMlpScheduler {
             cfg,
             queue: Vec::new(),
-            active: HashMap::new(),
+            index: ReorderIndex::new(),
+            active: FastHashMap::default(),
+            delay_slots: DelaySlotIndex::default(),
             rr_cursor: 0,
+            fit: FitCursor::new(),
+            shard_fits: Vec::new(),
             interface: InterfaceLayer::new(),
         }
     }
@@ -114,6 +143,16 @@ impl VMlpScheduler {
     fn admit(&mut self, req: RequestInfo, plan: RequestPlan, ctx: &SchedulerCtx<'_>) {
         let rt = ctx.catalog.request(req.rtype);
         let deadline = req.arrival + SimDuration::from_millis_f64(rt.slo_ms);
+        if self.cfg.delay_slot {
+            // Root nodes are dependency-free from the moment of admission:
+            // seed the delay-slot index with them. Non-roots enter when
+            // their last dependency completes.
+            for i in 0..plan.nodes.len() {
+                if rt.dag.parents_iter(i).next().is_none() {
+                    self.delay_slots.note(req.id, i, plan.nodes[i].planned_start, ctx.now);
+                }
+            }
+        }
         self.active.insert(
             req.id,
             ActiveRequest {
@@ -200,6 +239,9 @@ impl VMlpScheduler {
             let ar = self.active.get_mut(&rid).expect("checked above");
             ar.plan.nodes[node].planned_start = new_start;
             ar.plan.nodes[node].reserved = true;
+            // Re-key the delay-slot hint under the new start; the entry at
+            // the old start is now stale and gets dropped lazily.
+            self.delay_slots.note(rid, node, new_start, ctx.now);
             ctx.metrics.inc(names::DELAY_SLOT_FILLS);
             ctx.audit.record(
                 Decision::new(ctx.now, DecisionKind::DelaySlotFill, "promoted-into-stall")
@@ -211,6 +253,304 @@ impl VMlpScheduler {
             actions.push(HealingAction::PromoteNode { request: rid, node, new_start });
         }
         actions
+    }
+
+    /// Revalidates the index's cached ratio terms against the profile
+    /// store, publishing each recompute as a metric tick and (when tracing)
+    /// an [`DecisionKind::IndexInvalidate`] record. These records exist
+    /// *only* on the indexed path — the sort recomputes everything every
+    /// round and has nothing to invalidate — so audit-trail equivalence
+    /// comparisons filter them out.
+    fn refresh_index_terms(&mut self, ctx: &SchedulerCtx<'_>) {
+        let invalidated = self.index.refresh_terms(ctx);
+        if invalidated.is_empty() {
+            return;
+        }
+        ctx.metrics.add(names::INDEX_INVALIDATIONS, invalidated.len() as u64);
+        if ctx.audit.is_enabled() {
+            for (rtype, version) in invalidated {
+                ctx.audit.record(
+                    Decision::new(ctx.now, DecisionKind::IndexInvalidate, "profile-version-bump")
+                        .value(rtype.0 as f64)
+                        .rank(version as f64),
+                );
+            }
+        }
+    }
+
+    /// The sequential admission round over the incremental index: pops
+    /// replace the sorted queue walk one-for-one (the lazy merge replays
+    /// the sort's exact order — see [`crate::reorder_index`]), and every
+    /// audit record matches the sort-based reference in
+    /// [`schedule`](Scheduler::schedule) reason-for-reason.
+    fn schedule_indexed(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
+        self.fit.begin_round(ctx.now);
+        if self.index.is_empty() {
+            return Vec::new();
+        }
+        if self.cfg.reorder {
+            // Terms must be current before any ranked pop, even with a
+            // single waiter; the head record matches the sort path's
+            // len > 1 condition.
+            self.refresh_index_terms(ctx);
+            if self.index.len() > 1 && ctx.audit.is_enabled() {
+                if let Some((rank, head)) = self.index.peek_max(ctx.now) {
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Reorder, "reorder-ratio-sort")
+                            .request(head.id)
+                            .rank(rank)
+                            .value(self.index.len() as f64),
+                    );
+                }
+            }
+        }
+
+        let mut plans = Vec::new();
+        let mut deferred: Vec<RequestInfo> = Vec::new();
+        let mut failures = 0usize;
+        while failures < mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND {
+            let popped = if self.cfg.reorder {
+                self.index.pop_max(ctx.now).map(|(_, r)| r)
+            } else {
+                self.index.pop_min()
+            };
+            let Some(req) = popped else { break };
+            let rt = ctx.catalog.request(req.rtype);
+            let policy = organizer_policy(self.cfg.dt_policy, rt.volatility);
+            match plan_request(&req, &policy, &mut self.rr_cursor, &mut self.fit, ctx) {
+                Some(plan) => {
+                    if ctx.audit.is_enabled() {
+                        let root_budget =
+                            plan.nodes.first().map_or(0.0, |np| np.budget.as_millis_f64());
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::BudgetTier, "banded-dt")
+                                .request(req.id)
+                                .vr(policy.vr.value())
+                                .budget_ms(root_budget),
+                        );
+                    }
+                    self.admit(req, plan.clone(), ctx);
+                    plans.push(plan);
+                }
+                None => {
+                    failures += 1;
+                    deferred.push(req);
+                    if self.cfg.queue_switch {
+                        ctx.metrics.inc(names::QUEUE_SWITCHES);
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::Defer, "queue-switch")
+                                .request(req.id)
+                                .vr(policy.vr.value()),
+                        );
+                    } else {
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::Defer, "head-of-line-block")
+                                .request(req.id)
+                                .vr(policy.vr.value()),
+                        );
+                        // Head-of-line blocking: everything still queued
+                        // simply stays in the index for the next round.
+                        break;
+                    }
+                }
+            }
+        }
+        // Deferred pops rejoin their home shard's type queue at the exact
+        // (arrival, id) position the pop removed them from.
+        for req in deferred {
+            let shard = ctx.cluster.home_shard(req.id.0).0 as usize;
+            self.index.insert(req, shard);
+        }
+        plans
+    }
+
+    /// The parallel admission pass over the incremental index: same three
+    /// phases as the sorted variant in
+    /// [`schedule_parallel`](Scheduler::schedule_parallel), but each shard
+    /// worker pops its *detached* shard queues locally instead of receiving
+    /// a pre-sorted slice. Shard-local pop order is the global sorted
+    /// order restricted to the shard, so the merged outcome matches the
+    /// sorted pass record-for-record.
+    fn schedule_parallel_indexed(
+        &mut self,
+        ctx: &mut SchedulerCtx<'_>,
+        pool: &ShardPool,
+    ) -> Vec<RequestPlan> {
+        if self.index.is_empty() {
+            return Vec::new();
+        }
+        self.fit.begin_round(ctx.now);
+
+        // Phase 1 — terms refresh plus the head-of-queue audit record,
+        // matching the sorted pass's global reorder.
+        if self.cfg.reorder {
+            self.refresh_index_terms(ctx);
+            if self.index.len() > 1 && ctx.audit.is_enabled() {
+                if let Some((rank, head)) = self.index.peek_max(ctx.now) {
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Reorder, "reorder-ratio-sort")
+                            .request(head.id)
+                            .rank(rank)
+                            .value(self.index.len() as f64),
+                    );
+                }
+            }
+        }
+
+        // Phase 2 — detach each working shard's queues and plan on the
+        // pool. Workers drain their queues completely: a detached queue
+        // has no owner after the job, so even past the failure cap every
+        // remaining request is popped into the deferral list.
+        let shards = ctx.cluster.shard_count();
+        let mut wanted = vec![false; shards];
+        for (s, w) in wanted.iter_mut().enumerate() {
+            *w = self.index.shard_has_work(s);
+        }
+        let env = ctx.env();
+        let dt_policy = self.cfg.dt_policy;
+        let reorder = self.cfg.reorder;
+        let audit_on = ctx.audit.is_enabled();
+        // One shared terms snapshot, rebuilt only when a refresh changed a
+        // term — rounds fire per arrival, so a per-round rebuild plus a
+        // per-job deep clone were both measurable.
+        let terms = self.index.terms_table();
+        if self.shard_fits.len() < shards {
+            self.shard_fits.resize_with(shards, FitCursor::new);
+        }
+        let by_shard = ctx.cluster.machines_in_shards_mut(&wanted);
+        let jobs: Vec<_> = by_shard
+            .into_iter()
+            .map(|(s, mut machines)| {
+                let mut queues = self.index.take_shard(s);
+                let terms = std::sync::Arc::clone(&terms);
+                // Worker-local placement cursor: probes against this
+                // shard's ledgers, which only this worker writes. Taken
+                // from (and returned to) its persistent slot so the probe
+                // map keeps its capacity across rounds.
+                let mut fit = std::mem::take(&mut self.shard_fits[s]);
+                move |_shard: usize| {
+                    let mut out = ShardPass { shard: s, ..ShardPass::default() };
+                    let mut failures = 0usize;
+                    fit.begin_round(env.now);
+                    loop {
+                        let at_cap = failures >= mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND;
+                        let popped = if reorder {
+                            queues.pop_max(env.now, &terms).map(|(_, r)| r)
+                        } else {
+                            queues.pop_min()
+                        };
+                        let Some(req) = popped else { break };
+                        if at_cap {
+                            // Shard saturated for this round: everything
+                            // behind the cap rides to the overflow pass.
+                            out.deferred.push(req);
+                            continue;
+                        }
+                        let rt = env.catalog.request(req.rtype);
+                        let policy = organizer_policy(dt_policy, rt.volatility);
+                        match plan_request_in_shard(&req, &policy, &env, &mut fit, &mut machines) {
+                            Some(plan) => {
+                                if audit_on {
+                                    let root_budget = plan
+                                        .nodes
+                                        .first()
+                                        .map_or(0.0, |np| np.budget.as_millis_f64());
+                                    out.decisions.push(
+                                        Decision::new(
+                                            env.now,
+                                            DecisionKind::BudgetTier,
+                                            "banded-dt",
+                                        )
+                                        .request(req.id)
+                                        .vr(policy.vr.value())
+                                        .budget_ms(root_budget),
+                                    );
+                                }
+                                out.admitted.push((req, plan));
+                            }
+                            None => {
+                                failures += 1;
+                                if audit_on {
+                                    out.decisions.push(
+                                        Decision::new(
+                                            env.now,
+                                            DecisionKind::Defer,
+                                            "no-home-shard-slot",
+                                        )
+                                        .request(req.id)
+                                        .vr(policy.vr.value()),
+                                    );
+                                }
+                                out.deferred.push(req);
+                            }
+                        }
+                    }
+                    out.fit = fit;
+                    out
+                }
+            })
+            .collect();
+        let outcomes = pool.scatter(jobs);
+
+        // Phase 3a — barrier merge, fixed shard-index order.
+        let mut plans = Vec::new();
+        let mut overflow: Vec<RequestInfo> = Vec::new();
+        for out in outcomes {
+            self.shard_fits[out.shard] = out.fit;
+            for d in out.decisions {
+                ctx.audit.record(d);
+            }
+            for (req, plan) in out.admitted {
+                self.admit(req, plan.clone(), ctx);
+                plans.push(plan);
+            }
+            overflow.extend(out.deferred);
+        }
+
+        // Phase 3b — sequential overflow pass, identical to the sorted
+        // variant: whole-cluster scan for requests their home shard could
+        // not host.
+        let mut deferred = Vec::new();
+        let mut failures = 0usize;
+        for (i, req) in overflow.iter().enumerate() {
+            if failures >= mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND {
+                deferred.extend_from_slice(&overflow[i..]);
+                break;
+            }
+            let rt = ctx.catalog.request(req.rtype);
+            let policy = organizer_policy(dt_policy, rt.volatility);
+            match plan_request(req, &policy, &mut self.rr_cursor, &mut self.fit, ctx) {
+                Some(plan) => {
+                    if ctx.audit.is_enabled() {
+                        let root_budget =
+                            plan.nodes.first().map_or(0.0, |np| np.budget.as_millis_f64());
+                        ctx.audit.record(
+                            Decision::new(ctx.now, DecisionKind::BudgetTier, "banded-dt")
+                                .request(req.id)
+                                .vr(policy.vr.value())
+                                .budget_ms(root_budget),
+                        );
+                    }
+                    self.admit(*req, plan.clone(), ctx);
+                    plans.push(plan);
+                }
+                None => {
+                    failures += 1;
+                    deferred.push(*req);
+                    ctx.metrics.inc(names::QUEUE_SWITCHES);
+                    ctx.audit.record(
+                        Decision::new(ctx.now, DecisionKind::Defer, "queue-switch")
+                            .request(req.id)
+                            .vr(policy.vr.value()),
+                    );
+                }
+            }
+        }
+        for req in deferred {
+            let shard = ctx.cluster.home_shard(req.id.0).0 as usize;
+            self.index.insert(req, shard);
+        }
+        plans
     }
 }
 
@@ -239,6 +579,10 @@ struct ShardPass {
     admitted: Vec<(RequestInfo, RequestPlan)>,
     deferred: Vec<RequestInfo>,
     decisions: Vec<Decision>,
+    /// Which shard this pass ran over, so the worker-local placement
+    /// cursor rides back to its slot in `VMlpScheduler::shard_fits`.
+    shard: usize,
+    fit: FitCursor,
 }
 
 impl Scheduler for VMlpScheduler {
@@ -246,7 +590,15 @@ impl Scheduler for VMlpScheduler {
         "v-MLP"
     }
 
-    fn on_arrival(&mut self, req: RequestInfo, _ctx: &mut SchedulerCtx<'_>) {
+    fn on_arrival(&mut self, req: RequestInfo, ctx: &mut SchedulerCtx<'_>) {
+        if !self.cfg.unindexed_reorder {
+            // Default path: straight into the incremental index, under the
+            // request's home shard (the same partition the parallel
+            // admission pass scatters by).
+            let shard = ctx.cluster.home_shard(req.id.0).0 as usize;
+            self.index.insert(req, shard);
+            return;
+        }
         // Keep the queue sorted by (arrival, id) on insert: the FCFS
         // ablation then needs no per-round sort at all, and the reorder
         // sort's (arrival, id) tie-break makes its result independent of
@@ -259,11 +611,16 @@ impl Scheduler for VMlpScheduler {
     }
 
     fn schedule(&mut self, ctx: &mut SchedulerCtx<'_>) -> Vec<RequestPlan> {
+        if !self.cfg.unindexed_reorder {
+            return self.schedule_indexed(ctx);
+        }
+        // --- Sort-based reference path (`unindexed_reorder`) -------------
         // Line 1–2 of Algorithm 1: the machine status "refresh" is the
         // ledger state itself, which completions and trims keep current.
         // The queue is maintained in (arrival, id) order by `on_arrival`
         // (deferrals below preserve it), so FCFS admits as-is; only the
         // reorder ratio — a function of `now` — must be re-scored per round.
+        self.fit.begin_round(ctx.now);
         if self.cfg.reorder && self.queue.len() > 1 {
             sort_by_reorder_ratio(&mut self.queue, ctx.now, ctx);
             if ctx.audit.is_enabled() {
@@ -299,7 +656,7 @@ impl Scheduler for VMlpScheduler {
                 dt_policy: self.cfg.dt_policy,
                 horizon: SimDuration::from_secs(10),
             };
-            match plan_request(&req, &policy, &mut self.rr_cursor, ctx) {
+            match plan_request(&req, &policy, &mut self.rr_cursor, &mut self.fit, ctx) {
                 Some(plan) => {
                     if ctx.audit.is_enabled() {
                         // The Δt tier that shaped this plan: the band is a
@@ -378,6 +735,9 @@ impl Scheduler for VMlpScheduler {
         if shards <= 1 || !self.cfg.queue_switch {
             return self.schedule(ctx);
         }
+        if !self.cfg.unindexed_reorder {
+            return self.schedule_parallel_indexed(ctx, pool);
+        }
         // Admission rounds fire on every arrival while the queue is short,
         // so most rounds see an empty or near-empty queue. Every phase
         // below is a no-op on an empty queue (the reorder needs two
@@ -386,6 +746,7 @@ impl Scheduler for VMlpScheduler {
         if self.queue.is_empty() {
             return Vec::new();
         }
+        self.fit.begin_round(ctx.now);
 
         // Phase 1 — reorder, exactly as the sequential pass does it.
         if self.cfg.reorder && self.queue.len() > 1 {
@@ -422,14 +783,23 @@ impl Scheduler for VMlpScheduler {
         let env = ctx.env();
         let dt_policy = self.cfg.dt_policy;
         let audit_on = ctx.audit.is_enabled();
+        if self.shard_fits.len() < shards {
+            self.shard_fits.resize_with(shards, FitCursor::new);
+        }
         let by_shard = ctx.cluster.machines_in_shards_mut(&wanted);
         let jobs: Vec<_> = by_shard
             .into_iter()
             .map(|(s, mut machines)| {
                 let reqs = std::mem::take(&mut shard_queues[s]);
+                // Worker-local placement cursor: probes against this
+                // shard's ledgers, which only this worker writes. Taken
+                // from (and returned to) its persistent slot so the probe
+                // map keeps its capacity across rounds.
+                let mut fit = std::mem::take(&mut self.shard_fits[s]);
                 move |_shard: usize| {
-                    let mut out = ShardPass::default();
+                    let mut out = ShardPass { shard: s, ..ShardPass::default() };
                     let mut failures = 0usize;
+                    fit.begin_round(env.now);
                     for (i, req) in reqs.iter().enumerate() {
                         if failures >= mlp_sched::baselines::MAX_ADMIT_TRIES_PER_ROUND {
                             // Shard saturated for this round: everything
@@ -439,7 +809,7 @@ impl Scheduler for VMlpScheduler {
                         }
                         let rt = env.catalog.request(req.rtype);
                         let policy = organizer_policy(dt_policy, rt.volatility);
-                        match plan_request_in_shard(req, &policy, &env, &mut machines) {
+                        match plan_request_in_shard(req, &policy, &env, &mut fit, &mut machines) {
                             Some(plan) => {
                                 if audit_on {
                                     let root_budget = plan
@@ -476,6 +846,7 @@ impl Scheduler for VMlpScheduler {
                             }
                         }
                     }
+                    out.fit = fit;
                     out
                 }
             })
@@ -486,6 +857,7 @@ impl Scheduler for VMlpScheduler {
         let mut plans = Vec::new();
         let mut overflow: Vec<RequestInfo> = Vec::new();
         for out in outcomes {
+            self.shard_fits[out.shard] = out.fit;
             for d in out.decisions {
                 ctx.audit.record(d);
             }
@@ -508,7 +880,7 @@ impl Scheduler for VMlpScheduler {
             }
             let rt = ctx.catalog.request(req.rtype);
             let policy = organizer_policy(dt_policy, rt.volatility);
-            match plan_request(req, &policy, &mut self.rr_cursor, ctx) {
+            match plan_request(req, &policy, &mut self.rr_cursor, &mut self.fit, ctx) {
                 Some(plan) => {
                     if ctx.audit.is_enabled() {
                         let root_budget =
@@ -582,14 +954,24 @@ impl Scheduler for VMlpScheduler {
                 ar.plan.nodes[span.dag_node].reserved = false;
             }
         }
+        let rtype = ar.info.rtype;
+        let rid = span.request;
+        // This node completing may have freed its children of their last
+        // dependency — the moment they become delay-slot candidates.
+        if self.cfg.delay_slot {
+            let dag = &ctx.catalog.request(rtype).dag;
+            for c in dag.children_iter(span.dag_node) {
+                if ar.state[c] == NodeState::Planned && ar.deps_done(c, ctx.catalog) {
+                    self.delay_slots.note(rid, c, ar.plan.nodes[c].planned_start, ctx.now);
+                }
+            }
+        }
         // Early completion leaves a resource vacancy in the pipeline: fill
         // the delay slot by advancing this node's dependence-free children
         // (the most common microservice candidates — Section III-F).
         if !(self.cfg.delay_slot && finished_early) {
             return Vec::new();
         }
-        let rtype = ar.info.rtype;
-        let rid = span.request;
         let children = ctx.catalog.request(rtype).dag.children(span.dag_node);
         let candidates: Vec<(RequestId, usize)> = children.into_iter().map(|c| (rid, c)).collect();
         self.promote_candidates(&candidates, ctx)
@@ -609,16 +991,30 @@ impl Scheduler for VMlpScheduler {
 
         // --- Delay slot: promote dependence-free planned microservices ---
         if self.cfg.delay_slot {
-            let cands: Vec<(RequestId, usize)> = delay_slot_candidates(
+            let found = self.delay_slots.top_k(
                 &self.active,
                 (late.request, late.node),
                 ctx.now,
                 ctx.catalog,
-            )
-            .into_iter()
-            .take(self.cfg.heal_fanout)
-            .map(|c| (c.request, c.node))
-            .collect();
+                self.cfg.heal_fanout,
+            );
+            // Every candidate transition notes itself into the index, so
+            // the lazy walk must match the full rescan bit-for-bit. The
+            // whole test corpus runs with debug assertions on, turning
+            // each late invocation into an equivalence check.
+            debug_assert_eq!(
+                found,
+                top_delay_slot_candidates(
+                    &self.active,
+                    (late.request, late.node),
+                    ctx.now,
+                    ctx.catalog,
+                    self.cfg.heal_fanout,
+                ),
+                "delay-slot index diverged from the scan reference"
+            );
+            let cands: Vec<(RequestId, usize)> =
+                found.into_iter().map(|c| (c.request, c.node)).collect();
             actions = self.promote_candidates(&cands, ctx);
         }
 
@@ -676,6 +1072,13 @@ impl Scheduler for VMlpScheduler {
         let Some(ar) = self.active.get_mut(&failure.request) else { return Vec::new() };
         // The engine already reset the node to ready; mirror that here.
         ar.state[failure.node] = NodeState::Planned;
+        // Back in the Planned state, the node is index-eligible again
+        // (no-op in practice: a node that already started has a planned
+        // start in the past, which `note` filters).
+        if self.cfg.delay_slot {
+            let start = ar.plan.nodes[failure.node].planned_start;
+            self.delay_slots.note(failure.request, failure.node, start, ctx.now);
+        }
         let ar = &self.active[&failure.request];
 
         // Deadline-aware shedding: if even an ideal fault-free re-execution
@@ -733,6 +1136,11 @@ impl Scheduler for VMlpScheduler {
             if let Some(ar) = self.active.get_mut(&rid) {
                 ar.state[node] = NodeState::Planned;
                 ar.ready_at[node] = Some(ctx.now);
+                // Index-eligible again (filtered unless the start is
+                // somehow still in the future).
+                if self.cfg.delay_slot {
+                    self.delay_slots.note(rid, node, ar.plan.nodes[node].planned_start, ctx.now);
+                }
             }
         }
         // Every not-done node planned on the dead machine lost its
@@ -815,6 +1223,10 @@ impl Scheduler for VMlpScheduler {
             ar.plan.nodes[node].machine = new_machine;
             ar.plan.nodes[node].planned_start = new_start;
             ar.plan.nodes[node].reserved = reserve;
+            // Re-key the delay-slot hint under the post-crash start.
+            if self.cfg.delay_slot {
+                self.delay_slots.note(rid, node, new_start, ctx.now);
+            }
             ctx.metrics.inc(names::CRASH_REPLANS);
             ctx.audit.record(
                 Decision::new(ctx.now, DecisionKind::CrashReplan, "moved-off-dead-machine")
@@ -838,6 +1250,16 @@ impl Scheduler for VMlpScheduler {
             return;
         }
         ar.state[node] = NodeState::Done;
+        // A skip is a completion as far as dependencies are concerned:
+        // children may have just become delay-slot candidates.
+        if self.cfg.delay_slot {
+            let dag = &ctx.catalog.request(ar.info.rtype).dag;
+            for c in dag.children_iter(node) {
+                if ar.state[c] == NodeState::Planned && ar.deps_done(c, ctx.catalog) {
+                    self.delay_slots.note(request, c, ar.plan.nodes[c].planned_start, ctx.now);
+                }
+            }
+        }
         // The node will never execute: give back its future reservation and
         // mark it unreserved so completion trimming / abandon rollback
         // cannot double-free the window.
@@ -867,7 +1289,9 @@ impl Scheduler for VMlpScheduler {
     }
 
     fn waiting(&self) -> usize {
-        self.queue.len()
+        // Exactly one of the two structures is in use per config, but
+        // summing keeps this honest either way.
+        self.queue.len() + self.index.len()
     }
 }
 

@@ -74,6 +74,26 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Testing hook: keeps the v-MLP waiting queue on the sort-based
+    /// reference path instead of the incremental reorder index. No-op for
+    /// the non-v-MLP schemes (they have no reorder queue). Equivalence
+    /// tests run the same config both ways and assert the decision-audit
+    /// trails (and results) are identical.
+    pub fn unindexed_reorder(mut self, force: bool) -> Self {
+        self.config.scheme = match self.config.scheme {
+            crate::Scheme::VMlp => crate::Scheme::VMlpCustom(mlp_core::VMlpConfig {
+                unindexed_reorder: force,
+                ..mlp_core::VMlpConfig::paper()
+            }),
+            crate::Scheme::VMlpCustom(mut cfg) => {
+                cfg.unindexed_reorder = force;
+                crate::Scheme::VMlpCustom(cfg)
+            }
+            other => other,
+        };
+        self
+    }
+
     /// Enables or disables the decision-audit trail.
     pub fn audit(mut self, on: bool) -> Self {
         self.config.audit = on;

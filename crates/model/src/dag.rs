@@ -75,12 +75,26 @@ impl ServiceDag {
 
     /// Direct callers of node `i`.
     pub fn parents(&self, i: usize) -> Vec<usize> {
-        self.edges.iter().filter(|&&(_, c)| c == i).map(|&(p, _)| p).collect()
+        self.parents_iter(i).collect()
+    }
+
+    /// Direct callers of node `i`, allocation-free. Same order as
+    /// [`parents`](Self::parents) (edge insertion order) — the planning and
+    /// healing hot loops walk dependencies per node per round, where the
+    /// per-call `Vec` was pure overhead.
+    pub fn parents_iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().filter(move |&&(_, c)| c == i).map(|&(p, _)| p)
     }
 
     /// Direct callees of node `i`.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        self.edges.iter().filter(|&&(p, _)| p == i).map(|&(_, c)| c).collect()
+        self.children_iter(i).collect()
+    }
+
+    /// Direct callees of node `i`, allocation-free (same order as
+    /// [`children`](Self::children)).
+    pub fn children_iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().filter(move |&&(p, _)| p == i).map(|&(_, c)| c)
     }
 
     /// Vertices with no callers (request entry points).

@@ -4,7 +4,125 @@ use crate::plan::{NodePlan, RequestInfo, RequestPlan};
 use crate::scheduler::{PlanEnv, SchedulerCtx};
 use mlp_cluster::{Machine, MachineId};
 use mlp_model::{Microservice, ResourceVector};
-use mlp_sim::{SimDuration, SimTime};
+use mlp_sim::{FastHashMap, SimDuration, SimTime};
+
+/// The full input of one ledger placement probe. Two probes with equal keys
+/// against a ledger at the same write epoch are the same computation, so
+/// their `might_fit` → `earliest_fit` → headroom triple answers bitwise
+/// identically — which is what makes the cursor *exact* rather than a
+/// heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProbeKey {
+    machine: MachineId,
+    ready_us: u64,
+    horizon_us: u64,
+    budget_us: u64,
+    grant_bits: [u64; 3],
+}
+
+impl ProbeKey {
+    fn new(
+        machine: MachineId,
+        ready: SimTime,
+        horizon_end: SimTime,
+        budget: SimDuration,
+        grant: &ResourceVector,
+    ) -> Self {
+        ProbeKey {
+            machine,
+            ready_us: ready.0,
+            horizon_us: horizon_end.0,
+            budget_us: budget.as_micros(),
+            grant_bits: [grant.cpu.to_bits(), grant.mem.to_bits(), grant.io.to_bits()],
+        }
+    }
+}
+
+/// A placement cursor: memoized `earliest_fit` probes for the ledger scan.
+///
+/// An admission round probes every candidate machine once per node, and a
+/// deferral-heavy round repeats near-identical probes for every queued
+/// request of the same type (same budget, same grant, same `ready = now`
+/// for root nodes). The cursor caches each probe's outcome keyed by its
+/// full inputs plus the target ledger's write epoch
+/// ([`ResourceLedger::epoch`](mlp_cluster::ResourceLedger::epoch)): a hit
+/// with an unchanged epoch replays the memoized slot/headroom in O(1), and
+/// any ledger write (reserve, unreserve, crash clear, prune) bumps the
+/// epoch so stale entries can never be returned. Liveness (`is_up`) is
+/// deliberately checked *outside* the cursor — machine recovery does not
+/// touch the ledger, so it must not need an epoch bump to be seen.
+///
+/// Entries are only meaningful within one scheduling round (`ready` keys
+/// on `now`), so [`begin_round`](Self::begin_round) drops them whenever
+/// the round time moves — bounding the map at one round's probe count.
+#[derive(Debug, Default)]
+pub struct FitCursor {
+    round: Option<SimTime>,
+    entries: FastHashMap<ProbeKey, (u64, Option<(SimTime, f64)>)>,
+}
+
+impl FitCursor {
+    /// An empty cursor. Allocation-free until the first ledger probe, so
+    /// schemes that never use `LedgerEarliestFit` pay nothing for it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a scheduling round at `now`, dropping entries
+    /// from earlier rounds (their `ready`-derived keys can no longer match
+    /// and would only grow the map).
+    pub fn begin_round(&mut self, now: SimTime) {
+        if self.round != Some(now) {
+            self.round = Some(now);
+            self.entries.clear();
+        }
+    }
+
+    /// Cached probe entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no probes are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `might_fit` → `earliest_fit` → headroom probe against one
+    /// machine's ledger, memoized. Returns the earliest feasible slot and
+    /// the window's worst-fit headroom score, or `None` when the grant has
+    /// no window before the horizon. The caller must have checked
+    /// `m.is_up()` already.
+    fn probe(
+        &mut self,
+        m: &Machine,
+        ready: SimTime,
+        horizon_end: SimTime,
+        budget: SimDuration,
+        grant: ResourceVector,
+    ) -> Option<(SimTime, f64)> {
+        let key = ProbeKey::new(m.id, ready, horizon_end, budget, &grant);
+        let epoch = m.ledger.epoch();
+        if let Some(&(cached_epoch, result)) = self.entries.get(&key) {
+            if cached_epoch == epoch {
+                return result;
+            }
+        }
+        let result = if !m.ledger.might_fit(grant) {
+            // `might_fit` is a conservative superset test: when it fails,
+            // no window exists, which is exactly the `None` outcome.
+            None
+        } else {
+            m.ledger.earliest_fit(ready, horizon_end, budget, grant).map(|slot| {
+                let headroom =
+                    m.ledger.available(slot, slot + budget).utilization_against(&m.capacity);
+                (slot, headroom)
+            })
+        };
+        self.entries.insert(key, (epoch, result));
+        result
+    }
+}
 
 /// How a scheme picks the machine for each node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +186,7 @@ pub fn plan_request(
     req: &RequestInfo,
     policy: &impl PlanPolicy,
     rr_cursor: &mut usize,
+    fit: &mut FitCursor,
     ctx: &mut SchedulerCtx<'_>,
 ) -> Option<RequestPlan> {
     let env = ctx.env();
@@ -90,7 +209,7 @@ pub fn plan_request(
         // Earliest start: all parents done + expected comm (assume the
         // conservative cross-machine delay; co-location is decided later).
         let mut ready = ctx.now;
-        for p in dag.parents(i) {
+        for p in dag.parents_iter(i) {
             let parent = nodes[p].as_ref().expect("topo order visits parents first");
             let comm = ctx.net.expected_delay(false, svc.comm);
             let t = parent.planned_end() + comm;
@@ -127,22 +246,14 @@ pub fn plan_request(
                         if !m.is_up() {
                             continue; // crashed machines take no new plans
                         }
-                        // Availability index: the ledger caches the lowest
-                        // usage level of its retained future (invalidated
-                        // only on writes and crash-clears). If even that
-                        // level cannot host the grant, no window can — skip
-                        // the machine without walking its timeline.
-                        // `might_fit` is conservative, so this cannot
-                        // change which machine wins.
-                        if !m.ledger.might_fit(grant) {
-                            continue;
-                        }
-                        if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant)
+                        // The memoized availability-index + earliest-fit +
+                        // headroom probe (see [`FitCursor`]): a repeated
+                        // probe against an unchanged ledger replays its
+                        // cached answer, so deferral-heavy rounds stop
+                        // re-walking every timeline per queued request.
+                        if let Some((slot, headroom)) =
+                            fit.probe(m, ready, horizon_end, budget, grant)
                         {
-                            let headroom = m
-                                .ledger
-                                .available(slot, slot + budget)
-                                .utilization_against(&m.capacity);
                             let better = match best {
                                 None => true,
                                 Some((_, t, h)) => slot < t || (slot == t && headroom > h),
@@ -212,6 +323,7 @@ pub fn plan_request_in_shard(
     req: &RequestInfo,
     policy: &impl PlanPolicy,
     env: &PlanEnv<'_>,
+    fit: &mut FitCursor,
     machines: &mut [&mut Machine],
 ) -> Option<RequestPlan> {
     let rtype = env.catalog.request(req.rtype);
@@ -232,7 +344,7 @@ pub fn plan_request_in_shard(
         let grant = policy.grant(i, svc, env);
 
         let mut ready = env.now;
-        for p in dag.parents(i) {
+        for p in dag.parents_iter(i) {
             let parent = nodes[p].as_ref().expect("topo order visits parents first");
             let comm = env.net.expected_delay(false, svc.comm);
             let t = parent.planned_end() + comm;
@@ -246,12 +358,7 @@ pub fn plan_request_in_shard(
             if !m.is_up() {
                 continue;
             }
-            if !m.ledger.might_fit(grant) {
-                continue;
-            }
-            if let Some(slot) = m.ledger.earliest_fit(ready, horizon_end, budget, grant) {
-                let headroom =
-                    m.ledger.available(slot, slot + budget).utilization_against(&m.capacity);
+            if let Some((slot, headroom)) = fit.probe(m, ready, horizon_end, budget, grant) {
                 let better = match best {
                     None => true,
                     Some((_, t, h)) => slot < t || (slot == t && headroom > h),
@@ -389,7 +496,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "compose-post");
-        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let plan = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
         let dag = &cat.request_by_name("compose-post").unwrap().dag;
         assert_eq!(plan.nodes.len(), dag.len());
         assert!(plan.respects_dag(dag));
@@ -409,7 +516,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "read-user-timeline"); // 3-node chain
-        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let plan = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
         // Child starts strictly after parent's planned end (comm gap > 0).
         let dag = &cat.request_by_name("read-user-timeline").unwrap().dag;
         for &(a, b) in dag.edges() {
@@ -437,7 +544,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "read-user-timeline");
-        assert!(plan_request(&r, &p, &mut cursor, &mut ctx).is_none());
+        assert!(plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).is_none());
     }
 
     #[test]
@@ -467,7 +574,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "compose-post"); // wide fan-out
-        let result = plan_request(&r, &p, &mut cursor, &mut ctx);
+        let result = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx);
         assert!(result.is_none(), "expected unplaceable");
         // Ledgers restored exactly.
         for (m, before) in ctx.cluster.machines().iter().zip(baseline_avail) {
@@ -489,7 +596,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "read-user-timeline"); // RequestId(1) → home shard 1
-        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let plan = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
         for np in &plan.nodes {
             assert_eq!(ctx.cluster.shard_of(np.machine), mlp_cluster::ShardId(1));
         }
@@ -519,7 +626,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "read-user-timeline"); // home shard 1 is saturated
-        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let plan = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
         for np in &plan.nodes {
             assert_eq!(
                 ctx.cluster.shard_of(np.machine),
@@ -548,12 +655,14 @@ mod tests {
 
         let mut ctx = ctx!(full, cat, net, prof, met);
         let mut cursor = 0;
-        let reference = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let reference = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
 
         let home = local.home_shard(r.id.0).0 as usize;
         let env = PlanEnv { now: SimTime::ZERO, profiles: &prof, catalog: &cat, net: &net };
         let mut by_shard = local.machines_by_shard_mut();
-        let shard_plan = plan_request_in_shard(&r, &p, &env, &mut by_shard[home]).unwrap();
+        let shard_plan =
+            plan_request_in_shard(&r, &p, &env, &mut FitCursor::new(), &mut by_shard[home])
+                .unwrap();
         drop(by_shard);
 
         assert_eq!(shard_plan, reference);
@@ -593,7 +702,8 @@ mod tests {
         let home = local.home_shard(r.id.0).0 as usize;
         let env = PlanEnv { now: SimTime::ZERO, profiles: &prof, catalog: &cat, net: &net };
         let mut by_shard = local.machines_by_shard_mut();
-        assert!(plan_request_in_shard(&r, &p, &env, &mut by_shard[home]).is_none());
+        assert!(plan_request_in_shard(&r, &p, &env, &mut FitCursor::new(), &mut by_shard[home])
+            .is_none());
         drop(by_shard);
         for (m, before) in local.machines().iter().zip(baseline) {
             let after = m.ledger.available(SimTime::ZERO, SimTime::from_secs(30));
@@ -613,7 +723,7 @@ mod tests {
         };
         let mut cursor = 0;
         let r = req(&cat, "basicSearch");
-        let plan = plan_request(&r, &p, &mut cursor, &mut ctx).unwrap();
+        let plan = plan_request(&r, &p, &mut cursor, &mut FitCursor::new(), &mut ctx).unwrap();
         unreserve_plan(&plan, &mut ctx);
         for m in ctx.cluster.machines() {
             let avail = m.ledger.available(SimTime::ZERO, SimTime::from_secs(10));

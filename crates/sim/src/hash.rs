@@ -1,0 +1,124 @@
+//! A fast, deterministic hasher for scheduler-internal maps.
+//!
+//! The simulator's hot paths key hash maps on small integer tuples
+//! (machine ids, request ids, probe keys). `std`'s default SipHash is
+//! DoS-resistant but costs more than the lookups it guards; this is the
+//! classic Fowler–Noll–Vo-style multiply-xor mix (the `rustc`/FxHash
+//! recipe), an order of magnitude cheaper on word-sized keys.
+//!
+//! Two properties matter here:
+//!
+//! * **Interior state only.** Every map using [`FastHashMap`] is private
+//!   scheduler state keyed and consumed by the simulator itself — no
+//!   untrusted input picks the keys, so HashDoS resistance buys nothing.
+//! * **No observable order.** Swapping the hasher changes bucket order,
+//!   which is legal precisely because no simulation result may depend on
+//!   map iteration order: `std`'s `RandomState` already seeds every map
+//!   instance differently, so the determinism suite (byte-identical
+//!   schedules run-to-run) proves order independence continuously.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply-xor hasher (FxHash recipe). Deterministic: no random
+/// seed, same bits in → same hash out, on every run and platform.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+/// The FxHash multiplier: 2^64 / φ rounded to odd, spreading entropy
+/// across the high bits the map actually indexes with.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed through [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_on_aligned_input() {
+        let mut a = FastHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FastHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastHashMap<(u64, u64), u64> = FastHashMap::default();
+        for i in 0..1000 {
+            m.insert((i, i * 3), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(7, 21)), Some(&7));
+        assert_eq!(m.get(&(7, 22)), None);
+    }
+}

@@ -6,10 +6,12 @@
 //! ([`EventQueue`]), and seed-forkable random streams ([`SimRng`]) so that
 //! parallel experiment sweeps stay reproducible.
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

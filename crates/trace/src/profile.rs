@@ -9,9 +9,9 @@
 //! executions) from the same history.
 
 use mlp_model::{ResourceVector, ServiceId};
+use mlp_sim::FastHashMap;
 use mlp_stats::{Cdf, RankedSamples, Summary};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// One historical execution case — one row of `s_i`.
@@ -88,7 +88,7 @@ type DeltaKey = (u32, u64, u64);
 /// The historical profile store shared by all profile-driven schedulers.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct ProfileStore {
-    histories: HashMap<u32, ServiceHistory>,
+    histories: FastHashMap<u32, ServiceHistory>,
     /// Cap on retained cases per service (ring-buffer semantics); `0`
     /// means unbounded.
     retention: usize,
@@ -98,7 +98,7 @@ pub struct ProfileStore {
     /// query (and the `Mutex` keeps the store shareable across shard
     /// workers). Never serialized; cleared by `clone`.
     #[serde(skip)]
-    memo: Mutex<HashMap<DeltaKey, (u64, f64)>>,
+    memo: Mutex<FastHashMap<DeltaKey, (u64, f64)>>,
     /// Debug escape hatch: `true` forces the historical sort-based Δt
     /// path, bypassing the ranked index and the memo. Used by equivalence
     /// tests to prove the fast path changes no scheduling decision.
@@ -111,7 +111,7 @@ impl Clone for ProfileStore {
         ProfileStore {
             histories: self.histories.clone(),
             retention: self.retention,
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(FastHashMap::default()),
             force_unindexed: self.force_unindexed,
         }
     }
@@ -316,6 +316,16 @@ impl ProfileStore {
             }
         }
         self.cases(service).iter().map(|c| c.exec_ms).min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The profile-history version of `service`: bumped on every recorded
+    /// or evicted case, `0` while the service has no history. Derived
+    /// caches (the Δt memo internally, the reorder index's per-type
+    /// `RatioTerms` externally) revalidate against this in O(1) — an
+    /// unchanged version means every profile query for the service answers
+    /// bit-identically to when the cache entry was built.
+    pub fn version(&self, service: ServiceId) -> u64 {
+        self.histories.get(&service.0).map_or(0, |h| h.version)
     }
 
     /// Services with any history.

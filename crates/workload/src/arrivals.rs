@@ -187,13 +187,8 @@ mod tests {
         let s = generate_stream(WorkloadPattern::L1Pulse, 1000.0, 100.0, &mix2(), &mut rng);
         let rate = empirical_rate(&s, 100.0, 5.0);
         // Bucket containing 40 s should carry the most arrivals.
-        let peak_bucket = rate
-            .values()
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_bucket =
+            rate.values().iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         let peak_time = peak_bucket as f64 * 5.0;
         assert!((35.0..=45.0).contains(&peak_time), "peak at {peak_time}s");
     }

@@ -398,7 +398,9 @@ impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
-impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for HashMap<K, V, S>
+{
     fn to_value(&self) -> Value {
         // Sort keys so serialization is deterministic across hasher seeds.
         let mut entries: Vec<(String, Value)> =
@@ -408,7 +410,9 @@ impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V>
     }
 }
 
-impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for HashMap<K, V, S>
+{
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Object(entries) => {
