@@ -33,7 +33,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (name, cfg) in variants() {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
             let ec = Scale::tiny().config(Scheme::VMlpCustom(cfg));
-            b.iter(|| Experiment::from_config(ec).run().unwrap());
+            b.iter(|| Experiment::from_config(ec.clone()).run().unwrap());
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     for scheme in Scheme::PAPER {
         g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
             let cfg = Scale::tiny().config(s);
-            b.iter(|| Experiment::from_config(cfg).run().unwrap());
+            b.iter(|| Experiment::from_config(cfg.clone()).run().unwrap());
         });
     }
     g.finish();

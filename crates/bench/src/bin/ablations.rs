@@ -27,7 +27,7 @@ fn main() {
     let cells: Vec<Cell> = variants
         .iter()
         .map(|(_, cfg)| Cell {
-            scheme: Scheme::VMlpCustom(*cfg),
+            scheme: Scheme::VMlpCustom(*cfg).into(),
             pattern: WorkloadPattern::L2Fluctuating,
             ..Cell::new(Scheme::VMlp)
         })

@@ -1,8 +1,15 @@
-//! Regenerates Fig 14 (normalized throughput vs high-V_r ratio).
+//! Regenerates Fig 14 (normalized throughput vs high-V_r ratio) over a
+//! sweep config (`--sweep=FILE`, default: the paper's five schemes).
 fn main() {
     let scale = mlp_bench::scale_from_args();
-    eprintln!("running Fig 14 sweep at --scale={} …", scale.label);
-    print!("{}", mlp_bench::fig14_throughput::report(scale, 2022));
+    let sweep =
+        mlp_bench::sweep_from_args().unwrap_or_else(mlp_bench::fig14_throughput::default_sweep);
+    eprintln!(
+        "running Fig 14 sweep at --scale={} over [{}] …",
+        scale.label,
+        sweep.labels().join(", ")
+    );
+    print!("{}", mlp_bench::fig14_throughput::report_sweep(scale, 2022, &sweep));
     if let Some(path) = mlp_bench::audit_from_args() {
         // Audited companion run: the sweep's most contended cell (v-MLP at
         // the 50% high-V_r mid-point of the ratio axis).

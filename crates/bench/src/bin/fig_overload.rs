@@ -1,25 +1,29 @@
-//! Flash-crowd overload sweep: baselines and v-MLP with/without the
-//! resilience stack across 1–5× surge multipliers, auditor on for every
-//! cell. Prints the degradation-trajectory table and merges the points
-//! into the repo-root `BENCH_sim.json` under the `fig_overload` key.
-//! Exits non-zero if any cell reports an invariant violation, if request
-//! conservation breaks (arrived ≠ completed + unfinished), if a resilient
-//! arm issues more retries than the token budget can possibly grant, or
-//! if resilient v-MLP at 3× retains less than 80% of its own 1× goodput —
-//! the headline graceful-degradation gate CI's overload-smoke job runs.
+//! Flash-crowd overload sweep: the swept schemes (`--sweep=FILE`,
+//! default CurSched / FullProfile / v-MLP) facing 1–5× surge
+//! multipliers, with the sweep's last scheme additionally run behind the
+//! resilience stack, auditor on for every cell. Prints the
+//! degradation-trajectory table and merges the points into the repo-root
+//! `BENCH_sim.json` under the `fig_overload` key. Exits non-zero if any
+//! cell reports an invariant violation, if request conservation breaks
+//! (arrived ≠ completed + unfinished), if the resilient arm issues more
+//! retries than the token budget can possibly grant, or if it retains
+//! less than 80% of its own 1× goodput at 3× — the headline
+//! graceful-degradation gate CI's overload-smoke job runs.
 
 use mlp_bench::fig_overload::{self, GATE_MULTIPLIER, GATE_RETENTION};
-use mlp_engine::scheme::Scheme;
 
 fn main() {
     let scale = mlp_bench::scale_from_args();
     let seed = 2022;
-    let points = fig_overload::data(&scale, seed);
+    let sweep = mlp_bench::sweep_from_args().unwrap_or_else(fig_overload::default_sweep);
+    let points = fig_overload::data_sweep(&scale, seed, &sweep);
     println!("{}", fig_overload::report(&points, &scale));
 
     let value = serde_json::to_value(&points).expect("overload points serialize");
     mlp_bench::merge_bench_json(vec![("fig_overload".to_string(), value)]);
 
+    // The resilient arm is always the sweep's last scheme.
+    let resilient_scheme = sweep.schemes.last().expect("validated sweep is non-empty").clone();
     let mut failed = false;
     for p in &points {
         if p.invariant_violations > 0 {
@@ -37,9 +41,13 @@ fn main() {
             failed = true;
         }
         if p.resilience {
-            let scheme =
-                if p.scheme == Scheme::VMlp.label() { Scheme::VMlp } else { Scheme::CurSched };
-            let cfg = fig_overload::config_for(&scale, scheme, p.multiplier, true, seed);
+            let cfg = fig_overload::config_for(
+                &scale,
+                resilient_scheme.clone(),
+                p.multiplier,
+                true,
+                seed,
+            );
             let bound = fig_overload::retry_grant_bound(&cfg);
             if p.retries > bound {
                 eprintln!(
@@ -50,19 +58,20 @@ fn main() {
             }
         }
     }
+    let resilient_label = resilient_scheme.display_name();
     match fig_overload::goodput_retention(&points) {
         Some(r) if r >= GATE_RETENTION => {
             eprintln!(
-                "fig_overload: resilient v-MLP retains {:.0}% of 1× goodput at {GATE_MULTIPLIER}× \
-                 (gate: ≥{:.0}%)",
+                "fig_overload: resilient {resilient_label} retains {:.0}% of 1× goodput at \
+                 {GATE_MULTIPLIER}× (gate: ≥{:.0}%)",
                 r * 100.0,
                 GATE_RETENTION * 100.0
             );
         }
         Some(r) => {
             eprintln!(
-                "fig_overload: GATE FAILED — resilient v-MLP retains only {:.0}% of 1× goodput \
-                 at {GATE_MULTIPLIER}× (need ≥{:.0}%)",
+                "fig_overload: GATE FAILED — resilient {resilient_label} retains only {:.0}% of \
+                 1× goodput at {GATE_MULTIPLIER}× (need ≥{:.0}%)",
                 r * 100.0,
                 GATE_RETENTION * 100.0
             );
@@ -70,7 +79,8 @@ fn main() {
         }
         None => {
             eprintln!(
-                "fig_overload: GATE FAILED — missing resilient v-MLP points or zero capacity"
+                "fig_overload: GATE FAILED — missing resilient {resilient_label} points or zero \
+                 capacity"
             );
             failed = true;
         }

@@ -1,0 +1,40 @@
+//! Scheduler-zoo sweep: every scheme in the sweep config
+//! (`--sweep=FILE`, default `fig_zoo::default_sweep` = the committed
+//! `sweeps/zoo.json`) through the steady Fig 14 operating point and the
+//! fault storm, auditor on for every run. Prints the zoo table, merges
+//! the points into the repo-root `BENCH_sim.json` under the `fig_zoo`
+//! key, and exits non-zero if any (scheme, scenario) cell reports an
+//! invariant violation or a scheme completes nothing — CI's zoo-smoke
+//! gate.
+
+use mlp_bench::fig_zoo;
+
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    let sweep = mlp_bench::sweep_from_args().unwrap_or_else(fig_zoo::default_sweep);
+    eprintln!(
+        "running scheduler zoo at --scale={} over [{}] …",
+        scale.label,
+        sweep.labels().join(", ")
+    );
+    let points = fig_zoo::data(&scale, 2022, &sweep);
+    println!("{}", fig_zoo::report(&points, &scale));
+
+    let value = serde_json::to_value(&points).expect("zoo points serialize");
+    mlp_bench::merge_bench_json(vec![("fig_zoo".to_string(), value)]);
+
+    let mut failed = false;
+    for p in &points {
+        if p.invariant_violations > 0 {
+            eprintln!("fig_zoo: {}: {} invariant violations", p.scheme, p.invariant_violations);
+            failed = true;
+        }
+        if p.goodput_rps <= 0.0 || p.storm_completed == 0 {
+            eprintln!("fig_zoo: {}: completed nothing in at least one scenario", p.scheme);
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

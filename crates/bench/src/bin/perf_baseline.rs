@@ -29,7 +29,7 @@ const SEED: u64 = 42;
 
 #[derive(Serialize)]
 struct SchemeBaseline {
-    scheme: &'static str,
+    scheme: String,
     wall_ms: f64,
     arrived: usize,
     completed: usize,
@@ -152,7 +152,7 @@ fn main() {
         let ledger = query_stats::snapshot();
         eprintln!(
             "  {:<12} {:>8.1} ms  ({} completed; {} earliest_fit, {} peak, {} writes)",
-            result.config.scheme.label(),
+            result.config.scheme.display_name(),
             wall_ms,
             result.completed,
             ledger.earliest_fit,
@@ -160,7 +160,7 @@ fn main() {
             ledger.writes,
         );
         schemes.push(SchemeBaseline {
-            scheme: result.config.scheme.label(),
+            scheme: result.config.scheme.display_name(),
             wall_ms,
             arrived: result.arrived,
             completed: result.completed,

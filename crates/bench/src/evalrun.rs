@@ -5,8 +5,8 @@ use crate::loads::rate_factor;
 use crate::scale::Scale;
 use mlp_engine::config::{ExperimentConfig, MixSpec};
 use mlp_engine::parallel::run_all;
+use mlp_engine::registry::SchemeSpec;
 use mlp_engine::runner::ExperimentResult;
-use mlp_engine::scheme::Scheme;
 use mlp_model::RequestCatalog;
 use mlp_stats::TimeSeries;
 use mlp_workload::WorkloadPattern;
@@ -14,8 +14,8 @@ use mlp_workload::WorkloadPattern;
 /// Seed-averaged metrics for one experiment cell.
 #[derive(Debug, Clone)]
 pub struct AvgResult {
-    /// Scheme label.
-    pub scheme: &'static str,
+    /// Scheme display label (registry-derived, e.g. `v-MLP[healing=off]`).
+    pub scheme: String,
     /// Mean SLO-violation fraction.
     pub violation: f64,
     /// Mean per-class violation fractions `[low, mid, high]`.
@@ -37,10 +37,10 @@ pub struct AvgResult {
 }
 
 /// One experiment cell to run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Cell {
-    /// Scheduling scheme.
-    pub scheme: Scheme,
+    /// Scheduling scheme spec (enum schemes convert via `Into`).
+    pub scheme: SchemeSpec,
     /// Workload pattern.
     pub pattern: WorkloadPattern,
     /// Request mix.
@@ -51,8 +51,13 @@ pub struct Cell {
 
 impl Cell {
     /// Default cell for a scheme: L1 pattern, balanced mix.
-    pub fn new(scheme: Scheme) -> Self {
-        Cell { scheme, pattern: WorkloadPattern::L1Pulse, mix: MixSpec::Balanced, rate_mult: 1.0 }
+    pub fn new(scheme: impl Into<SchemeSpec>) -> Self {
+        Cell {
+            scheme: scheme.into(),
+            pattern: WorkloadPattern::L1Pulse,
+            mix: MixSpec::Balanced,
+            rate_mult: 1.0,
+        }
     }
 }
 
@@ -68,7 +73,7 @@ pub fn run_cells(scale: Scale, cells: &[Cell], base_seed: u64) -> Vec<AvgResult>
         for s in 0..scale.seeds {
             configs.push(
                 scale
-                    .config(cell.scheme)
+                    .config(cell.scheme.clone())
                     .with_pattern(cell.pattern)
                     .with_mix(cell.mix)
                     .with_rate(rate)
@@ -80,11 +85,11 @@ pub fn run_cells(scale: Scale, cells: &[Cell], base_seed: u64) -> Vec<AvgResult>
     results
         .chunks(scale.seeds as usize)
         .zip(cells)
-        .map(|(chunk, cell)| average(cell.scheme.label(), chunk))
+        .map(|(chunk, cell)| average(cell.scheme.display_name(), chunk))
         .collect()
 }
 
-fn average(scheme: &'static str, runs: &[ExperimentResult]) -> AvgResult {
+fn average(scheme: String, runs: &[ExperimentResult]) -> AvgResult {
     let n = runs.len() as f64;
     let mut out = AvgResult {
         scheme,
@@ -118,6 +123,7 @@ fn average(scheme: &'static str, runs: &[ExperimentResult]) -> AvgResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlp_engine::scheme::Scheme;
 
     #[test]
     fn runs_and_averages_two_schemes() {

@@ -33,7 +33,7 @@ pub fn data(scale: Scale, seed: u64) -> Fig10Data {
         for class in CLASSES {
             for scheme in Scheme::PAPER {
                 cells.push(Cell {
-                    scheme,
+                    scheme: scheme.into(),
                     pattern,
                     mix: MixSpec::SingleClass(class),
                     rate_mult: 1.0,
@@ -108,13 +108,13 @@ mod tests {
     fn simple_schedulers_violate_more_on_high_vr() {
         let cells = [
             Cell {
-                scheme: Scheme::FairSched,
+                scheme: Scheme::FairSched.into(),
                 pattern: WorkloadPattern::L1Pulse,
                 mix: MixSpec::SingleClass(VolatilityClass::High),
                 rate_mult: 1.0,
             },
             Cell {
-                scheme: Scheme::VMlp,
+                scheme: Scheme::VMlp.into(),
                 pattern: WorkloadPattern::L1Pulse,
                 mix: MixSpec::SingleClass(VolatilityClass::High),
                 rate_mult: 1.0,

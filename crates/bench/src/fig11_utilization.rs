@@ -17,11 +17,11 @@ pub const PEAK_AT_S: f64 = 40.0;
 
 /// Per-scheme utilization curves. The horizon is pinned to the paper's
 /// 100 s so the 40 s peak and the recovery window are both visible.
-pub fn data(scale: Scale, seed: u64) -> Vec<(&'static str, TimeSeries)> {
+pub fn data(scale: Scale, seed: u64) -> Vec<(String, TimeSeries)> {
     let scale = Scale { horizon_s: scale.horizon_s.max(100.0), ..scale };
     let cells: Vec<Cell> = Scheme::PAPER
         .into_iter()
-        .map(|scheme| Cell { scheme, pattern: WorkloadPattern::L1Pulse, ..Cell::new(scheme) })
+        .map(|scheme| Cell { pattern: WorkloadPattern::L1Pulse, ..Cell::new(scheme) })
         .collect();
     run_cells(scale, &cells, seed).into_iter().map(|r| (r.scheme, r.util_series)).collect()
 }
@@ -79,7 +79,7 @@ mod tests {
         let scale = Scale { machines: 4, max_rate: 28.0, horizon_s: 100.0, seeds: 1, label: "t" };
         // Two representative schemes keep the debug-mode test quick.
         let cells = [Cell::new(Scheme::FairSched), Cell::new(Scheme::VMlp)];
-        let curves: Vec<(&str, mlp_stats::TimeSeries)> =
+        let curves: Vec<(String, mlp_stats::TimeSeries)> =
             run_cells(scale, &cells, 4).into_iter().map(|r| (r.scheme, r.util_series)).collect();
         for (scheme, ts) in curves {
             let before = window_mean(&ts, 5.0, 35.0);

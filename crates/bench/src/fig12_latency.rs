@@ -16,12 +16,11 @@ pub const LEVELS: [f64; 3] = [0.4, 0.65, 0.9];
 
 /// `data[level][scheme] = [p50, p90, p99]` in ms. All cells run in one
 /// parallel sweep.
-pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, [f64; 3])>> {
+pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(String, [f64; 3])>> {
     let cells: Vec<Cell> = LEVELS
         .iter()
         .flat_map(|&level| {
             Scheme::PAPER.into_iter().map(move |scheme| Cell {
-                scheme,
                 pattern: WorkloadPattern::Constant,
                 rate_mult: level,
                 ..Cell::new(scheme)
@@ -30,7 +29,7 @@ pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, [f64; 3])>> {
         .collect();
     run_cells(scale, &cells, seed)
         .chunks(Scheme::PAPER.len())
-        .map(|chunk| chunk.iter().map(|r| (r.scheme, r.latency_ms)).collect())
+        .map(|chunk| chunk.iter().map(|r| (r.scheme.clone(), r.latency_ms)).collect())
         .collect()
 }
 

@@ -26,7 +26,7 @@ pub fn data(scale: Scale, seed: u64) -> Vec<Vec<Vec<(f64, f64)>>> {
         for class in CLASSES {
             for scheme in Scheme::PAPER {
                 cells.push(Cell {
-                    scheme,
+                    scheme: scheme.into(),
                     pattern,
                     mix: MixSpec::SingleClass(class),
                     rate_mult: 1.0,
@@ -94,7 +94,7 @@ mod tests {
         let cells: Vec<Cell> = [Scheme::FairSched, Scheme::VMlp]
             .into_iter()
             .map(|scheme| Cell {
-                scheme,
+                scheme: scheme.into(),
                 pattern: WorkloadPattern::L1Pulse,
                 mix: MixSpec::SingleClass(VolatilityClass::Mid),
                 rate_mult: 1.0,

@@ -5,6 +5,11 @@
 //! schemes actually differ in completions); throughput = requests finished
 //! within the scheduling period, normalized to v-MLP. Expected shape: all
 //! baselines ≤ 1, with the gap widening as the high-V_r ratio grows.
+//!
+//! The scheme columns come from a [`SweepConfig`]: the default sweep is
+//! the paper's five schemes in Table VI order (committed as
+//! `sweeps/paper.json`), and the `fig14_throughput` binary accepts
+//! `--sweep=FILE` to race any registered contender through the same axis.
 
 use crate::evalrun::{run_cells, Cell};
 use crate::loads::rate_factor;
@@ -12,6 +17,7 @@ use crate::scale::Scale;
 use mlp_engine::config::MixSpec;
 use mlp_engine::report;
 use mlp_engine::scheme::Scheme;
+use mlp_engine::sweep::SweepConfig;
 use mlp_model::RequestCatalog;
 use mlp_workload::WorkloadPattern;
 
@@ -28,16 +34,38 @@ pub const RATIOS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 /// EXPERIMENTS.md.)
 pub const OVERDRIVE: f64 = 0.8;
 
-/// `data[ratio][scheme] = (scheme, raw completions/s, raw goodput/s,
-/// goodput normalized to v-MLP)`. All cells run in one parallel sweep.
+/// The default scheme columns: the paper's five schemes, figure order.
+pub fn default_sweep() -> SweepConfig {
+    SweepConfig::new(Scheme::PAPER.iter().map(|s| s.spec()).collect())
+}
+
+/// Index of the normalization anchor inside a sweep: the unablated
+/// `vmlp` column when present, else the last column (so a custom sweep
+/// without v-MLP still normalizes to *something* stable).
+pub fn anchor_index(sweep: &SweepConfig) -> usize {
+    sweep
+        .schemes
+        .iter()
+        .position(|s| s.name() == "vmlp" && s.params().is_empty())
+        .unwrap_or(sweep.schemes.len() - 1)
+}
+
+/// `data[ratio][scheme] = (label, raw completions/s, raw goodput/s,
+/// goodput normalized to the anchor)`. All cells run in one parallel
+/// sweep.
 ///
 /// "Throughput" is the paper's "number of finished requests within a
 /// certain scheduling period"; we report raw completions *and* goodput
 /// (SLO-compliant completions) — in an interactive service a reply beyond
 /// its SLO is useless, and the paper's v-MLP advantage reproduces on the
 /// goodput reading (see EXPERIMENTS.md).
-pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, f64, f64, f64)>> {
+pub fn data_sweep(
+    scale: Scale,
+    seed: u64,
+    sweep: &SweepConfig,
+) -> Vec<Vec<(String, f64, f64, f64)>> {
     let catalog = RequestCatalog::paper();
+    let anchor = anchor_index(sweep);
     let cells: Vec<Cell> = RATIOS
         .iter()
         .flat_map(|&ratio| {
@@ -50,8 +78,8 @@ pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, f64, f64, f64)>> 
             // curve anyway.
             let f = rate_factor(mix, &catalog);
             let rate_mult = OVERDRIVE * (2.0 / f).min(1.0);
-            Scheme::PAPER.into_iter().map(move |scheme| Cell {
-                scheme,
+            sweep.schemes.iter().map(move |spec| Cell {
+                scheme: spec.clone(),
                 pattern: WorkloadPattern::Constant,
                 mix,
                 rate_mult,
@@ -59,17 +87,25 @@ pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(&'static str, f64, f64, f64)>> 
         })
         .collect();
     run_cells(scale, &cells, seed)
-        .chunks(Scheme::PAPER.len())
+        .chunks(sweep.schemes.len())
         .map(|res| {
-            let vmlp = res[4].goodput.max(1e-9);
-            res.iter().map(|r| (r.scheme, r.throughput, r.goodput, r.goodput / vmlp)).collect()
+            let vmlp = res[anchor].goodput.max(1e-9);
+            res.iter()
+                .map(|r| (r.scheme.clone(), r.throughput, r.goodput, r.goodput / vmlp))
+                .collect()
         })
         .collect()
 }
 
-/// Renders the sweep.
-pub fn report(scale: Scale, seed: u64) -> String {
-    let d = data(scale, seed);
+/// [`data_sweep`] over the default (paper) sweep.
+pub fn data(scale: Scale, seed: u64) -> Vec<Vec<(String, f64, f64, f64)>> {
+    data_sweep(scale, seed, &default_sweep())
+}
+
+/// Renders one sweep.
+pub fn report_sweep(scale: Scale, seed: u64, sweep: &SweepConfig) -> String {
+    let d = data_sweep(scale, seed, sweep);
+    let anchor_label = sweep.schemes[anchor_index(sweep)].display_name();
     let rows: Vec<Vec<String>> = RATIOS
         .iter()
         .enumerate()
@@ -81,11 +117,22 @@ pub fn report(scale: Scale, seed: u64) -> String {
             row
         })
         .collect();
+    let mut headers: Vec<String> = vec!["high ratio".to_string()];
+    headers.extend(sweep.labels());
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
     report::table(
-        "Fig 14 — goodput (SLO-compliant completions) normalized to v-MLP vs ratio of high-V_r requests",
-        &["high ratio", "FairSched", "CurSched", "PartProfile", "FullProfile", "v-MLP"],
+        &format!(
+            "Fig 14 — goodput (SLO-compliant completions) normalized to {anchor_label} vs ratio \
+             of high-V_r requests"
+        ),
+        &header_refs,
         &rows,
     )
+}
+
+/// Renders the default (paper) sweep.
+pub fn report(scale: Scale, seed: u64) -> String {
+    report_sweep(scale, seed, &default_sweep())
 }
 
 #[cfg(test)]
@@ -93,13 +140,14 @@ mod tests {
     use super::*;
 
     use crate::evalrun::{run_cells, Cell};
+    use mlp_engine::registry::SchemeSpec;
 
     /// One overdriven cell: throughput is positive and self-normalization
     /// is exactly 1.
     #[test]
     fn vmlp_column_is_unit() {
         let cells = [Cell {
-            scheme: Scheme::VMlp,
+            scheme: Scheme::VMlp.into(),
             pattern: WorkloadPattern::Constant,
             mix: MixSpec::HighRatio(0.5),
             rate_mult: OVERDRIVE,
@@ -108,5 +156,26 @@ mod tests {
         assert!(res[0].throughput > 0.0);
         assert!(res[0].goodput <= res[0].throughput);
         assert!((res[0].goodput / res[0].goodput.max(1e-9) - 1.0).abs() < 1e-9);
+    }
+
+    /// The default sweep reproduces the historically hardcoded scheme
+    /// list, and the anchor is the unablated v-MLP column wherever it
+    /// sits in the order.
+    #[test]
+    fn default_sweep_matches_the_paper_columns() {
+        let sweep = default_sweep();
+        assert_eq!(
+            sweep.labels(),
+            ["FairSched", "CurSched", "PartProfile", "FullProfile", "v-MLP"]
+        );
+        assert_eq!(anchor_index(&sweep), 4);
+        let shuffled =
+            SweepConfig::new(vec![SchemeSpec::named("vmlp"), SchemeSpec::named("fairsched")]);
+        assert_eq!(anchor_index(&shuffled), 0);
+        let no_vmlp = SweepConfig::new(vec![
+            SchemeSpec::named("fairsched"),
+            SchemeSpec::parse("vmlp:healing=off").unwrap(),
+        ]);
+        assert_eq!(anchor_index(&no_vmlp), 1, "ablated v-MLP is not the anchor");
     }
 }

@@ -13,10 +13,17 @@ use mlp_engine::parallel::run_all;
 use mlp_engine::report;
 use mlp_engine::runner::ExperimentResult;
 use mlp_engine::scheme::Scheme;
+use mlp_engine::sweep::SweepConfig;
 use mlp_faults::FaultConfig;
 
-/// Schemes compared under the storm, figure order.
+/// Schemes compared under the storm, figure order (the default sweep;
+/// `sweeps/faults.json` commits the same list).
 pub const SCHEMES: [Scheme; 3] = [Scheme::CurSched, Scheme::FullProfile, Scheme::VMlp];
+
+/// The default storm sweep as a [`SweepConfig`].
+pub fn default_sweep() -> SweepConfig {
+    SweepConfig::new(SCHEMES.iter().map(|s| s.spec()).collect())
+}
 
 /// A storm proportioned to the run: it opens at 20 % of the horizon, rages
 /// for half of it, takes out a quarter of the fleet (one machine minimum,
@@ -39,20 +46,28 @@ pub fn storm_for(scale: &Scale) -> FaultConfig {
     }
 }
 
-/// One run per scheme under the storm, plus the faults-off v-MLP anchor
-/// (always the last element).
-pub fn data(scale: Scale, seed: u64) -> Vec<ExperimentResult> {
+/// One run per swept scheme under the storm, plus the faults-off v-MLP
+/// anchor (always the last element).
+pub fn data_sweep(scale: Scale, seed: u64, sweep: &SweepConfig) -> Vec<ExperimentResult> {
     let storm = storm_for(&scale);
-    let mut configs: Vec<ExperimentConfig> =
-        SCHEMES.iter().map(|&s| scale.config(s).with_seed(seed).with_faults(storm)).collect();
+    let mut configs: Vec<ExperimentConfig> = sweep
+        .schemes
+        .iter()
+        .map(|s| scale.config(s.clone()).with_seed(seed).with_faults(storm))
+        .collect();
     configs.push(scale.config(Scheme::VMlp).with_seed(seed));
     run_all(&configs, 4)
 }
 
-/// Renders the scenario table.
-pub fn report(scale: Scale, seed: u64) -> String {
-    let results = data(scale, seed);
-    let (storm_rows, anchor) = results.split_at(SCHEMES.len());
+/// [`data_sweep`] over the default storm sweep.
+pub fn data(scale: Scale, seed: u64) -> Vec<ExperimentResult> {
+    data_sweep(scale, seed, &default_sweep())
+}
+
+/// Renders one storm sweep.
+pub fn report_sweep(scale: Scale, seed: u64, sweep: &SweepConfig) -> String {
+    let results = data_sweep(scale, seed, sweep);
+    let (storm_rows, anchor) = results.split_at(sweep.schemes.len());
 
     let row = |label: String, r: &ExperimentResult| -> Vec<String> {
         vec![
@@ -71,8 +86,7 @@ pub fn report(scale: Scale, seed: u64) -> String {
 
     let mut rows: Vec<Vec<String>> = storm_rows
         .iter()
-        .zip(SCHEMES)
-        .map(|(r, s)| row(format!("{} + storm", s.label()), r))
+        .map(|r| row(format!("{} + storm", r.config.scheme.display_name()), r))
         .collect();
     rows.push(row("v-MLP (no faults)".to_string(), &anchor[0]));
 
@@ -98,6 +112,11 @@ pub fn report(scale: Scale, seed: u64) -> String {
     )
 }
 
+/// Renders the default storm sweep.
+pub fn report(scale: Scale, seed: u64) -> String {
+    report_sweep(scale, seed, &default_sweep())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,14 +129,18 @@ mod tests {
         assert_eq!(results.len(), SCHEMES.len() + 1);
         let (storm_rows, anchor) = results.split_at(SCHEMES.len());
         for r in storm_rows {
-            assert!(r.machine_crashes > 0, "{}: no crashes injected", r.config.scheme.label());
+            assert!(
+                r.machine_crashes > 0,
+                "{}: no crashes injected",
+                r.config.scheme.display_name()
+            );
             assert!(r.completed + r.unfinished >= r.arrived, "requests lost");
         }
         assert_eq!(anchor[0].machine_crashes, 0);
         assert_eq!(anchor[0].abandoned, 0);
         // The anchor faces no faults, so it completes at least as much as
         // the same scheduler under the storm.
-        let vmlp_storm = &storm_rows[2];
+        let vmlp_storm = storm_rows.last().unwrap();
         assert!(anchor[0].completed >= vmlp_storm.completed);
     }
 

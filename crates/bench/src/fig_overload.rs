@@ -17,14 +17,24 @@
 use crate::scale::Scale;
 use mlp_engine::config::ExperimentConfig;
 use mlp_engine::experiment::Experiment;
+use mlp_engine::registry::SchemeSpec;
 use mlp_engine::report;
 use mlp_engine::scheme::Scheme;
+use mlp_engine::sweep::SweepConfig;
 use mlp_sched::{OverloadConfig, RetryBudget};
 use mlp_workload::patterns::WorkloadPattern;
 use serde::Serialize;
 
 /// Flash-crowd multipliers swept (1× is the capacity reference).
 pub const MULTIPLIERS: [f64; 4] = [1.0, 2.0, 3.0, 5.0];
+
+/// The default overload sweep: the two baselines and v-MLP, figure order
+/// (`sweeps/overload.json` commits the same list). The *last* swept
+/// scheme additionally runs behind the resilience stack, so the default
+/// reproduces the historical four arms exactly.
+pub fn default_sweep() -> SweepConfig {
+    SweepConfig::new(vec![Scheme::CurSched.spec(), Scheme::FullProfile.spec(), Scheme::VMlp.spec()])
+}
 
 /// The goodput-retention acceptance gate: resilient v-MLP at
 /// [`GATE_MULTIPLIER`]× must keep at least this fraction of its own 1×
@@ -103,7 +113,7 @@ pub fn overload_for(scale: &Scale, multiplier: f64, resilience: bool) -> Overloa
 /// the only nonstationarity), auditor on.
 pub fn config_for(
     scale: &Scale,
-    scheme: Scheme,
+    scheme: impl Into<SchemeSpec>,
     multiplier: f64,
     resilience: bool,
     seed: u64,
@@ -128,18 +138,18 @@ pub fn retry_grant_bound(cfg: &ExperimentConfig) -> u64 {
 /// Runs one cell.
 pub fn data_point(
     scale: &Scale,
-    scheme: Scheme,
+    scheme: impl Into<SchemeSpec>,
     multiplier: f64,
     resilience: bool,
     seed: u64,
 ) -> OverloadPoint {
     let cfg = config_for(scale, scheme, multiplier, resilience, seed);
+    let label = cfg.scheme.display_name();
     let r = Experiment::from_config(cfg).run().expect("overload config is valid");
-    let arm =
-        if resilience { format!("{}+resil", scheme.label()) } else { scheme.label().to_string() };
+    let arm = if resilience { format!("{label}+resil") } else { label.clone() };
     OverloadPoint {
         arm,
-        scheme: scheme.label().to_string(),
+        scheme: label,
         resilience,
         multiplier,
         arrived: r.arrived,
@@ -159,41 +169,46 @@ pub fn data_point(
     }
 }
 
-/// The full sweep: every arm × every multiplier.
-pub fn data(scale: &Scale, seed: u64) -> Vec<OverloadPoint> {
-    let arms: [(Scheme, bool); 4] = [
-        (Scheme::CurSched, false),
-        (Scheme::FullProfile, false),
-        (Scheme::VMlp, false),
-        (Scheme::VMlp, true),
-    ];
+/// The full sweep: every swept scheme faces the raw surge, and the last
+/// one additionally runs behind the resilience stack — × every
+/// multiplier.
+pub fn data_sweep(scale: &Scale, seed: u64, sweep: &SweepConfig) -> Vec<OverloadPoint> {
+    let mut arms: Vec<(SchemeSpec, bool)> =
+        sweep.schemes.iter().map(|s| (s.clone(), false)).collect();
+    if let Some(last) = sweep.schemes.last() {
+        arms.push((last.clone(), true));
+    }
     let mut points = Vec::with_capacity(arms.len() * MULTIPLIERS.len());
-    for &(scheme, resilience) in &arms {
+    for (scheme, resilience) in &arms {
         for &m in &MULTIPLIERS {
             eprintln!(
                 "fig_overload: {}{} × {m}×…",
-                scheme.label(),
-                if resilience { "+resil" } else { "" }
+                scheme.display_name(),
+                if *resilience { "+resil" } else { "" }
             );
-            points.push(data_point(scale, scheme, m, resilience, seed));
+            points.push(data_point(scale, scheme.clone(), m, *resilience, seed));
         }
     }
     points
 }
 
-/// The resilient v-MLP point at a multiplier, if present.
-pub fn resilient_vmlp_at(points: &[OverloadPoint], multiplier: f64) -> Option<&OverloadPoint> {
-    points
-        .iter()
-        .find(|p| p.resilience && p.scheme == Scheme::VMlp.label() && p.multiplier == multiplier)
+/// [`data_sweep`] over the default overload sweep.
+pub fn data(scale: &Scale, seed: u64) -> Vec<OverloadPoint> {
+    data_sweep(scale, seed, &default_sweep())
 }
 
-/// Goodput retained by resilient v-MLP at [`GATE_MULTIPLIER`]× relative
+/// The resilient arm's point at a multiplier, if present (there is one
+/// resilient arm per sweep: its last scheme).
+pub fn resilient_arm_at(points: &[OverloadPoint], multiplier: f64) -> Option<&OverloadPoint> {
+    points.iter().find(|p| p.resilience && p.multiplier == multiplier)
+}
+
+/// Goodput retained by the resilient arm at [`GATE_MULTIPLIER`]× relative
 /// to its own 1× capacity (the acceptance gate's ratio). `None` when
 /// either point is missing or the 1× goodput is zero.
 pub fn goodput_retention(points: &[OverloadPoint]) -> Option<f64> {
-    let capacity = resilient_vmlp_at(points, 1.0)?.goodput_rps;
-    let surged = resilient_vmlp_at(points, GATE_MULTIPLIER)?.goodput_rps;
+    let capacity = resilient_arm_at(points, 1.0)?.goodput_rps;
+    let surged = resilient_arm_at(points, GATE_MULTIPLIER)?.goodput_rps;
     if capacity > 0.0 {
         Some(surged / capacity)
     } else {

@@ -15,8 +15,10 @@ use crate::scale::Scale;
 use mlp_cluster::ShardPolicy;
 use mlp_engine::config::ExperimentConfig;
 use mlp_engine::experiment::Experiment;
+use mlp_engine::registry::SchemeSpec;
 use mlp_engine::report;
 use mlp_engine::scheme::Scheme;
+use mlp_engine::sweep::SweepConfig;
 use mlp_workload::patterns::WorkloadPattern;
 use serde::Serialize;
 use std::time::Instant;
@@ -35,8 +37,14 @@ pub const SHARDS: usize = 16;
 pub const RATE_PER_MACHINE: f64 = 5.0;
 
 /// Schemes soaked: today's non-profiling baseline, the full-profiling
-/// baseline, and the paper's contribution.
+/// baseline, and the paper's contribution (the default sweep;
+/// `sweeps/soak.json` commits the same list).
 pub const SCHEMES: [Scheme; 3] = [Scheme::CurSched, Scheme::FullProfile, Scheme::VMlp];
+
+/// The default soak sweep as a [`SweepConfig`].
+pub fn default_sweep() -> SweepConfig {
+    SweepConfig::new(SCHEMES.iter().map(|s| s.spec()).collect())
+}
 
 /// Open-loop arrivals pulled per scheme at a given scale. Paper scale is
 /// the acceptance target (≥2M requests); smaller scales keep the cluster
@@ -122,7 +130,7 @@ pub const PROFILE_RETENTION: usize = 512;
 /// request cap (not the horizon) ends the arrival stream, streaming
 /// statistics, a bounded profile window, and the auditor sampling every
 /// period.
-pub fn config_for(scheme: Scheme, requests: u64, seed: u64) -> ExperimentConfig {
+pub fn config_for(scheme: impl Into<SchemeSpec>, requests: u64, seed: u64) -> ExperimentConfig {
     let max_rate = RATE_PER_MACHINE * MACHINES as f64;
     let horizon_s = requests as f64 / max_rate * 1.1;
     ExperimentConfig {
@@ -141,14 +149,14 @@ pub fn config_for(scheme: Scheme, requests: u64, seed: u64) -> ExperimentConfig 
 }
 
 /// Soaks one scheme, timing the whole experiment.
-pub fn data_point(scheme: Scheme, requests: u64, seed: u64) -> SoakPoint {
+pub fn data_point(scheme: impl Into<SchemeSpec>, requests: u64, seed: u64) -> SoakPoint {
+    let cfg = config_for(scheme, requests, seed);
+    let label = cfg.scheme.display_name();
     let start = Instant::now();
-    let r = Experiment::from_config(config_for(scheme, requests, seed))
-        .run()
-        .expect("soak config is valid");
+    let r = Experiment::from_config(cfg).run().expect("soak config is valid");
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
     SoakPoint {
-        scheme: scheme.label().to_string(),
+        scheme: label,
         arrived: r.arrived,
         completed: r.completed,
         unfinished: r.unfinished,
@@ -163,16 +171,22 @@ pub fn data_point(scheme: Scheme, requests: u64, seed: u64) -> SoakPoint {
     }
 }
 
-/// Soaks every scheme at a scale.
-pub fn data(scale: &Scale, seed: u64) -> Vec<SoakPoint> {
+/// Soaks every swept scheme at a scale.
+pub fn data_sweep(scale: &Scale, seed: u64, sweep: &SweepConfig) -> Vec<SoakPoint> {
     let requests = request_target(scale);
-    SCHEMES
+    sweep
+        .schemes
         .iter()
-        .map(|&scheme| {
-            eprintln!("fig_soak: {} × {requests} requests…", scheme.label());
-            data_point(scheme, requests, seed)
+        .map(|scheme| {
+            eprintln!("fig_soak: {} × {requests} requests…", scheme.display_name());
+            data_point(scheme.clone(), requests, seed)
         })
         .collect()
+}
+
+/// [`data_sweep`] over the default soak sweep.
+pub fn data(scale: &Scale, seed: u64) -> Vec<SoakPoint> {
+    data_sweep(scale, seed, &default_sweep())
 }
 
 /// Renders the soak table.

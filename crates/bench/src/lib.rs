@@ -27,6 +27,7 @@ pub mod fig_faults;
 pub mod fig_overload;
 pub mod fig_scale;
 pub mod fig_soak;
+pub mod fig_zoo;
 pub mod loads;
 pub mod scale;
 pub mod tables;
@@ -110,6 +111,27 @@ pub fn merge_bench_json_at(
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, json + "\n")?;
     std::fs::rename(&tmp, path)
+}
+
+/// Parses `--sweep=FILE` from argv for the figure binaries: loads and
+/// registry-validates a [`SweepConfig`](mlp_engine::sweep::SweepConfig),
+/// exiting with the error's code (2 = invalid, 4 = I/O) when the file is
+/// missing or malformed. `None` when the flag is absent — the binary
+/// falls back to its committed default sweep.
+pub fn sweep_from_args() -> Option<mlp_engine::sweep::SweepConfig> {
+    let path =
+        std::env::args().find_map(|a| a.strip_prefix("--sweep=").map(std::path::PathBuf::from))?;
+    let load = mlp_engine::sweep::SweepConfig::load(&path).and_then(|sweep| {
+        sweep.validate()?;
+        Ok(sweep)
+    });
+    match load {
+        Ok(sweep) => Some(sweep),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code() as i32);
+        }
+    }
 }
 
 /// Parses `--scale=tiny|small|paper` from argv (default: small) for the

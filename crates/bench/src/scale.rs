@@ -1,7 +1,7 @@
 //! Experiment scales: paper-faithful, laptop, and smoke-test sizes.
 
 use mlp_engine::config::ExperimentConfig;
-use mlp_engine::scheme::Scheme;
+use mlp_engine::registry::SchemeSpec;
 
 /// How big to run the evaluation. The scheduler dynamics are driven by
 /// per-machine load, so scaling machines and peak rate together preserves
@@ -39,7 +39,7 @@ impl Scale {
     }
 
     /// Builds the base experiment config for a scheme at this scale.
-    pub fn config(&self, scheme: Scheme) -> ExperimentConfig {
+    pub fn config(&self, scheme: impl Into<SchemeSpec>) -> ExperimentConfig {
         ExperimentConfig {
             machines: self.machines,
             max_rate: self.max_rate,
@@ -52,6 +52,7 @@ impl Scale {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlp_engine::scheme::Scheme;
 
     #[test]
     fn scales_preserve_per_machine_regime() {

@@ -16,7 +16,7 @@ fn main() {
         for r in run_all(&configs, 0) {
             println!(
                 "{:12} p50={:7.1} p90={:7.1} p99={:8.1} viol={:.3} util={:.3} thr={:6.1} capped={:.3} late={:.3} unfin={} heal={:?}",
-                r.config.scheme.label(), r.latency_ms[0], r.latency_ms[1], r.latency_ms[2],
+                r.config.scheme.display_name(), r.latency_ms[0], r.latency_ms[1], r.latency_ms[2],
                 r.violation_rate, r.mean_utilization, r.throughput(),
                 r.capped_fraction, r.late_fraction, r.unfinished, r.healing,
             );

@@ -1,7 +1,7 @@
 //! Experiment configuration (Table IV's simulation platform, Section V's
 //! run parameters).
 
-use crate::scheme::Scheme;
+use crate::registry::SchemeSpec;
 use mlp_cluster::ShardPolicy;
 use mlp_faults::FaultConfig;
 use mlp_model::{RequestTypeId, ResourceVector, VolatilityClass};
@@ -33,10 +33,12 @@ impl MixSpec {
 }
 
 /// Full description of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExperimentConfig {
-    /// Scheduling scheme under test.
-    pub scheme: Scheme,
+    /// Scheduling scheme under test, by registry spec. Accepts the legacy
+    /// `Scheme` enum values via `Into`, spec strings (`"vmlp:healing=off"`),
+    /// and explicit [`SchemeSpec`]s.
+    pub scheme: SchemeSpec,
     /// Number of machines (the paper simulates 100).
     pub machines: usize,
     /// Per-machine capacity (defaults to the Table IV worker shape).
@@ -202,9 +204,9 @@ impl ExperimentConfig {
     /// binaries scale it down together with `machines` to keep laptop
     /// runtimes reasonable (the scheduler dynamics are per-machine-load
     /// driven, so scaling both preserves the regime).
-    pub fn paper_default(scheme: Scheme) -> Self {
+    pub fn paper_default(scheme: impl Into<SchemeSpec>) -> Self {
         ExperimentConfig {
-            scheme,
+            scheme: scheme.into(),
             machines: 100,
             machine_capacity: ResourceVector::new(2.4, 2_500.0, 350.0),
             pattern: WorkloadPattern::L1Pulse,
@@ -233,7 +235,7 @@ impl ExperimentConfig {
     /// A laptop-scale configuration preserving the paper's per-machine
     /// load regime (peak ≈ 70 % of cluster CPU, sustained plateaus ≈ 50 %):
     /// 20 machines at 140 req/s peak over 40 s.
-    pub fn small(scheme: Scheme) -> Self {
+    pub fn small(scheme: impl Into<SchemeSpec>) -> Self {
         ExperimentConfig {
             machines: 20,
             max_rate: 140.0,
@@ -245,7 +247,7 @@ impl ExperimentConfig {
     /// A tiny smoke-test configuration for unit/integration tests. The
     /// invariant auditor is on so every engine test cross-checks
     /// conservation laws for free.
-    pub fn smoke(scheme: Scheme) -> Self {
+    pub fn smoke(scheme: impl Into<SchemeSpec>) -> Self {
         ExperimentConfig {
             machines: 8,
             max_rate: 40.0,
@@ -371,6 +373,7 @@ impl ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::Scheme;
     use mlp_model::RequestCatalog;
 
     #[test]

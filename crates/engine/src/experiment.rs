@@ -19,6 +19,9 @@
 use crate::config::ExperimentConfig;
 use crate::error::Error;
 use crate::profiling::warm_profiles;
+use crate::registry::{
+    default_registry, ParamValue, SchedulerParams, SchedulerRegistry, SchemeSpec,
+};
 use crate::runner::{summarize, ExperimentResult};
 use crate::sim::{simulate, SimOutput};
 use mlp_model::RequestCatalog;
@@ -38,13 +41,14 @@ use std::path::Path;
 pub struct Experiment<'a> {
     config: ExperimentConfig,
     catalog: Option<&'a RequestCatalog>,
+    registry: Option<&'a SchedulerRegistry>,
     unindexed_dt: bool,
 }
 
 impl Experiment<'static> {
     /// Starts a builder from an in-memory config.
     pub fn from_config(config: ExperimentConfig) -> Self {
-        Experiment { config, catalog: None, unindexed_dt: false }
+        Experiment { config, catalog: None, registry: None, unindexed_dt: false }
     }
 
     /// Starts a builder from a JSON config file (the `vmlp --config=FILE`
@@ -61,8 +65,48 @@ impl Experiment<'static> {
 impl<'a> Experiment<'a> {
     /// Uses a caller-supplied request catalog (shared across a sweep)
     /// instead of constructing the paper catalog per run.
-    pub fn catalog<'b>(self, catalog: &'b RequestCatalog) -> Experiment<'b> {
-        Experiment { config: self.config, catalog: Some(catalog), unindexed_dt: self.unindexed_dt }
+    pub fn catalog<'b>(self, catalog: &'b RequestCatalog) -> Experiment<'b>
+    where
+        'a: 'b,
+    {
+        Experiment {
+            config: self.config,
+            catalog: Some(catalog),
+            registry: self.registry,
+            unindexed_dt: self.unindexed_dt,
+        }
+    }
+
+    /// Uses a caller-supplied [`SchedulerRegistry`] (typically
+    /// [`default_registry`] plus out-of-tree registrations) instead of the
+    /// built-in table when resolving the config's scheme spec.
+    pub fn registry<'b>(self, registry: &'b SchedulerRegistry) -> Experiment<'b>
+    where
+        'a: 'b,
+    {
+        Experiment {
+            config: self.config,
+            catalog: self.catalog,
+            registry: Some(registry),
+            unindexed_dt: self.unindexed_dt,
+        }
+    }
+
+    /// Replaces the scheme under test with `name` + typed `params`.
+    pub fn scheme(mut self, name: &str, params: SchedulerParams) -> Self {
+        self.config.scheme = SchemeSpec::with_params(name, params);
+        self
+    }
+
+    /// Replaces the scheme under test from a spec string like
+    /// `"vmlp:healing=off"`. The name is resolved (and the params are
+    /// validated) against the experiment's registry immediately, so typos
+    /// fail here rather than mid-sweep.
+    pub fn scheme_spec(mut self, spec: &str) -> Result<Self, Error> {
+        let spec = SchemeSpec::parse(spec).map_err(Error::InvalidConfig)?;
+        self.registry.unwrap_or_else(|| default_registry()).validate_spec(&spec)?;
+        self.config.scheme = spec;
+        Ok(self)
     }
 
     /// Testing hook: forces every Δt percentile estimate through the
@@ -80,17 +124,15 @@ impl<'a> Experiment<'a> {
     /// tests run the same config both ways and assert the decision-audit
     /// trails (and results) are identical.
     pub fn unindexed_reorder(mut self, force: bool) -> Self {
-        self.config.scheme = match self.config.scheme {
-            crate::Scheme::VMlp => crate::Scheme::VMlpCustom(mlp_core::VMlpConfig {
-                unindexed_reorder: force,
-                ..mlp_core::VMlpConfig::paper()
-            }),
-            crate::Scheme::VMlpCustom(mut cfg) => {
-                cfg.unindexed_reorder = force;
-                crate::Scheme::VMlpCustom(cfg)
-            }
-            other => other,
-        };
+        if self.config.scheme.name() == "vmlp" {
+            let params = self
+                .config
+                .scheme
+                .params()
+                .clone()
+                .with("unindexed_reorder", ParamValue::Bool(force));
+            self.config.scheme = SchemeSpec::with_params("vmlp", params);
+        }
         self
     }
 
@@ -123,6 +165,10 @@ impl<'a> Experiment<'a> {
     pub fn validate(&self) -> Result<(), Error> {
         let c = &self.config;
         let bad = |why: String| Err(Error::InvalidConfig(why));
+        // The scheme name must resolve in the registry and its params must
+        // build — unknown names and ill-typed params fail here with the
+        // registered-name list, before any expensive setup.
+        self.registry.unwrap_or_else(|| default_registry()).validate_spec(&c.scheme)?;
         if c.machines == 0 {
             return bad("machines must be >= 1".into());
         }
@@ -202,6 +248,7 @@ impl<'a> Experiment<'a> {
     /// audit trail) for trace export and deep-dive analysis.
     pub fn run_full(self) -> Result<(ExperimentResult, SimOutput), Error> {
         self.validate()?;
+        let registry = self.registry.unwrap_or_else(|| default_registry());
         let config = self.config;
         let owned_catalog;
         let catalog = match self.catalog {
@@ -231,7 +278,7 @@ impl<'a> Experiment<'a> {
         // arrival is generated.
         validate_stream_params(config.max_rate, &mix)
             .map_err(|e| Error::InvalidConfig(format!("workload: {e}")))?;
-        let mut scheduler = config.scheme.build();
+        let mut scheduler = registry.build(&config.scheme, config.seed)?;
 
         // Three arrival paths. The first two share the identical RNG draw
         // sequence: the dense trace replayed through a SliceSource (figure
@@ -313,7 +360,7 @@ mod tests {
     fn builder_runs_and_matches_direct_pipeline() {
         let cfg = ExperimentConfig::smoke(Scheme::VMlp).with_seed(11);
         let catalog = RequestCatalog::paper();
-        let a = Experiment::from_config(cfg).catalog(&catalog).run().unwrap();
+        let a = Experiment::from_config(cfg.clone()).catalog(&catalog).run().unwrap();
         let b = Experiment::from_config(cfg).run().unwrap();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency_ms, b.latency_ms);
@@ -338,24 +385,24 @@ mod tests {
     fn invalid_configs_are_rejected_before_running() {
         let base = ExperimentConfig::smoke(Scheme::VMlp);
         let cases: Vec<(ExperimentConfig, &str)> = vec![
-            (ExperimentConfig { machines: 0, ..base }, "machines"),
-            (ExperimentConfig { max_rate: 0.0, ..base }, "max_rate"),
-            (ExperimentConfig { max_rate: f64::NAN, ..base }, "max_rate"),
-            (ExperimentConfig { horizon_s: -1.0, ..base }, "horizon_s"),
-            (ExperimentConfig { sample_period_s: 0.0, ..base }, "sample_period_s"),
-            (ExperimentConfig { drain_factor: 0.5, ..base }, "drain_factor"),
-            (ExperimentConfig { mix: MixSpec::HighRatio(1.5), ..base }, "ratio"),
-            (base.with_small_tier(999, 0.5), "small_tier"),
-            (base.with_shards(99, mlp_cluster::ShardPolicy::RoundRobin), "shards"),
+            (ExperimentConfig { machines: 0, ..base.clone() }, "machines"),
+            (ExperimentConfig { max_rate: 0.0, ..base.clone() }, "max_rate"),
+            (ExperimentConfig { max_rate: f64::NAN, ..base.clone() }, "max_rate"),
+            (ExperimentConfig { horizon_s: -1.0, ..base.clone() }, "horizon_s"),
+            (ExperimentConfig { sample_period_s: 0.0, ..base.clone() }, "sample_period_s"),
+            (ExperimentConfig { drain_factor: 0.5, ..base.clone() }, "drain_factor"),
+            (ExperimentConfig { mix: MixSpec::HighRatio(1.5), ..base.clone() }, "ratio"),
+            (base.clone().with_small_tier(999, 0.5), "small_tier"),
+            (base.clone().with_shards(99, mlp_cluster::ShardPolicy::RoundRobin), "shards"),
             (
-                base.with_overload(mlp_sched::OverloadConfig {
+                base.clone().with_overload(mlp_sched::OverloadConfig {
                     admission_slack: 0.5,
                     ..mlp_sched::OverloadConfig::flash_crowd(3.0, 1.0, 2.0)
                 }),
                 "admission_slack",
             ),
             (
-                base.with_overload(mlp_sched::OverloadConfig {
+                base.clone().with_overload(mlp_sched::OverloadConfig {
                     surge_multiplier: f64::NAN,
                     ..mlp_sched::OverloadConfig::flash_crowd(3.0, 1.0, 2.0)
                 }),

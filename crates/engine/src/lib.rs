@@ -15,15 +15,22 @@ pub mod error;
 pub mod experiment;
 pub mod parallel;
 pub mod profiling;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
 pub mod sim;
+pub mod sweep;
 pub mod traceio;
 
 pub use config::ExperimentConfig;
 pub use error::Error;
 pub use experiment::Experiment;
+pub use registry::{
+    default_registry, BuildCtx, ParamValue, RegistryEntry, SchedulerParams, SchedulerRegistry,
+    SchemeSpec,
+};
 pub use runner::ExperimentResult;
 pub use scheme::Scheme;
+pub use sweep::SweepConfig;

@@ -38,7 +38,7 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
                 if i >= configs.len() {
                     break;
                 }
-                let result = Experiment::from_config(configs[i])
+                let result = Experiment::from_config(configs[i].clone())
                     .catalog(catalog)
                     .run()
                     .expect("sweep configs are valid");
@@ -57,12 +57,13 @@ pub fn run_all(configs: &[ExperimentConfig], workers: usize) -> Vec<ExperimentRe
 }
 
 /// Convenience: run one scheme-per-config comparison and pair each result
-/// with its scheme label.
+/// with its registry-derived display name (e.g. `v-MLP[healing=off]` for
+/// an ablated spec, not the old opaque `v-MLP*`).
 pub fn run_labeled(
     configs: &[ExperimentConfig],
     workers: usize,
-) -> Vec<(&'static str, ExperimentResult)> {
-    run_all(configs, workers).into_iter().map(|r| (r.config.scheme.label(), r)).collect()
+) -> Vec<(String, ExperimentResult)> {
+    run_all(configs, workers).into_iter().map(|r| (r.config.scheme.display_name(), r)).collect()
 }
 
 #[cfg(test)]
@@ -78,7 +79,7 @@ mod tests {
             .collect();
         let par = run_all(&configs, 2);
         let seq: Vec<_> =
-            configs.iter().map(|c| Experiment::from_config(*c).run().unwrap()).collect();
+            configs.iter().map(|c| Experiment::from_config(c.clone()).run().unwrap()).collect();
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.completed, s.completed);
             assert_eq!(p.latency_ms, s.latency_ms);
@@ -90,7 +91,7 @@ mod tests {
         let configs: Vec<ExperimentConfig> =
             Scheme::PAPER.into_iter().map(|s| ExperimentConfig::smoke(s).with_seed(1)).collect();
         let labeled = run_labeled(&configs, 0);
-        let labels: Vec<&str> = labeled.iter().map(|(l, _)| *l).collect();
+        let labels: Vec<&str> = labeled.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels, vec!["FairSched", "CurSched", "PartProfile", "FullProfile", "v-MLP"]);
     }
 

@@ -186,7 +186,7 @@ pub(crate) fn summarize(
 
     let _ = catalog;
     ExperimentResult {
-        config: *config,
+        config: config.clone(),
         arrived: out.arrived,
         completed,
         completed_in_horizon,
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn identical_seeds_identical_results() {
         let cfg = ExperimentConfig::smoke(Scheme::PartProfile).with_seed(99);
-        let a = Experiment::from_config(cfg).run().unwrap();
+        let a = Experiment::from_config(cfg.clone()).run().unwrap();
         let b = Experiment::from_config(cfg).run().unwrap();
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.latency_ms, b.latency_ms);

@@ -12,8 +12,8 @@
 
 use crate::config::{ExperimentConfig, MixSpec};
 use crate::experiment::Experiment;
+use crate::registry::SchemeSpec;
 use crate::runner::ExperimentResult;
-use crate::scheme::Scheme;
 use mlp_model::VolatilityClass;
 use mlp_workload::WorkloadPattern;
 use serde::{Deserialize, Serialize};
@@ -37,7 +37,8 @@ pub struct ChallengeOutcome {
 /// requests — the regime where end-time misprediction and communication
 /// noise cause exactly the misalignment of Fig 5 — and reports how much
 /// contention each scheme incurs.
-pub fn run_challenge(scheme: Scheme, seed: u64) -> ChallengeOutcome {
+pub fn run_challenge(scheme: impl Into<SchemeSpec>, seed: u64) -> ChallengeOutcome {
+    let scheme = scheme.into();
     // Few machines + a high-V_r mix at ~60 % of nominal capacity: tight
     // enough that every misprediction lands on a busy machine, feasible
     // enough that a precise scheduler can still align the chains.
@@ -47,13 +48,13 @@ pub fn run_challenge(scheme: Scheme, seed: u64) -> ChallengeOutcome {
         horizon_s: 20.0,
         mix: MixSpec::SingleClass(VolatilityClass::High),
         pattern: WorkloadPattern::Constant,
-        ..ExperimentConfig::paper_default(scheme)
+        ..ExperimentConfig::paper_default(scheme.clone())
     }
     .with_seed(seed);
     let r: ExperimentResult =
         Experiment::from_config(cfg).run().expect("challenge config is valid");
     ChallengeOutcome {
-        scheme: scheme.label().to_string(),
+        scheme: scheme.display_name(),
         late_fraction: r.late_fraction,
         capped_fraction: r.capped_fraction,
         p99_ms: r.latency_ms[2],
@@ -64,6 +65,7 @@ pub fn run_challenge(scheme: Scheme, seed: u64) -> ChallengeOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::Scheme;
 
     #[test]
     fn misprediction_causes_contention_for_naive_schemes() {

@@ -1,7 +1,19 @@
 //! The evaluated scheduling schemes (Table VI) as a buildable enum.
+//!
+//! Deprecated shim: scheduler construction now goes through the
+//! [`registry`](crate::registry) — a `Scheme` converts losslessly into a
+//! [`SchemeSpec`] (`Scheme::VMlp` → `"vmlp"`, `Scheme::VMlpCustom(cfg)` →
+//! `"vmlp"` plus the params that differ from the paper config), and every
+//! construction path funnels through [`SchedulerRegistry::build`]. The
+//! enum survives so existing call sites (and Table VI iteration via
+//! [`Scheme::PAPER`]) keep compiling and fixed-seed figures stay
+//! byte-identical.
+//!
+//! [`SchedulerRegistry::build`]: crate::registry::SchedulerRegistry::build
 
-use mlp_core::{VMlpConfig, VMlpScheduler};
-use mlp_sched::{CurSched, FairSched, FullProfile, PartProfile, Scheduler};
+use crate::registry::{default_registry, vmlp_params_from_config, SchemeSpec};
+use mlp_core::VMlpConfig;
+use mlp_sched::Scheduler;
 use serde::{Deserialize, Serialize};
 
 /// One of the five evaluated schemes, plus ablated v-MLP variants.
@@ -31,19 +43,33 @@ impl Scheme {
         Scheme::VMlp,
     ];
 
-    /// Instantiates the scheduler.
-    pub fn build(self) -> Box<dyn Scheduler> {
+    /// The registry spec this enum value is a shorthand for.
+    pub fn spec(self) -> SchemeSpec {
         match self {
-            Scheme::FairSched => Box::new(FairSched::new()),
-            Scheme::CurSched => Box::new(CurSched::new()),
-            Scheme::PartProfile => Box::new(PartProfile::new()),
-            Scheme::FullProfile => Box::new(FullProfile::new()),
-            Scheme::VMlp => Box::new(VMlpScheduler::new()),
-            Scheme::VMlpCustom(cfg) => Box::new(VMlpScheduler::with_config(cfg)),
+            Scheme::FairSched => SchemeSpec::named("fairsched"),
+            Scheme::CurSched => SchemeSpec::named("cursched"),
+            Scheme::PartProfile => SchemeSpec::named("partprofile"),
+            Scheme::FullProfile => SchemeSpec::named("fullprofile"),
+            Scheme::VMlp => SchemeSpec::named("vmlp"),
+            Scheme::VMlpCustom(cfg) => {
+                SchemeSpec::with_params("vmlp", vmlp_params_from_config(cfg))
+            }
         }
     }
 
+    /// Instantiates the scheduler.
+    #[deprecated(note = "build through the scheduler registry: \
+                         `default_registry().build(&scheme.spec(), seed)`")]
+    pub fn build(self) -> Box<dyn Scheduler> {
+        default_registry().build(&self.spec(), 0).expect("built-in schemes always build")
+    }
+
     /// Display label.
+    ///
+    /// Static Table VI names; `VMlpCustom` collapses to `"v-MLP*"` — use
+    /// [`display_name`](Scheme::display_name) (or
+    /// [`SchemeSpec::display_name`]) for a label that says *which*
+    /// ablation ran.
     pub fn label(self) -> &'static str {
         match self {
             Scheme::FairSched => "FairSched",
@@ -54,6 +80,18 @@ impl Scheme {
             Scheme::VMlpCustom(_) => "v-MLP*",
         }
     }
+
+    /// Registry-derived display name (e.g. `v-MLP[healing=off]` for an
+    /// ablated custom config).
+    pub fn display_name(self) -> String {
+        self.spec().display_name()
+    }
+}
+
+impl From<Scheme> for SchemeSpec {
+    fn from(s: Scheme) -> SchemeSpec {
+        s.spec()
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +99,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn builds_all_schemes_with_table6_names() {
         for s in Scheme::PAPER {
             let built = s.build();
@@ -70,8 +109,33 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn custom_vmlp_builds() {
         let s = Scheme::VMlpCustom(VMlpConfig::without_healing()).build();
         assert_eq!(s.name(), "v-MLP");
+    }
+
+    #[test]
+    fn custom_vmlp_display_name_says_which_ablation() {
+        let s = Scheme::VMlpCustom(VMlpConfig::without_healing());
+        assert_eq!(s.label(), "v-MLP*", "static label stays for compatibility");
+        assert_eq!(s.display_name(), "v-MLP[healing=off]");
+        assert_eq!(Scheme::VMlp.display_name(), "v-MLP");
+        for s in Scheme::PAPER {
+            assert_eq!(s.display_name(), s.label(), "paper schemes keep Table VI names");
+        }
+    }
+
+    #[test]
+    fn enum_and_spec_serializations_both_load() {
+        // The enum's own serde encoding still round-trips…
+        let js = serde_json::to_string(&Scheme::VMlpCustom(VMlpConfig::without_healing())).unwrap();
+        let back: Scheme = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, Scheme::VMlpCustom(VMlpConfig::without_healing()));
+        // …and the same bytes load as the equivalent registry spec.
+        let spec: SchemeSpec = serde_json::from_str(&js).unwrap();
+        assert_eq!(spec, SchemeSpec::parse("vmlp:healing=off").unwrap());
+        let spec: SchemeSpec = serde_json::from_str("\"PartProfile\"").unwrap();
+        assert_eq!(spec, Scheme::PartProfile.spec());
     }
 }

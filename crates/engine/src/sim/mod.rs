@@ -298,7 +298,7 @@ pub fn simulate_with(
             .then(|| OverloadRuntime::new(cfg.overload, SimRng::new(cfg.seed).fork(3))),
         shed_requests: 0,
         breaker_log_cursor: 0,
-        cfg: *cfg,
+        cfg: cfg.clone(),
     };
     sim.run(source, scheduler, rng)
 }
@@ -444,7 +444,7 @@ mod tests {
         let arrivals =
             generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
         let mut source = SliceSource::new(&arrivals);
-        let mut sched = cfg.scheme.build();
+        let mut sched = crate::registry::default_registry().build(&cfg.scheme, cfg.seed).unwrap();
         simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng)
     }
 
@@ -569,7 +569,7 @@ mod tests {
         let mut source =
             OpenLoopSource::poisson(cfg.pattern, cfg.max_rate, cfg.horizon_s, mix, arr_rng)
                 .with_max_requests(60);
-        let mut sched = cfg.scheme.build();
+        let mut sched = crate::registry::default_registry().build(&cfg.scheme, cfg.seed).unwrap();
         let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
         assert_eq!(out.arrived, 60, "cap honored");
         assert!(out.collector.is_streaming());

@@ -83,7 +83,7 @@ pub fn load_profiles(path: &Path) -> Result<ProfileTrace, Error> {
 pub fn save_experiment(path: &Path, result: &ExperimentResult) -> Result<(), Error> {
     let trace = ExperimentTrace {
         version: TRACE_FORMAT_VERSION,
-        config: result.config,
+        config: result.config.clone(),
         result: result.clone(),
     };
     let json = serde_json::to_string_pretty(&trace).map_err(|e| Error::parse(path, e))?;
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn experiment_roundtrip() {
         let cfg = ExperimentConfig::smoke(Scheme::FairSched).with_seed(8);
-        let result = Experiment::from_config(cfg).run().unwrap();
+        let result = Experiment::from_config(cfg.clone()).run().unwrap();
         let path = tmp("experiment.json");
         save_experiment(&path, &result).unwrap();
         let loaded = load_experiment(&path).unwrap();

@@ -19,6 +19,7 @@ pub mod overload;
 pub mod placement;
 pub mod plan;
 pub mod scheduler;
+pub mod search;
 
 pub use baselines::{CurSched, FairSched, FullProfile, PartProfile};
 pub use overload::{
@@ -27,3 +28,4 @@ pub use overload::{
 };
 pub use plan::{NodePlan, RequestInfo, RequestPlan};
 pub use scheduler::{HealingAction, LateInfo, NodeFailure, PlanEnv, Scheduler, SchedulerCtx};
+pub use search::{SearchConfig, SearchSched};

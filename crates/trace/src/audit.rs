@@ -50,6 +50,9 @@ pub enum DecisionKind {
     BreakerTransition,
     /// The brownout degradation tier changed.
     Brownout,
+    /// A local-search refinement replaced an admitted plan with a
+    /// strictly better placement (SearchSched).
+    PlacementRefine,
     /// The incremental reorder index recomputed one request type's cached
     /// ratio terms after a profile-store version bump. `value` carries the
     /// request-type id, `rank` the profile version that triggered the

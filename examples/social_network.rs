@@ -36,7 +36,7 @@ fn main() {
             let high = r.violation_by_class[2] * 100.0;
             println!(
                 "{:10}  p99 {:7.1} ms | violations: low-V_r {:4.1}%, high-V_r {:4.1}% | util {:.1}%",
-                r.config.scheme.label(),
+                r.config.scheme.display_name(),
                 r.latency_ms[2],
                 low,
                 high,

@@ -46,7 +46,7 @@ fn main() {
             let (slots, stretches, _) = r.healing;
             println!(
                 "{:12}  p50 {:6.1} ms  p99 {:7.1} ms  violations {:5.2}%  healing {}+{}",
-                r.config.scheme.label(),
+                r.config.scheme.display_name(),
                 r.latency_ms[0],
                 r.latency_ms[2],
                 r.violation_rate * 100.0,

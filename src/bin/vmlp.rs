@@ -21,7 +21,11 @@ USAGE:
     vmlp [FLAGS]
 
 FLAGS:
-    --scheme=NAME     fairsched | cursched | partprofile | fullprofile | v-mlp (default)
+    --scheme=SPEC     registered scheme, optionally with typed params:
+                      fairsched | cursched | partprofile | fullprofile |
+                      v-mlp (default) | searchsched
+                      params attach as NAME:k=v,k2=v2 — e.g.
+                      v-mlp:healing=off  or  searchsched:iters=24,window=4
     --pattern=NAME    l1 | l2 | l3 | const   (default l1)
     --mix=NAME        balanced | low | mid | high | ratio:<0..1>  (default balanced)
     --machines=N      cluster size            (default 20)
@@ -45,15 +49,12 @@ EXIT CODES:
     4  file I/O failure
 ";
 
-fn parse_scheme(s: &str) -> Option<Scheme> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "fairsched" => Scheme::FairSched,
-        "cursched" => Scheme::CurSched,
-        "partprofile" => Scheme::PartProfile,
-        "fullprofile" => Scheme::FullProfile,
-        "v-mlp" | "vmlp" => Scheme::VMlp,
-        _ => return None,
-    })
+/// Parses and registry-validates a `--scheme` spec; the error message
+/// names the offending key/name and lists the registered schemes.
+fn parse_scheme(s: &str) -> Result<SchemeSpec, String> {
+    let spec = SchemeSpec::parse(s)?;
+    default_registry().validate_spec(&spec).map_err(|e| e.to_string())?;
+    Ok(spec)
 }
 
 fn parse_pattern(s: &str) -> Option<WorkloadPattern> {
@@ -105,8 +106,8 @@ fn main() -> ExitCode {
         };
         match key {
             "--scheme" => match parse_scheme(value) {
-                Some(s) => config.scheme = s,
-                None => return bad(&format!("unknown scheme '{value}'")),
+                Ok(s) => config.scheme = s,
+                Err(e) => return bad(&e),
             },
             "--pattern" => match parse_pattern(value) {
                 Some(p) => config.pattern = p,
@@ -155,7 +156,7 @@ fn main() -> ExitCode {
                 Err(_) => return bad("workers must be an integer"),
             },
             "--config" => match Experiment::from_config_file(Path::new(value)) {
-                Ok(e) => config = *e.config(),
+                Ok(e) => config = e.config().clone(),
                 Err(e) => {
                     eprintln!("error: cannot load config: {e}");
                     return ExitCode::from(e.exit_code());
@@ -169,7 +170,7 @@ fn main() -> ExitCode {
 
     eprintln!(
         "running {} on {} machines ({} shard{}), {} @ {} req/s peak, {}s …",
-        config.scheme.label(),
+        config.scheme.display_name(),
         config.machines,
         config.shards.max(1),
         if config.shards.max(1) == 1 { "" } else { "s" },
@@ -181,7 +182,7 @@ fn main() -> ExitCode {
         config = config.with_audit(true).with_auditor(true);
     }
     let catalog = RequestCatalog::paper();
-    let (result, sim) = match Experiment::from_config(config).catalog(&catalog).run_full() {
+    let (result, sim) = match Experiment::from_config(config.clone()).catalog(&catalog).run_full() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

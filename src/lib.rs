@@ -59,9 +59,14 @@ pub mod prelude {
     pub use mlp_engine::config::{ExperimentConfig, MixSpec};
     pub use mlp_engine::error::Error;
     pub use mlp_engine::experiment::Experiment;
+    pub use mlp_engine::registry::{
+        default_registry, BuildCtx, ParamValue, RegistryEntry, SchedulerParams, SchedulerRegistry,
+        SchemeSpec,
+    };
     pub use mlp_engine::report;
     pub use mlp_engine::runner::ExperimentResult;
     pub use mlp_engine::scheme::Scheme;
+    pub use mlp_engine::sweep::SweepConfig;
     pub use mlp_engine::traceio;
 
     // Schedulers: the trait, the paper's contribution, and the baselines.
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use mlp_core::VMlpScheduler;
     pub use mlp_sched::baselines;
     pub use mlp_sched::scheduler::{HealingAction, Scheduler, SchedulerCtx};
+    pub use mlp_sched::{SearchConfig, SearchSched};
 
     // The simulated substrate: workloads, requests, cluster sharding.
     pub use mlp_cluster::{Cluster, ShardId, ShardMap, ShardPolicy, ShardPool};

@@ -13,7 +13,7 @@ fn run_experiment_full(
     cfg: &ExperimentConfig,
     catalog: &RequestCatalog,
 ) -> (ExperimentResult, SimOutput) {
-    Experiment::from_config(*cfg).catalog(catalog).run_full().expect("test config is valid")
+    Experiment::from_config(cfg.clone()).catalog(catalog).run_full().expect("test config is valid")
 }
 
 /// A fault storm proportioned to the smoke horizon (8 s + drain): two
@@ -86,7 +86,7 @@ fn all_schemes_hold_invariants_and_attribute_latency_exactly() {
         for faults in [FaultConfig::disabled(), smoke_storm()] {
             let cfg =
                 ExperimentConfig::smoke(scheme).with_seed(11).with_faults(faults).with_audit(true);
-            let label = format!("{} faults={}", cfg.scheme.label(), cfg.faults.is_active());
+            let label = format!("{} faults={}", cfg.scheme.display_name(), cfg.faults.is_active());
             check(cfg, &label);
         }
     }
@@ -96,7 +96,8 @@ fn all_schemes_hold_invariants_and_attribute_latency_exactly() {
 fn audit_and_auditor_never_change_results() {
     let base = ExperimentConfig::smoke(Scheme::VMlp).with_seed(7).with_faults(smoke_storm());
     let catalog = RequestCatalog::paper();
-    let plain = run_experiment_full(&base.with_audit(false).with_auditor(false), &catalog).0;
+    let plain =
+        run_experiment_full(&base.clone().with_audit(false).with_auditor(false), &catalog).0;
     let audited = run_experiment_full(&base.with_audit(true).with_auditor(true), &catalog).0;
     assert_eq!(plain.completed, audited.completed);
     assert_eq!(plain.arrived, audited.arrived);

@@ -7,7 +7,7 @@ use v_mlp::workload::generate_stream;
 
 /// Test shorthand over the [`Experiment`] builder.
 fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    Experiment::from_config(*cfg).run().expect("test config is valid")
+    Experiment::from_config(cfg.clone()).run().expect("test config is valid")
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn disabled_faults_leave_runs_byte_identical() {
     };
     for scheme in [Scheme::VMlp, Scheme::CurSched] {
         let plain = ExperimentConfig::smoke(scheme).with_seed(77);
-        let gated = plain.with_faults(junk);
+        let gated = plain.clone().with_faults(junk);
         let a = run_experiment(&plain);
         let b = run_experiment(&gated);
         assert_eq!(a.completed, b.completed, "{}", scheme.label());
@@ -123,7 +123,7 @@ fn disabled_overload_leaves_runs_byte_identical() {
     };
     for scheme in [Scheme::VMlp, Scheme::CurSched] {
         let plain = ExperimentConfig::smoke(scheme).with_seed(77);
-        let gated = plain.with_overload(junk);
+        let gated = plain.clone().with_overload(junk);
         let a = run_experiment(&plain);
         let b = run_experiment(&gated);
         assert_eq!(a.completed, b.completed, "{}", scheme.label());
@@ -232,7 +232,7 @@ fn reorder_index_matches_sort_based_reference() {
             .with_seed(17)
             .with_shards(shards, ShardPolicy::RoundRobin);
         let (idx_r, idx_out) =
-            Experiment::from_config(cfg).audit(true).run_full().expect("indexed path runs");
+            Experiment::from_config(cfg.clone()).audit(true).run_full().expect("indexed path runs");
         let (ref_r, ref_out) = Experiment::from_config(cfg)
             .audit(true)
             .unindexed_reorder(true)
@@ -278,7 +278,7 @@ fn banded_dt_fast_path_matches_sort_based_reference() {
             .with_seed(17)
             .with_shards(shards, ShardPolicy::RoundRobin);
         let (fast_r, fast_out) =
-            Experiment::from_config(cfg).audit(true).run_full().expect("fast path runs");
+            Experiment::from_config(cfg.clone()).audit(true).run_full().expect("fast path runs");
         let (ref_r, ref_out) = Experiment::from_config(cfg)
             .audit(true)
             .unindexed_dt(true)

@@ -20,7 +20,7 @@ fn run_raw(scheme: Scheme, seed: u64) -> (v_mlp::engine::sim::SimOutput, Request
     let profiles = warm_profiles(&catalog, cfg.warmup_cases, &mut warm_rng);
     let mix = cfg.mix.resolve(&catalog);
     let arrivals = generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
-    let mut sched = cfg.scheme.build();
+    let mut sched = default_registry().build(&cfg.scheme, cfg.seed).unwrap();
     let mut source = SliceSource::new(&arrivals);
     let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
     (out, catalog)
@@ -198,7 +198,7 @@ fn drain_wall_caps_run_length() {
     let mix = cfg.mix.resolve(&catalog);
     let arrivals =
         generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut root.fork(0));
-    let mut sched = cfg.scheme.build();
+    let mut sched = default_registry().build(&cfg.scheme, cfg.seed).unwrap();
     let mut source = SliceSource::new(&arrivals);
     let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut root.fork(1));
     let wall = SimTime::from_secs_f64(cfg.horizon_s * cfg.drain_factor);

@@ -17,7 +17,7 @@ fn scale() -> Scale {
 }
 
 fn cell(scheme: Scheme, mix: MixSpec, pattern: WorkloadPattern) -> Cell {
-    Cell { scheme, pattern, mix, rate_mult: 1.0 }
+    Cell { scheme: scheme.into(), pattern, mix, rate_mult: 1.0 }
 }
 
 #[test]

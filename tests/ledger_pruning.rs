@@ -29,7 +29,7 @@ fn run_constant_load(horizon_s: f64) -> (f64, f64) {
     let profiles = warm_profiles(&catalog, cfg.warmup_cases, &mut warm_rng);
     let mix = cfg.mix.resolve(&catalog);
     let arrivals = generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
-    let mut sched = cfg.scheme.build();
+    let mut sched = default_registry().build(&cfg.scheme, cfg.seed).unwrap();
     let mut source = SliceSource::new(&arrivals);
     let out = simulate(&cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
 

@@ -7,7 +7,7 @@ use v_mlp::prelude::*;
 
 /// Test shorthand over the [`Experiment`] builder.
 fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    Experiment::from_config(*cfg).run().expect("test config is valid")
+    Experiment::from_config(cfg.clone()).run().expect("test config is valid")
 }
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
@@ -72,7 +72,7 @@ proptest! {
     fn no_configuration_breaks_accounting(cfg in arb_config()) {
         let r = run_experiment(&cfg);
         prop_assert!(r.completed + r.unfinished >= r.arrived,
-            "{}: {} + {} < {}", cfg.scheme.label(), r.completed, r.unfinished, r.arrived);
+            "{}: {} + {} < {}", cfg.scheme.display_name(), r.completed, r.unfinished, r.arrived);
         prop_assert!((0.0..=1.0).contains(&r.violation_rate));
         prop_assert!((0.0..=1.0).contains(&r.mean_utilization));
         prop_assert!(r.latency_ms[0] <= r.latency_ms[1] + 1e-9);
@@ -126,7 +126,7 @@ proptest! {
         let cfg = cfg.with_faults(faults);
         let r = run_experiment(&cfg);
         prop_assert!(r.completed + r.unfinished >= r.arrived,
-            "{}: {} + {} < {}", cfg.scheme.label(), r.completed, r.unfinished, r.arrived);
+            "{}: {} + {} < {}", cfg.scheme.display_name(), r.completed, r.unfinished, r.arrived);
         prop_assert!(r.abandoned <= r.unfinished,
             "abandoned {} > unfinished {}", r.abandoned, r.unfinished);
         prop_assert!((0.0..=1.0).contains(&r.violation_rate));

@@ -1,0 +1,156 @@
+//! Acceptance tests for the scheduler registry and the search contender:
+//! the deprecated `Scheme` enum path and the registry spec path produce
+//! byte-identical results for every paper scheme, `SearchSched` is
+//! deterministic from the experiment seed and auditor-clean, and the
+//! committed `sweeps/*.json` defaults reproduce the historically
+//! hardcoded scheme lists of the figure binaries exactly.
+
+use mlp_bench::{fig14_throughput, fig_faults, fig_overload, fig_soak, fig_zoo};
+use v_mlp::prelude::*;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn run_serialized(cfg: ExperimentConfig) -> String {
+    let r = Experiment::from_config(cfg).run().expect("config is valid");
+    serde_json::to_string(&r).expect("result serializes")
+}
+
+/// The enum shim and the registry spec path are the same scheduler: a
+/// fixed-seed smoke run serializes byte-identically whichever way the
+/// scheme was named, for all five paper schemes.
+#[test]
+fn enum_shim_and_registry_specs_are_byte_identical() {
+    for scheme in Scheme::PAPER {
+        let via_enum = run_serialized(ExperimentConfig::smoke(scheme).with_seed(2022));
+        let spec = SchemeSpec::parse(scheme.label()).expect("labels parse as specs");
+        assert_eq!(spec, scheme.spec(), "{scheme:?}: label must resolve to the same spec");
+        let via_registry = run_serialized(ExperimentConfig::smoke(spec).with_seed(2022));
+        assert_eq!(via_enum, via_registry, "{scheme:?}: registry path diverged from the enum path");
+    }
+}
+
+/// Registry-built and enum-built schedulers carry the same display names
+/// everywhere the figures print them.
+#[test]
+fn display_names_round_trip_through_the_registry() {
+    for scheme in Scheme::PAPER {
+        assert_eq!(scheme.spec().display_name(), scheme.label());
+    }
+    assert_eq!(SchemeSpec::parse("vmlp:healing=off").unwrap().display_name(), "v-MLP[healing=off]");
+    assert_eq!(SchemeSpec::named("searchsched").display_name(), "SearchSched");
+}
+
+/// SearchSched is deterministic from the experiment seed: two identical
+/// runs serialize byte-identically, audit trail included.
+#[test]
+fn searchsched_is_deterministic_from_the_seed() {
+    let cfg = || {
+        ExperimentConfig::smoke(SchemeSpec::named("searchsched")).with_seed(2022).with_audit(true)
+    };
+    let catalog = RequestCatalog::paper();
+    let (ra, outa) = Experiment::from_config(cfg()).catalog(&catalog).run_full().unwrap();
+    let (rb, outb) = Experiment::from_config(cfg()).catalog(&catalog).run_full().unwrap();
+    assert_eq!(
+        serde_json::to_string(&ra).unwrap(),
+        serde_json::to_string(&rb).unwrap(),
+        "same-seed SearchSched results diverged"
+    );
+    assert_eq!(outa.audit.to_jsonl(), outb.audit.to_jsonl(), "audit trails diverged");
+    assert!(ra.completed > 0, "the contender must actually schedule");
+}
+
+/// SearchSched stays auditor-clean on the plain smoke run and under a
+/// fault storm (the fig14/fig_faults acceptance surface at smoke size).
+#[test]
+fn searchsched_is_auditor_clean_with_and_without_faults() {
+    let storm = FaultConfig {
+        enabled: true,
+        machine_crashes: 2,
+        storm_start_ms: 2_000,
+        storm_duration_ms: 4_000,
+        outage_ms: 1_500,
+        transient_fail_prob: 0.05,
+        degrade_start_ms: 2_500,
+        degrade_duration_ms: 2_000,
+        degrade_factor: 4.0,
+    };
+    for faults in [FaultConfig::disabled(), storm] {
+        let stormy = faults.is_active();
+        let cfg = ExperimentConfig::smoke(SchemeSpec::named("searchsched"))
+            .with_seed(11)
+            .with_faults(faults)
+            .with_auditor(true);
+        let (r, out) =
+            Experiment::from_config(cfg).catalog(&RequestCatalog::paper()).run_full().unwrap();
+        assert_eq!(
+            r.invariant_violations, 0,
+            "faults={stormy}: auditor flagged violations; report: {:?}",
+            out.invariant_report
+        );
+        assert!(r.completed > 0, "faults={stormy}: nothing completed");
+        if stormy {
+            assert!(r.machine_crashes > 0, "the storm must actually land");
+        }
+    }
+}
+
+/// Unknown names and malformed params surface as `InvalidConfig` (exit
+/// code 2) naming the offender and the registered schemes — through the
+/// `Experiment` builder, not just the registry.
+#[test]
+fn bad_specs_are_typed_config_errors() {
+    let bad_spec = |spec: &str| match Experiment::from_config(ExperimentConfig::smoke(Scheme::VMlp))
+        .scheme_spec(spec)
+    {
+        Ok(_) => panic!("spec `{spec}` should have been rejected"),
+        Err(e) => e,
+    };
+    let err = bad_spec("nosuchsched");
+    assert_eq!(err.exit_code(), 2);
+    let msg = err.to_string();
+    assert!(msg.contains("nosuchsched") && msg.contains("registered schemes"), "{msg}");
+
+    let err = bad_spec("vmlp:healing=sideways");
+    assert_eq!(err.exit_code(), 2);
+    assert!(err.to_string().contains("healing"), "{err}");
+}
+
+/// The committed sweep files reproduce the figure binaries' historically
+/// hardcoded scheme lists exactly — the config-driven path defaults to
+/// today's figures.
+#[test]
+fn committed_sweeps_match_the_default_sweeps() {
+    for (file, default) in [
+        ("sweeps/paper.json", fig14_throughput::default_sweep()),
+        ("sweeps/faults.json", fig_faults::default_sweep()),
+        ("sweeps/soak.json", fig_soak::default_sweep()),
+        ("sweeps/overload.json", fig_overload::default_sweep()),
+        ("sweeps/zoo.json", fig_zoo::default_sweep()),
+    ] {
+        let committed = SweepConfig::load(&repo_path(file)).expect("committed sweep loads");
+        committed.validate().expect("committed sweep validates");
+        assert_eq!(committed, default, "{file} drifted from the binary's default sweep");
+    }
+}
+
+/// The zoo sweep runs every registered scheme through the steady cell at
+/// tiny scale with the auditor on and zero violations — the registry's
+/// end-to-end proving ground (CI runs the same gate at small scale via
+/// the `fig_zoo` binary).
+#[test]
+fn zoo_smoke_is_auditor_clean_for_every_registered_scheme() {
+    let scale = mlp_bench::Scale::tiny();
+    for spec in fig_zoo::default_sweep().schemes {
+        let cfg = fig_zoo::steady_config(&scale, spec.clone(), 7);
+        let r = Experiment::from_config(cfg).run().expect("zoo config is valid");
+        assert_eq!(
+            r.invariant_violations,
+            0,
+            "{}: auditor flagged violations",
+            spec.display_name()
+        );
+        assert!(r.completed > 0, "{}: nothing completed", spec.display_name());
+    }
+}

@@ -41,7 +41,7 @@ fn one_shard_is_byte_identical_to_unsharded() {
     for scheme in Scheme::PAPER {
         for seed in [7u64, 2022] {
             let base = ExperimentConfig::smoke(scheme).with_seed(seed);
-            let unsharded = Experiment::from_config(base).run().unwrap();
+            let unsharded = Experiment::from_config(base.clone()).run().unwrap();
             let one_shard = Experiment::from_config(base.with_shards(1, ShardPolicy::RoundRobin))
                 .run()
                 .unwrap();
@@ -91,7 +91,7 @@ fn sharded_runs_hold_invariants_under_both_policies() {
 fn sharded_runs_are_bit_reproducible() {
     for policy in [ShardPolicy::RoundRobin, ShardPolicy::CapacityBalanced] {
         let cfg = ExperimentConfig::smoke(Scheme::VMlp).with_seed(5).with_shards(4, policy);
-        let a = Experiment::from_config(cfg).run().unwrap();
+        let a = Experiment::from_config(cfg.clone()).run().unwrap();
         let b = Experiment::from_config(cfg).run().unwrap();
         assert_results_identical(&a, &b, &format!("{policy:?}"));
     }
@@ -149,15 +149,17 @@ fn results_are_bit_identical_across_worker_counts() {
         .with_seed(13)
         .with_shards(shards, ShardPolicy::RoundRobin)
         .with_auditor(true);
-        let (base, out) =
-            Experiment::from_config(cfg.with_workers(1)).catalog(&catalog).run_full().unwrap();
+        let (base, out) = Experiment::from_config(cfg.clone().with_workers(1))
+            .catalog(&catalog)
+            .run_full()
+            .unwrap();
         assert_eq!(
             base.invariant_violations, 0,
             "shards={shards} workers=1: {:?}",
             out.invariant_report
         );
         for workers in [2usize, 8] {
-            let (r, out) = Experiment::from_config(cfg.with_workers(workers))
+            let (r, out) = Experiment::from_config(cfg.clone().with_workers(workers))
                 .catalog(&catalog)
                 .run_full()
                 .unwrap();
@@ -205,7 +207,7 @@ proptest! {
         .with_shards(8, ShardPolicy::RoundRobin)
         .with_faults(storm)
         .with_auditor(true);
-        let a = Experiment::from_config(cfg.with_workers(1)).run().unwrap();
+        let a = Experiment::from_config(cfg.clone().with_workers(1)).run().unwrap();
         let b = Experiment::from_config(cfg.with_workers(workers)).run().unwrap();
         prop_assert_eq!(a.machine_crashes, b.machine_crashes);
         prop_assert_eq!(a.invariant_violations, 0);

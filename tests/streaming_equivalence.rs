@@ -25,7 +25,7 @@ fn run_slice_pipeline(cfg: &ExperimentConfig) -> (usize, usize, usize, usize) {
     let profiles = warm_profiles(&catalog, cfg.warmup_cases, &mut warm_rng);
     let mix = cfg.mix.resolve(&catalog);
     let arrivals = generate_stream(cfg.pattern, cfg.max_rate, cfg.horizon_s, &mix, &mut arr_rng);
-    let mut sched = cfg.scheme.build();
+    let mut sched = default_registry().build(&cfg.scheme, cfg.seed).unwrap();
     let mut source = SliceSource::new(&arrivals);
     let out = simulate(cfg, &catalog, profiles, &mut source, sched.as_mut(), &mut sim_rng);
     (out.arrived, out.collector.completed(), out.unfinished, out.request_table_peak)
@@ -42,7 +42,7 @@ proptest! {
     fn slice_replay_matches_raw_pipeline_across_schemes(seed in 0u64..10_000) {
         for scheme in SCHEMES {
             let cfg = ExperimentConfig::smoke(scheme).with_seed(seed);
-            let r = Experiment::from_config(cfg).run().expect("smoke config is valid");
+            let r = Experiment::from_config(cfg.clone()).run().expect("smoke config is valid");
             let (arrived, completed, unfinished, peak) = run_slice_pipeline(&cfg);
             prop_assert_eq!(r.arrived, arrived, "{}", scheme.label());
             prop_assert_eq!(r.completed, completed, "{}", scheme.label());
@@ -59,7 +59,7 @@ proptest! {
             .with_seed(seed)
             .with_stream_stats(true)
             .with_max_requests(120);
-        let a = Experiment::from_config(cfg).run().expect("valid");
+        let a = Experiment::from_config(cfg.clone()).run().expect("valid");
         let b = Experiment::from_config(cfg).run().expect("valid");
         prop_assert_eq!(a.arrived, b.arrived);
         prop_assert_eq!(a.completed, b.completed);
@@ -78,7 +78,7 @@ fn streaming_stats_agree_with_exact_records() {
     // the simulation runs: counts must agree exactly, the Welford mean to
     // float tolerance, and the P² tail to estimator tolerance.
     let base = ExperimentConfig::smoke(Scheme::VMlp).with_seed(77);
-    let exact = Experiment::from_config(base).run().unwrap();
+    let exact = Experiment::from_config(base.clone()).run().unwrap();
     let streamed = Experiment::from_config(base.with_stream_stats(true)).run().unwrap();
 
     assert_eq!(streamed.arrived, exact.arrived);
@@ -107,8 +107,8 @@ fn profile_retention_default_is_byte_identical() {
     // `profile_retention: 0` (the default) must not perturb results, and a
     // bounded window must still produce a sane, clean run.
     let cfg = ExperimentConfig::smoke(Scheme::VMlp).with_seed(13);
-    let a = Experiment::from_config(cfg).run().unwrap();
-    let b = Experiment::from_config(cfg.with_profile_retention(0)).run().unwrap();
+    let a = Experiment::from_config(cfg.clone()).run().unwrap();
+    let b = Experiment::from_config(cfg.clone().with_profile_retention(0)).run().unwrap();
     assert_eq!(a.latency_ms, b.latency_ms);
     assert_eq!(a.completed, b.completed);
 

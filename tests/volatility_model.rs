@@ -98,7 +98,7 @@ fn run_enriches_profiles_with_contended_cases() {
         &mix,
         &mut arr_rng,
     );
-    let mut sched = cfg.scheme.build();
+    let mut sched = default_registry().build(&cfg.scheme, cfg.seed).unwrap();
     let mut source = v_mlp::workload::SliceSource::new(&arrivals);
     let out = v_mlp::engine::sim::simulate(
         &cfg,
