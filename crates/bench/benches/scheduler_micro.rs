@@ -68,13 +68,13 @@ fn bench_ledger(c: &mut Criterion) {
             ledger.reserve(from, from + dur, amt * 0.1);
         }
         let horizon = SimTime::from_micros(span_us + 100_000);
-        g.bench_function(&format!("usage_at_{n}"), |b| {
+        g.bench_function(format!("usage_at_{n}"), |b| {
             b.iter(|| ledger.usage_at(black_box(SimTime::from_micros(span_us / 2))));
         });
-        g.bench_function(&format!("peak_usage_{n}"), |b| {
+        g.bench_function(format!("peak_usage_{n}"), |b| {
             b.iter(|| ledger.peak_usage(black_box(SimTime::ZERO), horizon));
         });
-        g.bench_function(&format!("earliest_fit_{n}"), |b| {
+        g.bench_function(format!("earliest_fit_{n}"), |b| {
             b.iter(|| {
                 ledger.earliest_fit(
                     black_box(SimTime::from_micros(1000)),

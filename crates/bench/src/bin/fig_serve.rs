@@ -1,0 +1,26 @@
+//! Live-serving soak: the wall-clock kernel behind a loopback TCP socket
+//! under open-loop load, invariant auditor on throughout. Prints the
+//! soak summary and merges the point into the repo-root `BENCH_sim.json`
+//! under the `fig_serve` key. Exits non-zero if the auditor fires, the
+//! drain drops in-flight requests, transport errors appear, or the
+//! offered load was not actually served — so CI's serve-smoke job can
+//! gate on all four.
+
+use mlp_bench::fig_serve;
+
+fn main() {
+    let scale = mlp_bench::scale_from_args();
+    let point = fig_serve::run(&scale, 2022);
+    println!("{}", fig_serve::report(&point));
+
+    let value = serde_json::to_value(&point).expect("serve point serializes");
+    mlp_bench::merge_bench_json(vec![("fig_serve".to_string(), value)]);
+
+    let failures = fig_serve::gates(&point);
+    for f in &failures {
+        eprintln!("fig_serve: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -14,13 +14,26 @@
 use mlp_bench::fig_soak;
 
 fn main() {
+    mlp_engine::shutdown::install_signal_handler();
     let scale = mlp_bench::scale_from_args();
     let sweep = mlp_bench::sweep_from_args().unwrap_or_else(fig_soak::default_sweep);
     let points = fig_soak::data_sweep(&scale, 2022, &sweep);
     println!("{}", fig_soak::report(&points, &scale));
 
-    let value = serde_json::to_value(&points).expect("soak points serialize");
-    mlp_bench::merge_bench_json(vec![("fig_soak".to_string(), value)]);
+    // Flush whatever completed — on ctrl-c this is the partial sweep
+    // (the interrupted point was discarded), and the exit code says so.
+    if !points.is_empty() {
+        let value = serde_json::to_value(&points).expect("soak points serialize");
+        mlp_bench::merge_bench_json(vec![("fig_soak".to_string(), value)]);
+    }
+    if mlp_engine::shutdown::requested() {
+        eprintln!(
+            "fig_soak: interrupted — flushed {} of {} sweep points",
+            points.len(),
+            sweep.schemes.len()
+        );
+        std::process::exit(130);
+    }
 
     let target = fig_soak::request_target(&scale) as usize;
     let mut failed = false;

@@ -10,6 +10,7 @@
 use mlp_bench::fig_zoo;
 
 fn main() {
+    mlp_engine::shutdown::install_signal_handler();
     let scale = mlp_bench::scale_from_args();
     let sweep = mlp_bench::sweep_from_args().unwrap_or_else(fig_zoo::default_sweep);
     eprintln!(
@@ -20,8 +21,20 @@ fn main() {
     let points = fig_zoo::data(&scale, 2022, &sweep);
     println!("{}", fig_zoo::report(&points, &scale));
 
-    let value = serde_json::to_value(&points).expect("zoo points serialize");
-    mlp_bench::merge_bench_json(vec![("fig_zoo".to_string(), value)]);
+    // Flush whatever completed — on ctrl-c this is the partial sweep
+    // (the interrupted point was discarded), and the exit code says so.
+    if !points.is_empty() {
+        let value = serde_json::to_value(&points).expect("zoo points serialize");
+        mlp_bench::merge_bench_json(vec![("fig_zoo".to_string(), value)]);
+    }
+    if mlp_engine::shutdown::requested() {
+        eprintln!(
+            "fig_zoo: interrupted — flushed {} of {} sweep points",
+            points.len(),
+            sweep.schemes.len()
+        );
+        std::process::exit(130);
+    }
 
     let mut failed = false;
     for p in &points {

@@ -172,16 +172,30 @@ pub fn data_point(scheme: impl Into<SchemeSpec>, requests: u64, seed: u64) -> So
 }
 
 /// Soaks every swept scheme at a scale.
+///
+/// Honors the process-wide [`mlp_engine::shutdown`] flag between (and
+/// during) sweep points: on ctrl-c the in-progress simulation drains at
+/// its next sampling tick, its truncated point is discarded, and the
+/// completed points are returned so the caller can still flush a partial
+/// `BENCH_sim.json`.
 pub fn data_sweep(scale: &Scale, seed: u64, sweep: &SweepConfig) -> Vec<SoakPoint> {
     let requests = request_target(scale);
-    sweep
-        .schemes
-        .iter()
-        .map(|scheme| {
-            eprintln!("fig_soak: {} × {requests} requests…", scheme.display_name());
-            data_point(scheme.clone(), requests, seed)
-        })
-        .collect()
+    let mut points = Vec::with_capacity(sweep.schemes.len());
+    for scheme in &sweep.schemes {
+        if mlp_engine::shutdown::requested() {
+            break;
+        }
+        eprintln!("fig_soak: {} × {requests} requests…", scheme.display_name());
+        let point = data_point(scheme.clone(), requests, seed);
+        if mlp_engine::shutdown::requested() {
+            // The flag rose while this point ran: the kernel cut it short
+            // at a tick boundary, so its numbers describe a truncated run.
+            eprintln!("fig_soak: {} interrupted — discarding its partial point", point.scheme);
+            break;
+        }
+        points.push(point);
+    }
+    points
 }
 
 /// [`data_sweep`] over the default soak sweep.

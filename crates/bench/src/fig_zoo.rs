@@ -119,15 +119,26 @@ pub fn data_point(scale: &Scale, scheme: &SchemeSpec, seed: u64) -> ZooPoint {
 }
 
 /// Runs the whole zoo.
+///
+/// Honors the process-wide [`mlp_engine::shutdown`] flag: ctrl-c drains
+/// the in-progress run at its next sampling tick, discards that
+/// scheme's truncated point, and returns the completed points so the
+/// caller can still flush a partial `BENCH_sim.json`.
 pub fn data(scale: &Scale, seed: u64, sweep: &SweepConfig) -> Vec<ZooPoint> {
-    sweep
-        .schemes
-        .iter()
-        .map(|scheme| {
-            eprintln!("fig_zoo: {} (steady + storm)…", scheme.display_name());
-            data_point(scale, scheme, seed)
-        })
-        .collect()
+    let mut points = Vec::with_capacity(sweep.schemes.len());
+    for scheme in &sweep.schemes {
+        if mlp_engine::shutdown::requested() {
+            break;
+        }
+        eprintln!("fig_zoo: {} (steady + storm)…", scheme.display_name());
+        let point = data_point(scale, scheme, seed);
+        if mlp_engine::shutdown::requested() {
+            eprintln!("fig_zoo: {} interrupted — discarding its partial point", point.scheme);
+            break;
+        }
+        points.push(point);
+    }
+    points
 }
 
 /// Renders the zoo table.

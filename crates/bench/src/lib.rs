@@ -26,6 +26,7 @@ pub mod fig14_throughput;
 pub mod fig_faults;
 pub mod fig_overload;
 pub mod fig_scale;
+pub mod fig_serve;
 pub mod fig_soak;
 pub mod fig_zoo;
 pub mod loads;

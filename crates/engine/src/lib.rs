@@ -13,6 +13,7 @@
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub mod live;
 pub mod parallel;
 pub mod profiling;
 pub mod registry;
@@ -20,6 +21,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
+pub mod shutdown;
 pub mod sim;
 pub mod sweep;
 pub mod traceio;

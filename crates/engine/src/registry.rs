@@ -330,6 +330,9 @@ impl SchemeSpec {
                 if k.is_empty() {
                     return Err(format!("scheme spec `{spec}` has an empty param key"));
                 }
+                if params.get(k).is_some() {
+                    return Err(format!("scheme spec `{spec}` sets param `{k}` twice"));
+                }
                 params = params.with(k, v);
             }
         }

@@ -30,7 +30,7 @@ fn machine_checks(m: &mlp_cluster::Machine, used: &HashMap<u32, ResourceVector>)
     violations
 }
 
-impl<'c> Sim<'c> {
+impl<'c, D: Driver> Sim<'c, D> {
     /// Cross-checks conservation invariants over the live state: every
     /// `Running` span is backed by a live grant of the right size on an
     /// up machine, per-machine occupancy sums match the machine's own

@@ -1,0 +1,267 @@
+//! The clock abstraction: what "next" means is the only difference
+//! between a simulator and a server.
+//!
+//! The kernel (event application, admission rounds, lifecycle, auditing)
+//! is mode-agnostic: it consumes a stream of [`Step`]s — arrivals and due
+//! events — and schedules future events back through the same interface.
+//! *Where* those steps come from is the [`Driver`]'s business:
+//!
+//! * [`SimDriver`] — the historical virtual clock. Events sit in a
+//!   deterministic priority queue, arrivals are pulled lazily from an
+//!   [`ArrivalSource`] and interleaved by timestamp (the arrival wins
+//!   ties, reproducing the dense engine's ordering exactly), and time
+//!   jumps discontinuously from one timestamp to the next. Fixed-seed
+//!   runs through this driver are byte-identical to the pre-split
+//!   engine: the interleave logic moved here verbatim, and pulling the
+//!   *next* arrival before (rather than after) the kernel processes the
+//!   current one is unobservable because the source owns its own RNG.
+//!
+//! * [`LiveDriver`] — a monotonic wall-clock tick loop. `SimTime` is
+//!   reinterpreted as "microseconds since the server epoch"; events the
+//!   kernel schedules become timer expirations that fire when the wall
+//!   clock catches up, and arrivals are real submissions received over a
+//!   channel from the serve front door. Nothing here is deterministic —
+//!   live mode gates on the invariant auditor instead of byte-identity.
+
+use super::Event;
+use crate::live::Submission;
+use mlp_sim::{EventQueue, SimTime};
+use mlp_workload::{Arrival, ArrivalSource};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One unit of kernel work, as decided by the driver.
+pub(crate) enum Step {
+    /// A request arrival. The second field is the live submission token
+    /// (`None` in sim mode): the kernel maps it to the request id it is
+    /// about to assign so completion outcomes can find their way back to
+    /// the waiting connection.
+    Arrival(Arrival, Option<u64>),
+    /// A scheduled event came due at its fire time.
+    Event(SimTime, Event),
+    /// Live mode only: the poll window elapsed with nothing due. Gives
+    /// the kernel a chance to observe the shutdown flag between waits.
+    Idle,
+    /// The run is over: stream exhausted / horizon passed (sim) or
+    /// shutdown drained (live).
+    Done,
+}
+
+/// The mode boundary: virtual-time simulation vs wall-clock serving.
+pub(crate) trait Driver {
+    /// Queues `ev` to fire at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, ev: Event);
+
+    /// Produces the next unit of work. `next_request_id` is the id the
+    /// kernel will assign to the arrival this call may return (live
+    /// drivers publish it to the response plumbing); `live_requests` is
+    /// the kernel's count of admitted-or-queued work (live drivers use it
+    /// to decide when a drain is complete).
+    fn next_step(&mut self, next_request_id: u64, live_requests: usize) -> Step;
+
+    /// Whether undelivered work remains inside the driver (queued events
+    /// beyond the one being processed, or a pending arrival). Feeds the
+    /// kernel's decision to keep the sampling tick alive.
+    fn has_pending(&self) -> bool;
+
+    /// True when the driver runs its own shutdown/drain protocol (live
+    /// mode). When false, the kernel honors the process-wide
+    /// [`shutdown`](crate::shutdown) flag at sampling-tick boundaries by
+    /// ending the run itself.
+    fn handles_shutdown(&self) -> bool {
+        false
+    }
+}
+
+/// The virtual clock: today's priority-queue event loop, byte-identical
+/// at fixed seed to the pre-split engine.
+pub(crate) struct SimDriver<'s> {
+    queue: EventQueue<Event>,
+    source: &'s mut dyn ArrivalSource,
+    /// The next arrival pulled from the source but not yet delivered
+    /// (lookahead for timestamp interleaving with queued events).
+    pending: Option<Arrival>,
+    /// Hard wall on simulated time (`horizon × drain_factor`).
+    hard_cap: SimTime,
+}
+
+impl<'s> SimDriver<'s> {
+    pub(crate) fn new(
+        source: &'s mut dyn ArrivalSource,
+        queue_capacity: usize,
+        hard_cap: SimTime,
+    ) -> Self {
+        let mut d = SimDriver {
+            queue: EventQueue::with_capacity(queue_capacity),
+            source,
+            pending: None,
+            hard_cap,
+        };
+        d.pending = d.source.next_arrival();
+        d
+    }
+}
+
+impl Driver for SimDriver<'_> {
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    fn next_step(&mut self, _next_request_id: u64, _live_requests: usize) -> Step {
+        // Interleave the pending arrival with queued events by timestamp;
+        // the arrival wins ties (the historical engine scheduled every
+        // arrival up front with the lowest sequence numbers, so at a
+        // timestamp tie the arrival always popped first).
+        let take_arrival = match (&self.pending, self.queue.peek_time()) {
+            (Some(a), Some(t)) => a.at <= t,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_arrival {
+            let a = self.pending.take().expect("checked above");
+            if a.at > self.hard_cap {
+                return Step::Done;
+            }
+            self.pending = self.source.next_arrival();
+            return Step::Arrival(a, None);
+        }
+        let Some((now, ev)) = self.queue.pop() else { return Step::Done };
+        if now > self.hard_cap {
+            return Step::Done;
+        }
+        Step::Event(now, ev)
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.queue.is_empty() || self.pending.is_some()
+    }
+}
+
+/// The wall clock: timer expirations and live submissions.
+///
+/// `SimTime` is microseconds since `epoch`. Scheduled events fire when the
+/// monotonic clock passes their timestamp, and submissions become arrivals
+/// stamped with the receive instant. Every delivered timestamp is clamped
+/// to the high-water mark of times already delivered: when the kernel
+/// falls behind the wall clock, a fresh arrival can carry a later stamp
+/// than a queued-but-overdue timer, and delivering that timer at its
+/// original (now earlier) time would run the kernel's clock backwards.
+/// The scheduler's incremental structures (delay-slot index, reorder
+/// queue, banded-Δt estimator) were built under simulation's monotone
+/// clock and keep that guarantee here; the bump also keeps lateness
+/// accounting honest — an event delivered late *is* late, and the
+/// deviation it shows the kernel includes the kernel's own lag.
+pub(crate) struct LiveDriver {
+    queue: EventQueue<Event>,
+    submissions: Receiver<Submission>,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+    /// Set once the shutdown flag is first observed: the wall-clock
+    /// instant after which the drain gives up on stragglers.
+    drain_deadline: Option<Instant>,
+    drain_timeout: Duration,
+    /// Longest single wait on the submission channel (bounds shutdown
+    /// reaction latency when the queue is empty and traffic is idle).
+    poll: Duration,
+    /// The channel hung up (every front-door sender dropped).
+    disconnected: bool,
+    /// Latest timestamp delivered to the kernel; every subsequent step is
+    /// clamped to at least this, making kernel time monotone.
+    watermark: SimTime,
+}
+
+impl LiveDriver {
+    pub(crate) fn new(
+        submissions: Receiver<Submission>,
+        shutdown: Arc<AtomicBool>,
+        drain_timeout: Duration,
+        poll: Duration,
+    ) -> Self {
+        LiveDriver {
+            queue: EventQueue::new(),
+            submissions,
+            epoch: Instant::now(),
+            shutdown,
+            drain_deadline: None,
+            drain_timeout,
+            poll: poll.max(Duration::from_millis(1)),
+            disconnected: false,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Wall clock as kernel time: µs since the server epoch.
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Clamps a delivery timestamp to the monotone watermark and records
+    /// it as the new high-water mark.
+    fn deliver(&mut self, at: SimTime) -> SimTime {
+        let at = at.max(self.watermark);
+        self.watermark = at;
+        at
+    }
+}
+
+impl Driver for LiveDriver {
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        // The kernel schedules relative to event timestamps, which can
+        // trail the wall clock under load; clamp into the queue's present
+        // so a late follow-up never trips the no-time-travel assertion.
+        self.queue.schedule(at.max(self.queue.now()), ev);
+    }
+
+    fn next_step(&mut self, _next_request_id: u64, live_requests: usize) -> Step {
+        if self.shutdown.load(Ordering::Relaxed) && self.drain_deadline.is_none() {
+            self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+        }
+        if let Some(deadline) = self.drain_deadline {
+            // Drained (or gave up): queued submissions that raced the flag
+            // were still admitted; once nothing is in flight, stop.
+            if live_requests == 0 || Instant::now() >= deadline {
+                return Step::Done;
+            }
+        } else if self.disconnected && live_requests == 0 {
+            return Step::Done;
+        }
+
+        // Fire anything already due.
+        if let Some(t) = self.queue.peek_time() {
+            if t <= self.now() {
+                let (at, ev) = self.queue.pop().expect("peeked");
+                return Step::Event(self.deliver(at), ev);
+            }
+        }
+        // Nothing due: wait for a submission until the next timer (or the
+        // poll cap, whichever is sooner).
+        let wait = match self.queue.peek_time() {
+            Some(t) => Duration::from_micros(t.0.saturating_sub(self.now().0)).min(self.poll),
+            None => self.poll,
+        };
+        match self.submissions.recv_timeout(wait) {
+            Ok(sub) => {
+                let at = self.deliver(self.now());
+                Step::Arrival(Arrival { at, request_type: sub.rtype }, Some(sub.token))
+            }
+            Err(RecvTimeoutError::Timeout) => Step::Idle,
+            Err(RecvTimeoutError::Disconnected) => {
+                self.disconnected = true;
+                Step::Idle
+            }
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        // A live server always has "more work" until it is shut down and
+        // drained: the sampling tick (auditor, telemetry, admission
+        // rounds) must keep running while the front door is open.
+        self.drain_deadline.is_none() || !self.queue.is_empty()
+    }
+
+    fn handles_shutdown(&self) -> bool {
+        true
+    }
+}

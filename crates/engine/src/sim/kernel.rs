@@ -14,88 +14,106 @@
 use super::*;
 use mlp_trace::metrics::names;
 use mlp_trace::{Decision, DecisionKind};
+use std::ops::ControlFlow;
 
-impl<'c> Sim<'c> {
-    pub(super) fn run(
-        &mut self,
-        source: &mut dyn ArrivalSource,
-        scheduler: &mut dyn Scheduler,
-        rng: &mut SimRng,
-    ) -> SimOutput {
+impl<'c, D: Driver> Sim<'c, D> {
+    pub(super) fn run(&mut self, scheduler: &mut dyn Scheduler, rng: &mut SimRng) -> SimOutput {
         if self.sample_period > SimDuration::ZERO {
-            self.queue.schedule(SimTime::ZERO + self.sample_period, Event::Sample);
+            self.driver.schedule(SimTime::ZERO + self.sample_period, Event::Sample);
         }
         for o in self.faults.outages().to_vec() {
-            self.queue.schedule(o.down_at, Event::MachineDown(o.machine));
-            self.queue.schedule(o.up_at, Event::MachineUp(o.machine));
+            self.driver.schedule(o.down_at, Event::MachineDown(o.machine));
+            self.driver.schedule(o.up_at, Event::MachineUp(o.machine));
         }
-        self.pending_arrival = source.next_arrival();
 
         loop {
             self.drain_reclaim();
-            // Interleave the pending arrival with queued events by
-            // timestamp; the arrival wins ties (see module docs).
-            let take_arrival = match (&self.pending_arrival, self.queue.peek_time()) {
-                (Some(a), Some(t)) => a.at <= t,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            if take_arrival {
-                let a = self.pending_arrival.take().expect("checked above");
-                if a.at > self.hard_cap {
-                    break;
-                }
-                self.arrival(a, scheduler);
-                self.pending_arrival = source.next_arrival();
-                continue;
-            }
-            let Some((now, ev)) = self.queue.pop() else { break };
-            if now > self.hard_cap {
-                break;
-            }
-            match ev {
-                Event::TryInvoke { request, node, gen } => {
-                    self.try_invoke(now, request, node, gen, scheduler, rng);
-                }
-                Event::PlannedStart { request, node } => {
-                    self.check_deviation(now, request, node, scheduler, rng);
-                }
-                Event::Complete { request, node, gen } => {
-                    self.complete(now, request, node, gen, scheduler, rng);
-                }
-                Event::NodeFailed { request, node, gen } => {
-                    self.node_failed(now, request, node, gen, scheduler, rng);
-                }
-                Event::MachineDown(id) => {
-                    self.machine_down(now, id, scheduler, rng);
-                }
-                Event::MachineUp(id) => {
-                    self.cluster.machine_mut(id).recover();
-                    self.audit.record(
-                        Decision::new(now, DecisionKind::MachineUp, "injected-recovery")
-                            .machine(id),
-                    );
-                    self.maybe_round(now, scheduler);
-                }
-                Event::Sample => {
-                    self.on_sample(now, scheduler.waiting());
-                    if self.auditor {
-                        self.audit_tick(now);
+            let live = self.table.live() + self.pending_info.len();
+            match self.driver.next_step(self.next_request_id, live) {
+                Step::Arrival(a, token) => {
+                    if let Some(token) = token {
+                        // The arrival is about to be assigned this id (both
+                        // the shed and the admit path consume exactly one).
+                        self.live_tokens.insert(self.next_request_id, token);
                     }
-                    self.run_round(now, scheduler);
-                    let more_work = scheduler.waiting() > 0
-                        || self.table.live() > 0
-                        || !self.queue.is_empty()
-                        || self.pending_arrival.is_some();
-                    let next = now + self.sample_period;
-                    if more_work && next <= self.hard_cap {
-                        self.queue.schedule(next, Event::Sample);
+                    self.arrival(a, scheduler);
+                }
+                Step::Event(now, ev) => {
+                    if self.apply_event(now, ev, scheduler, rng).is_break() {
+                        break;
                     }
                 }
+                Step::Idle => {}
+                Step::Done => break,
             }
         }
 
         self.epilogue(scheduler)
+    }
+
+    fn apply_event(
+        &mut self,
+        now: SimTime,
+        ev: Event,
+        scheduler: &mut dyn Scheduler,
+        rng: &mut SimRng,
+    ) -> ControlFlow<()> {
+        match ev {
+            Event::TryInvoke { request, node, gen } => {
+                self.try_invoke(now, request, node, gen, scheduler, rng);
+            }
+            Event::PlannedStart { request, node } => {
+                self.check_deviation(now, request, node, scheduler, rng);
+            }
+            Event::Complete { request, node, gen } => {
+                self.complete(now, request, node, gen, scheduler, rng);
+            }
+            Event::NodeFailed { request, node, gen } => {
+                self.node_failed(now, request, node, gen, scheduler, rng);
+            }
+            Event::MachineDown(id) => {
+                self.machine_down(now, id, scheduler, rng);
+            }
+            Event::MachineUp(id) => {
+                self.cluster.machine_mut(id).recover();
+                self.audit.record(
+                    Decision::new(now, DecisionKind::MachineUp, "injected-recovery").machine(id),
+                );
+                self.maybe_round(now, scheduler);
+            }
+            Event::Sample => {
+                // Graceful shutdown for long sim-mode runs: the sampling
+                // tick is the natural boundary where all per-turn state is
+                // settled, so a ctrl-c ends the run here and the epilogue
+                // still produces a consistent (partial) output. Live mode
+                // opts out — its driver runs the drain protocol instead.
+                if crate::shutdown::requested() && !self.driver.handles_shutdown() {
+                    return ControlFlow::Break(());
+                }
+                self.on_sample(now, scheduler.waiting());
+                if self.auditor {
+                    self.audit_tick(now);
+                }
+                self.run_round(now, scheduler);
+                let more_work =
+                    scheduler.waiting() > 0 || self.table.live() > 0 || self.driver.has_pending();
+                let next = now + self.sample_period;
+                if more_work && next <= self.hard_cap {
+                    self.driver.schedule(next, Event::Sample);
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Routes a terminal outcome for a token-carrying (live) request to
+    /// the completion sink. No-op in sim mode (`live_tokens` stays empty).
+    pub(super) fn live_notify(&mut self, request: u64, kind: crate::live::OutcomeKind) {
+        if let Some(token) = self.live_tokens.remove(&request) {
+            if let Some(n) = self.notify.as_mut() {
+                n(crate::live::LiveOutcome { token, request, kind });
+            }
+        }
     }
 
     /// One arrival: assign the next request id, register its metadata, and
@@ -145,6 +163,7 @@ impl<'c> Sim<'c> {
                         .budget_ms(ideal)
                         .value(depth as f64),
                 );
+                self.live_notify(id.0, crate::live::OutcomeKind::Shed { reason });
                 return;
             }
         }
@@ -177,6 +196,19 @@ impl<'c> Sim<'c> {
 
     fn epilogue(&mut self, scheduler: &mut dyn Scheduler) -> SimOutput {
         use mlp_trace::metrics::names;
+        // Live requests still holding a token were neither completed nor
+        // shed — the run ended around them. Tell their connections.
+        if let Some(n) = self.notify.as_mut().filter(|_| !self.live_tokens.is_empty()) {
+            let mut leftover: Vec<(u64, u64)> = self.live_tokens.drain().collect();
+            leftover.sort_unstable();
+            for (request, token) in leftover {
+                n(crate::live::LiveOutcome {
+                    token,
+                    request,
+                    kind: crate::live::OutcomeKind::Dropped,
+                });
+            }
+        }
         if self.mttr_count > 0 {
             let mean_ms = self.mttr_sum_us as f64 / self.mttr_count as f64 / 1000.0;
             self.metrics.set_gauge(names::MTTR_MS, mean_ms);
@@ -299,7 +331,7 @@ impl<'c> Sim<'c> {
             }
         }
         for (at, ev) in schedules {
-            self.queue.schedule(at, ev);
+            self.driver.schedule(at, ev);
         }
         self.pending_ready.extend(roots.into_iter().map(|i| (RequestId(id), i, now)));
     }

@@ -15,7 +15,7 @@ use mlp_trace::{
     metrics::names, Decision, DecisionKind, ExecutionCase, LatencyBreakdown, RequestRecord, Span,
 };
 
-impl<'c> Sim<'c> {
+impl<'c, D: Driver> Sim<'c, D> {
     pub(super) fn try_invoke(
         &mut self,
         now: SimTime,
@@ -37,7 +37,7 @@ impl<'c> Sim<'c> {
         };
         if now < at {
             // Promotion moved the planned start ahead of readiness.
-            self.queue.schedule(at, Event::TryInvoke { request, node, gen });
+            self.driver.schedule(at, Event::TryInvoke { request, node, gen });
             return;
         }
 
@@ -49,7 +49,7 @@ impl<'c> Sim<'c> {
                 Some(up) => up + SimDuration(1), // strictly after MachineUp
                 None => now + RETRY_BACKOFF,
             };
-            self.queue.schedule(at, Event::TryInvoke { request, node, gen });
+            self.driver.schedule(at, Event::TryInvoke { request, node, gen });
             return;
         }
         let attempt = req.attempts[node];
@@ -84,9 +84,9 @@ impl<'c> Sim<'c> {
         // duration, then dies instead of completing (same RNG draws either
         // way, so disabled faults stay byte-identical).
         if fails {
-            self.queue.schedule(end, Event::NodeFailed { request, node, gen });
+            self.driver.schedule(end, Event::NodeFailed { request, node, gen });
         } else {
-            self.queue.schedule(end, Event::Complete { request, node, gen });
+            self.driver.schedule(end, Event::Complete { request, node, gen });
         }
         if let Some(t0) = self.orphan_since.remove(&(request, node)) {
             self.mttr_sum_us += now.since(t0).as_micros();
@@ -165,11 +165,11 @@ impl<'c> Sim<'c> {
                 let new_start = new_start.max(now);
                 req.plan.nodes[node].planned_start = new_start;
                 // A deviation check still applies at the new start.
-                self.queue.schedule(new_start, Event::PlannedStart { request: id, node });
+                self.driver.schedule(new_start, Event::PlannedStart { request: id, node });
                 if let NState::Ready { at } = req.state[node] {
                     req.gens[node] += 1;
                     let gen = req.gens[node];
-                    self.queue
+                    self.driver
                         .schedule(new_start.max(at), Event::TryInvoke { request: id, node, gen });
                 }
             }
@@ -226,7 +226,7 @@ impl<'c> Sim<'c> {
                 let gen = req.gens[node];
                 // The failure verdict for this attempt was drawn at invoke
                 // time; a stretched span keeps its Complete outcome.
-                self.queue.schedule(new_end, Event::Complete { request: id, node, gen });
+                self.driver.schedule(new_end, Event::Complete { request: id, node, gen });
             }
             HealingAction::Retry { request, node, backoff } => {
                 let id = request.0;
@@ -255,7 +255,7 @@ impl<'c> Sim<'c> {
                 req.gens[node] += 1;
                 let gen = req.gens[node];
                 self.metrics.inc(names::RETRIES);
-                self.queue.schedule(now + backoff, Event::TryInvoke { request: id, node, gen });
+                self.driver.schedule(now + backoff, Event::TryInvoke { request: id, node, gen });
             }
             HealingAction::Replan { request, node, machine, new_start } => {
                 let id = request.0;
@@ -269,11 +269,11 @@ impl<'c> Sim<'c> {
                 let new_start = new_start.max(now);
                 req.plan.nodes[node].machine = machine;
                 req.plan.nodes[node].planned_start = new_start;
-                self.queue.schedule(new_start, Event::PlannedStart { request: id, node });
+                self.driver.schedule(new_start, Event::PlannedStart { request: id, node });
                 if let NState::Ready { at } = req.state[node] {
                     req.gens[node] += 1;
                     let gen = req.gens[node];
-                    self.queue
+                    self.driver
                         .schedule(new_start.max(at), Event::TryInvoke { request: id, node, gen });
                 }
             }
@@ -312,6 +312,7 @@ impl<'c> Sim<'c> {
         self.abandoned += 1;
         self.reclaim.push(id);
         self.metrics.inc(names::ABANDONS);
+        self.live_notify(id, crate::live::OutcomeKind::Abandoned);
         let mut ctx = sched_ctx!(self, now);
         scheduler.on_request_abandoned(rid, &mut ctx);
     }
@@ -423,7 +424,7 @@ impl<'c> Sim<'c> {
                     .node(node)
                     .value(attempts as f64),
             );
-            self.queue.schedule(now + backoff, Event::TryInvoke { request, node, gen });
+            self.driver.schedule(now + backoff, Event::TryInvoke { request, node, gen });
         }
     }
 
@@ -476,7 +477,7 @@ impl<'c> Sim<'c> {
                 None => now + RETRY_BACKOFF,
             };
             let gen = self.table.get(rid).expect("orphan entry lives").gens[node];
-            self.queue.schedule(at, Event::TryInvoke { request: rid, node, gen });
+            self.driver.schedule(at, Event::TryInvoke { request: rid, node, gen });
         }
 
         let orphan_ids: Vec<(RequestId, usize)> =
@@ -611,7 +612,7 @@ impl<'c> Sim<'c> {
                         req.state[c] = NState::Ready { at };
                         let when = at.max(req.plan.nodes[c].planned_start).max(now);
                         let gen = req.gens[c];
-                        self.queue.schedule(when, Event::TryInvoke { request, node: c, gen });
+                        self.driver.schedule(when, Event::TryInvoke { request, node: c, gen });
                         newly_ready.push((rid, c, at));
                     }
                 }
@@ -669,6 +670,10 @@ impl<'c> Sim<'c> {
             self.collector.record_request(rec);
             self.completed_reqs += 1;
             self.reclaim.push(request);
+            self.live_notify(
+                request,
+                crate::live::OutcomeKind::Completed { latency_us: now.since(arrival).as_micros() },
+            );
             {
                 let mut ctx = sched_ctx!(self, now);
                 scheduler.on_request_complete(rid, &mut ctx);

@@ -56,11 +56,17 @@ use mlp_faults::FaultSchedule;
 use mlp_model::{RequestCatalog, RequestTypeId, ResourceVector};
 use mlp_net::NetworkModel;
 use mlp_sched::{OverloadRuntime, RequestInfo, RequestPlan, Scheduler, SchedulerCtx};
-use mlp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use mlp_sim::{SimDuration, SimRng, SimTime};
 use mlp_stats::TimeSeries;
 use mlp_trace::{AuditLog, MetricsRegistry, ProfileStore, RequestId, TraceCollector};
 use mlp_workload::{Arrival, ArrivalSource};
 use std::collections::HashMap;
+
+pub(crate) use driver::{Driver, LiveDriver, SimDriver, Step};
+
+/// Completion sink for live mode: invoked by the kernel whenever a
+/// token-carrying request reaches a terminal state.
+pub(crate) type LiveNotify = Box<dyn FnMut(crate::live::LiveOutcome) + Send>;
 
 /// Minimum spacing between scheduling rounds once the waiting queue grows
 /// large (amortizes queue sorting under overload).
@@ -82,7 +88,7 @@ const ENGINE_MAX_ATTEMPTS: u32 = 10;
 const RETRY_BACKOFF: SimDuration = SimDuration(10_000); // 10 ms
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     TryInvoke {
         request: u64,
         node: usize,
@@ -257,7 +263,59 @@ pub fn simulate_with(
     // capped — an open-loop source may promise millions of arrivals while
     // the queue only ever holds the in-flight window.
     let cap = source.size_hint().map_or(4096, |n| (n * 4 + 16).min(1 << 20));
-    let mut sim = Sim {
+    let hard_cap = SimTime::from_secs_f64(cfg.horizon_s * cfg.drain_factor.max(1.0));
+    let driver = SimDriver::new(source, cap, hard_cap);
+    let mut sim = build_sim(cfg, catalog, profiles, collector, driver, hard_cap);
+    sim.run(scheduler, rng)
+}
+
+/// [`simulate`] against the wall clock: the kernel runs on a
+/// [`LiveDriver`], pulling real submissions from `submissions` and firing
+/// scheduled events as timer expirations. Terminal outcomes for
+/// token-carrying requests are pushed through `notify`. Blocks the calling
+/// thread until `shutdown` is observed and the drain completes (or every
+/// submission sender hangs up with nothing in flight).
+///
+/// There is no hard time cap in live mode — the server runs until told to
+/// stop — and the collector always streams, since arrivals are unbounded.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_live(
+    cfg: &ExperimentConfig,
+    catalog: &RequestCatalog,
+    profiles: ProfileStore,
+    scheduler: &mut dyn Scheduler,
+    rng: &mut SimRng,
+    submissions: std::sync::mpsc::Receiver<crate::live::Submission>,
+    shutdown: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    opts: &crate::live::LiveOptions,
+    notify: LiveNotify,
+) -> SimOutput {
+    let collector = TraceCollector::streaming(SimTime::from_secs_f64(cfg.horizon_s));
+    let driver = LiveDriver::new(submissions, shutdown, opts.drain_timeout, opts.poll);
+    let hard_cap = SimTime(u64::MAX >> 1);
+    let mut sim = build_sim(cfg, catalog, profiles, collector, driver, hard_cap);
+    sim.notify = Some(notify);
+    // Anchor decision timestamps (µs since the epoch the driver just set)
+    // to the wall clock, so live audit trails line up with server logs.
+    let unix_us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    sim.audit = std::mem::take(&mut sim.audit).with_epoch(unix_us);
+    sim.run(scheduler, rng)
+}
+
+/// Shared construction: everything about a run except where its clock
+/// comes from.
+fn build_sim<'c, D: Driver>(
+    cfg: &ExperimentConfig,
+    catalog: &'c RequestCatalog,
+    profiles: ProfileStore,
+    collector: TraceCollector,
+    driver: D,
+    hard_cap: SimTime,
+) -> Sim<'c, D> {
+    Sim {
         cluster: cfg.build_cluster(),
         pool: ShardPool::new(cfg.workers),
         catalog,
@@ -266,10 +324,9 @@ pub fn simulate_with(
         metrics: MetricsRegistry::new(),
         collector,
         utilization: TimeSeries::new(cfg.sample_period_s),
-        queue: EventQueue::with_capacity(cap),
+        driver,
         table: table::RequestTable::new(),
         pending_info: HashMap::new(),
-        pending_arrival: None,
         next_request_id: 0,
         arrived: 0,
         completed_reqs: 0,
@@ -277,7 +334,7 @@ pub fn simulate_with(
         last_round: SimTime::ZERO,
         round_backoff: ROUND_THROTTLE,
         horizon: SimTime::from_secs_f64(cfg.horizon_s),
-        hard_cap: SimTime::from_secs_f64(cfg.horizon_s * cfg.drain_factor.max(1.0)),
+        hard_cap,
         sample_period: SimDuration::from_secs_f64(cfg.sample_period_s),
         ledger_retention: SimDuration::from_secs_f64(cfg.ledger_retention_s),
         pending_ready: Vec::new(),
@@ -298,12 +355,13 @@ pub fn simulate_with(
             .then(|| OverloadRuntime::new(cfg.overload, SimRng::new(cfg.seed).fork(3))),
         shed_requests: 0,
         breaker_log_cursor: 0,
+        live_tokens: HashMap::new(),
+        notify: None,
         cfg: cfg.clone(),
-    };
-    sim.run(source, scheduler, rng)
+    }
 }
 
-struct Sim<'c> {
+struct Sim<'c, D: Driver> {
     cluster: Cluster,
     /// Worker pool for per-tick shard work (admission, telemetry,
     /// auditing). One worker (the default) executes inline.
@@ -314,16 +372,15 @@ struct Sim<'c> {
     metrics: MetricsRegistry,
     collector: TraceCollector,
     utilization: TimeSeries,
-    queue: EventQueue<Event>,
+    /// The clock: owns the event queue and the arrival stream. Generic
+    /// (not `dyn`) so the sim-mode hot loop keeps its inlining.
+    driver: D,
     /// Live (in-flight) requests, keyed by raw request id.
     table: table::RequestTable,
     /// Arrival metadata for requests the scheduler has seen but not yet
     /// admitted; moved into the table entry at admission. Bounded by the
     /// scheduler's waiting queue, which v-MLP never sheds.
     pending_info: HashMap<u64, RequestInfo>,
-    /// The next arrival pulled from the source but not yet processed
-    /// (lookahead for timestamp interleaving with queued events).
-    pending_arrival: Option<Arrival>,
     /// Monotonic request-id allocator (ids are assigned in pull order, so
     /// a [`SliceSource`](mlp_workload::SliceSource) reproduces the
     /// historical arrival-index ids exactly).
@@ -373,6 +430,13 @@ struct Sim<'c> {
     /// How many breaker transitions have already been mirrored into the
     /// decision-audit trail (the telemetry tick drains the rest).
     breaker_log_cursor: usize,
+    /// Live mode: submission token per raw request id, registered when the
+    /// driver delivers a token-carrying arrival and consumed by
+    /// [`Sim::live_notify`] at the request's terminal state. Always empty
+    /// in sim mode.
+    live_tokens: HashMap<u64, u64>,
+    /// Live mode: terminal-outcome sink (`None` in sim mode).
+    notify: Option<LiveNotify>,
     /// The run's config, kept for the repro dump.
     cfg: ExperimentConfig,
 }
@@ -409,6 +473,7 @@ macro_rules! sched_ctx {
 }
 
 mod auditing;
+mod driver;
 mod kernel;
 mod lifecycle;
 mod table;

@@ -7,7 +7,7 @@ use mlp_sched::pressure_signal;
 use mlp_trace::metrics::names;
 use mlp_trace::{Decision, DecisionKind};
 
-impl<'c> Sim<'c> {
+impl<'c, D: Driver> Sim<'c, D> {
     /// One `Event::Sample` tick's telemetry work. Ordering matters for
     /// byte-identity with the historical engine: utilization first, then
     /// ledger pruning, then gauge publication (gauges never feed back into

@@ -1,0 +1,172 @@
+//! `loadgen` — open-loop load generator for a live `vmlp serve` instance.
+//!
+//! ```sh
+//! loadgen --addr=127.0.0.1:7411 --pattern=l2 --rate=1200 --duration=60
+//! loadgen --addr=127.0.0.1:7411 --pattern=const --rate=2000 --duration=10 \
+//!         --sine-period=30 --sine-amplitude=0.3 --connections=16 --json
+//! ```
+
+use mlp_serve::loadgen::{run, LoadgenConfig};
+use mlp_workload::{RateSchedule, WorkloadPattern};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const HELP: &str = "\
+loadgen — replay a workload pattern against a live vmlp server
+
+USAGE:
+    loadgen [FLAGS]
+
+FLAGS:
+    --addr=HOST:PORT      server address        (default 127.0.0.1:7411)
+    --pattern=NAME        l1 | l2 | l3 | const  (default const)
+    --rate=R              peak req/s            (default 1000)
+    --duration=S          run length, seconds   (default 10)
+    --connections=N       connection threads    (default 8)
+    --seed=N              RNG seed              (default 2022)
+    --timeout=S           per-request deadline  (default 30)
+    --sine-period=S       overlay a diurnal sinusoid with this period
+    --sine-amplitude=A    sinusoid swing in (0,1)   (default 0.3 when
+                          --sine-period is given)
+    --json                print the report as one JSON line (for scripts)
+    --help                this text
+
+EXIT CODES:
+    0  success (server answered; report printed)
+    1  run finished but every request errored (server unreachable)
+    2  usage error
+";
+
+const USAGE_EXIT: u8 = 2;
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7411");
+    let mut pattern = WorkloadPattern::Constant;
+    let mut rate = 1000.0f64;
+    let mut duration_s = 10.0f64;
+    let mut connections = 8usize;
+    let mut seed = 2022u64;
+    let mut timeout_s = 30.0f64;
+    let mut sine_period: Option<f64> = None;
+    let mut sine_amplitude = 0.3f64;
+    let mut json = false;
+
+    for arg in std::env::args().skip(1) {
+        let bad = |msg: &str| {
+            eprintln!("error: {msg}\n\n{HELP}");
+            ExitCode::from(USAGE_EXIT)
+        };
+        if arg == "--help" || arg == "-h" {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        if arg == "--json" {
+            json = true;
+            continue;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            return bad(&format!("unrecognized argument '{arg}'"));
+        };
+        match key {
+            "--addr" => addr = value.to_string(),
+            "--pattern" => match value.to_ascii_lowercase().as_str() {
+                "l1" => pattern = WorkloadPattern::L1Pulse,
+                "l2" => pattern = WorkloadPattern::L2Fluctuating,
+                "l3" => pattern = WorkloadPattern::L3PeriodicWide,
+                "const" | "constant" => pattern = WorkloadPattern::Constant,
+                _ => return bad(&format!("unknown pattern '{value}'")),
+            },
+            "--rate" => match value.parse() {
+                Ok(r) if r > 0.0 => rate = r,
+                _ => return bad("rate must be a positive number"),
+            },
+            "--duration" => match value.parse() {
+                Ok(d) if d > 0.0 => duration_s = d,
+                _ => return bad("duration must be positive seconds"),
+            },
+            "--connections" => match value.parse() {
+                Ok(n) if n > 0 => connections = n,
+                _ => return bad("connections must be a positive integer"),
+            },
+            "--seed" => match value.parse() {
+                Ok(s) => seed = s,
+                Err(_) => return bad("seed must be an integer"),
+            },
+            "--timeout" => match value.parse() {
+                Ok(t) if t > 0.0 => timeout_s = t,
+                _ => return bad("timeout must be positive seconds"),
+            },
+            "--sine-period" => match value.parse() {
+                Ok(p) if p > 0.0 => sine_period = Some(p),
+                _ => return bad("sine-period must be positive seconds"),
+            },
+            "--sine-amplitude" => match value.parse() {
+                Ok(a) if a > 0.0 && a < 1.0 => sine_amplitude = a,
+                _ => return bad("sine-amplitude must be in (0, 1)"),
+            },
+            _ => return bad(&format!("unknown flag '{key}'")),
+        }
+    }
+
+    let schedule = match sine_period {
+        Some(period) => RateSchedule::diurnal_sine(pattern, rate, period, sine_amplitude),
+        None => RateSchedule::steady(pattern, rate),
+    };
+    let schedule = match schedule {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid schedule: {e}\n\n{HELP}");
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
+
+    let cfg = LoadgenConfig {
+        addr,
+        schedule,
+        duration: Duration::from_secs_f64(duration_s),
+        connections,
+        seed,
+        timeout: Duration::from_secs_f64(timeout_s),
+    };
+    eprintln!(
+        "offering {} @ {} req/s peak to {} for {}s over {} connection{} …",
+        pattern.label(),
+        rate,
+        cfg.addr,
+        duration_s,
+        connections,
+        if connections == 1 { "" } else { "s" },
+    );
+    let report = run(&cfg);
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("sent / completed:      {} / {}", report.sent, report.completed);
+        println!("achieved throughput:   {:.1} req/s", report.achieved_rps());
+        println!(
+            "latency p50/p95/p99:   {} / {} / {} us",
+            report.percentile_us(50.0),
+            report.percentile_us(95.0),
+            report.percentile_us(99.0)
+        );
+        println!("mean latency:          {:.1} us", report.mean_latency_us());
+        println!("shed/busy/draining:    {} / {} / {}", report.shed, report.busy, report.draining);
+        println!(
+            "timeouts/dropped/errors: {} / {} / {}",
+            report.timeouts, report.dropped, report.errors
+        );
+        if report.late_arrivals > 0 {
+            println!(
+                "late arrivals:         {} (add --connections to keep the offered process open-loop)",
+                report.late_arrivals
+            );
+        }
+    }
+
+    if report.sent > 0 && report.errors >= report.sent {
+        eprintln!("error: no request got a non-error reply — is the server up at that address?");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -179,12 +179,18 @@ struct Ring {
 #[derive(Debug, Clone, Default)]
 pub struct AuditLog {
     inner: Option<Arc<Mutex<Ring>>>,
+    /// Wall-clock anchor for live mode: the UNIX timestamp (µs) of run
+    /// start. Decision times are always µs-since-run-start; with the
+    /// anchor set they map to absolute wall-clock instants
+    /// (`epoch + d.at`). `None` in sim mode, where "time zero" is not a
+    /// real instant — and the JSONL output stays byte-identical.
+    epoch_unix_us: Option<u64>,
 }
 
 impl AuditLog {
     /// A log that records nothing (the default).
     pub fn disabled() -> Self {
-        AuditLog { inner: None }
+        AuditLog { inner: None, epoch_unix_us: None }
     }
 
     /// An enabled log with the default ring capacity.
@@ -201,7 +207,20 @@ impl AuditLog {
                 cap,
                 dropped: 0,
             }))),
+            epoch_unix_us: None,
         }
+    }
+
+    /// Anchors decision times to the wall clock (live mode): `unix_us` is
+    /// the UNIX timestamp, in µs, of the run's time zero.
+    pub fn with_epoch(mut self, unix_us: u64) -> Self {
+        self.epoch_unix_us = Some(unix_us);
+        self
+    }
+
+    /// The wall-clock anchor, when one was set (live mode).
+    pub fn epoch_unix_us(&self) -> Option<u64> {
+        self.epoch_unix_us
     }
 
     /// Whether decisions are being retained. Emission sites can use this
@@ -253,8 +272,13 @@ impl AuditLog {
     }
 
     /// Renders the retained decisions as JSONL (one JSON object per line).
+    /// A live-mode log leads with one header object carrying the
+    /// wall-clock epoch; sim-mode output is unchanged byte for byte.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        if let Some(epoch) = self.epoch_unix_us {
+            out.push_str(&format!("{{\"epoch_unix_us\":{epoch}}}\n"));
+        }
         for d in self.decisions() {
             out.push_str(&serde_json::to_string(&d).expect("decisions serialize"));
             out.push('\n');

@@ -28,5 +28,5 @@ pub use arrivals::{
 };
 pub use error::WorkloadError;
 pub use patterns::WorkloadPattern;
-pub use schedule::{RateSchedule, RateSegment};
+pub use schedule::{RateSchedule, RateSegment, Sinusoid};
 pub use source::{collect_source, ArrivalSource, OpenLoopSource, SliceSource, ThinnedSource};

@@ -50,13 +50,36 @@ impl RateSegment {
     }
 }
 
+/// A smooth day/night swing: the multiplier oscillates sinusoidally in
+/// `[1 − amplitude, 1 + amplitude]` with the given period, starting at 1×
+/// and rising (the "morning ramp" comes first). A pure function of time
+/// like every other schedule component, so identical across schemes and
+/// seed-deterministic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sinusoid {
+    /// Full cycle length, seconds.
+    pub period_s: f64,
+    /// Swing around 1× (0.4 → multiplier in `[0.6, 1.4]`). Must satisfy
+    /// `0 < amplitude < 1` so the offered rate stays positive.
+    pub amplitude: f64,
+}
+
+impl Sinusoid {
+    fn factor_at(&self, t: f64) -> f64 {
+        1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_s).sin()
+    }
+}
+
 /// A base [`WorkloadPattern`] at `base_rate` req/s, modulated by zero or
-/// more [`RateSegment`]s. Overlapping segments compound multiplicatively.
+/// more [`RateSegment`]s and at most one [`Sinusoid`]. Overlapping
+/// components compound multiplicatively.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RateSchedule {
     pattern: WorkloadPattern,
     base_rate: f64,
     segments: Vec<RateSegment>,
+    /// Smooth diurnal modulation, applied on top of the segments.
+    sinusoid: Option<Sinusoid>,
 }
 
 impl RateSchedule {
@@ -85,7 +108,7 @@ impl RateSchedule {
                 return bad(format!("ramp_s must be non-negative, got {}", s.ramp_s));
             }
         }
-        Ok(RateSchedule { pattern, base_rate, segments })
+        Ok(RateSchedule { pattern, base_rate, segments, sinusoid: None })
     }
 
     /// A schedule with no segments: identical offered load to the bare
@@ -142,6 +165,46 @@ impl RateSchedule {
         Self::try_new(pattern, base_rate, segments)
     }
 
+    /// A smooth sinusoidal diurnal cycle: the multiplier swings in
+    /// `[1 − amplitude, 1 + amplitude]` over each `period_s` window,
+    /// starting at 1× and rising. Unlike [`RateSchedule::diurnal`]'s
+    /// piecewise trapezoid crests this has no corners, which is what the
+    /// live load generator and the elastic-provisioning experiments want:
+    /// a fleet-sizing policy should track a derivative, not a step.
+    pub fn diurnal_sine(
+        pattern: WorkloadPattern,
+        base_rate: f64,
+        period_s: f64,
+        amplitude: f64,
+    ) -> Result<Self, WorkloadError> {
+        if !(period_s > 0.0 && period_s.is_finite()) {
+            return Err(WorkloadError::InvalidSchedule(format!(
+                "sinusoid period must be positive, got {period_s}"
+            )));
+        }
+        if !(amplitude > 0.0 && amplitude < 1.0) {
+            return Err(WorkloadError::InvalidSchedule(format!(
+                "sinusoid amplitude must be in (0, 1), got {amplitude}"
+            )));
+        }
+        let mut s = Self::steady(pattern, base_rate)?;
+        s.sinusoid = Some(Sinusoid { period_s, amplitude });
+        Ok(s)
+    }
+
+    /// Adds a sinusoidal component to an existing schedule (e.g. a flash
+    /// crowd on top of a diurnal swing). Replaces any previous sinusoid.
+    pub fn with_sinusoid(mut self, period_s: f64, amplitude: f64) -> Result<Self, WorkloadError> {
+        let probe = Self::diurnal_sine(self.pattern, self.base_rate, period_s, amplitude)?;
+        self.sinusoid = probe.sinusoid;
+        Ok(self)
+    }
+
+    /// The sinusoidal component, if one is set.
+    pub fn sinusoid(&self) -> Option<Sinusoid> {
+        self.sinusoid
+    }
+
     /// The base pattern.
     pub fn pattern(&self) -> WorkloadPattern {
         self.pattern
@@ -157,9 +220,10 @@ impl RateSchedule {
         &self.segments
     }
 
-    /// Combined segment multiplier at time `t`.
+    /// Combined segment (and sinusoid) multiplier at time `t`.
     pub fn multiplier_at(&self, t: f64) -> f64 {
-        self.segments.iter().map(|s| s.factor_at(t)).product()
+        let seg: f64 = self.segments.iter().map(|s| s.factor_at(t)).product();
+        seg * self.sinusoid.map_or(1.0, |s| s.factor_at(t))
     }
 
     /// Instantaneous offered rate at `t` seconds (req/s).
@@ -173,7 +237,7 @@ impl RateSchedule {
     /// for non-overlapping segments and conservative for overlaps.
     pub fn peak_rate(&self) -> f64 {
         let m: f64 = self.segments.iter().map(|s| s.multiplier.max(1.0)).product();
-        self.base_rate * m
+        self.base_rate * m * self.sinusoid.map_or(1.0, |s| 1.0 + s.amplitude)
     }
 }
 
@@ -247,6 +311,50 @@ mod tests {
             assert!(s.rate_at(center) > 190.0, "no crest at {center}");
             assert!(s.rate_at(40.0 * k as f64) < 110.0, "no trough at period edge");
         }
+    }
+
+    #[test]
+    fn diurnal_sine_swings_smoothly_and_majorant_holds() {
+        let s = RateSchedule::diurnal_sine(WorkloadPattern::Constant, 100.0, 40.0, 0.5).unwrap();
+        // Starts at 1× and rises: quarter period is the crest, three
+        // quarters the trough.
+        assert!((s.rate_at(0.0) - 100.0).abs() < 1e-9);
+        assert!((s.rate_at(10.0) - 150.0).abs() < 1e-9, "crest at T/4");
+        assert!((s.rate_at(30.0) - 50.0).abs() < 1e-9, "trough at 3T/4");
+        assert!((s.rate_at(40.0) - 100.0).abs() < 1e-6, "periodic");
+        assert_eq!(s.peak_rate(), 150.0);
+        let mut t = 0.0;
+        while t < 120.0 {
+            assert!(s.rate_at(t) <= s.peak_rate() + 1e-9, "majorant violated at {t}");
+            assert!(s.rate_at(t) > 0.0, "rate must stay positive at {t}");
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn sinusoid_composes_with_segments() {
+        let s = flash3x().with_sinusoid(50.0, 0.25).unwrap();
+        // At t=40 the flash plateau (3×) is in force; sine at 2π·0.8.
+        let expect = 300.0 * (1.0 + 0.25 * (2.0 * std::f64::consts::PI * 0.8).sin());
+        assert!((s.rate_at(40.0) - expect).abs() < 1e-9);
+        assert_eq!(s.peak_rate(), 300.0 * 1.25);
+    }
+
+    #[test]
+    fn diurnal_sine_rejects_bad_parameters() {
+        for (period, amp) in [(0.0, 0.5), (-1.0, 0.5), (f64::NAN, 0.5), (40.0, 0.0), (40.0, 1.0)] {
+            assert!(
+                matches!(
+                    RateSchedule::diurnal_sine(WorkloadPattern::Constant, 100.0, period, amp),
+                    Err(WorkloadError::InvalidSchedule(_))
+                ),
+                "period={period} amp={amp} should be rejected"
+            );
+        }
+        assert!(matches!(
+            RateSchedule::diurnal_sine(WorkloadPattern::Constant, 0.0, 40.0, 0.5),
+            Err(WorkloadError::NonPositiveRate(_))
+        ));
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! ```sh
 //! vmlp --scheme=v-mlp --pattern=l2 --machines=20 --rate=140 --horizon=60
 //! vmlp --config=experiment.json --out=result.json
+//! vmlp serve --addr=127.0.0.1:7411 --machines=20
 //! vmlp --help
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use v_mlp::engine;
 use v_mlp::prelude::*;
 
 const HELP: &str = "\
@@ -19,6 +21,7 @@ vmlp — run one v-MLP scheduling experiment
 
 USAGE:
     vmlp [FLAGS]
+    vmlp serve [FLAGS]     serve live TCP traffic (vmlp serve --help)
 
 FLAGS:
     --scheme=SPEC     registered scheme, optionally with typed params:
@@ -82,7 +85,204 @@ fn parse_mix(s: &str) -> Option<MixSpec> {
 
 const USAGE_EXIT: u8 = 2;
 
+const SERVE_HELP: &str = "\
+vmlp serve — run the kernel live against the wall clock behind a TCP socket
+
+The same event-application loop the simulator runs — admission, lifecycle,
+healing, the invariant auditor — drives real traffic: line protocol
+(`RUN <type>` → `OK <latency_us> <request>`) or minimal HTTP/1.1
+(`GET /run/<type>`), auto-detected per connection. Ctrl-C (SIGINT/SIGTERM)
+drains in-flight requests, then prints the run summary and the auditor's
+verdict.
+
+USAGE:
+    vmlp serve [FLAGS]
+
+FLAGS:
+    --addr=HOST:PORT  bind address            (default 127.0.0.1:7411)
+    --scheme=SPEC     registered scheme spec, as in plain vmlp
+                      (default v-mlp)
+    --machines=N      cluster size            (default 20)
+    --seed=N          RNG seed for the simulated cluster (default 2022)
+    --net-workers=N   connection worker threads (default 8)
+    --queue-cap=N     bounded submission queue; BUSY past it (default 512)
+    --drain=S         shutdown drain timeout, seconds (default 10)
+    --overload=on|off paper admission gate / breakers / brownout
+                      (default off; on ⇒ overload SHED replies)
+    --auditor=on|off  live invariant auditing  (default on)
+    --audit=FILE      save the decision-audit trail as JSONL on drain
+    --help            this text
+
+EXIT CODES:
+    0  clean drain, no invariant violations
+    1  the auditor caught an invariant violation during the run
+    2  usage / invalid config
+    4  file I/O failure
+";
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut serve_cfg = mlp_serve::ServeConfig {
+        addr: "127.0.0.1:7411".into(),
+        workers: 8,
+        queue_cap: 512,
+        request_timeout: std::time::Duration::from_secs(30),
+        drain_timeout: std::time::Duration::from_secs(10),
+        experiment: ExperimentConfig {
+            machines: 20,
+            ..ExperimentConfig::paper_default(Scheme::VMlp)
+        }
+        // Live runs are open-ended: aggregate in constant memory and cap
+        // the profile store so a soak cannot grow without bound.
+        .with_stream_stats(true)
+        .with_profile_retention(512)
+        .with_auditor(true),
+    };
+    let mut audit_out: Option<PathBuf> = None;
+
+    for arg in args {
+        let bad = |msg: &str| {
+            eprintln!("error: {msg}\n\n{SERVE_HELP}");
+            ExitCode::from(USAGE_EXIT)
+        };
+        if arg == "--help" || arg == "-h" {
+            print!("{SERVE_HELP}");
+            return ExitCode::SUCCESS;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            return bad(&format!("unrecognized argument '{arg}'"));
+        };
+        match key {
+            "--addr" => serve_cfg.addr = value.to_string(),
+            "--scheme" => match parse_scheme(value) {
+                Ok(s) => serve_cfg.experiment.scheme = s,
+                Err(e) => return bad(&e),
+            },
+            "--machines" => match value.parse() {
+                Ok(n) => serve_cfg.experiment.machines = n,
+                Err(_) => return bad("machines must be an integer"),
+            },
+            "--seed" => match value.parse() {
+                Ok(s) => serve_cfg.experiment.seed = s,
+                Err(_) => return bad("seed must be an integer"),
+            },
+            "--net-workers" => match value.parse() {
+                Ok(n) if n > 0 => serve_cfg.workers = n,
+                _ => return bad("net-workers must be a positive integer"),
+            },
+            "--queue-cap" => match value.parse() {
+                Ok(n) if n > 0 => serve_cfg.queue_cap = n,
+                _ => return bad("queue-cap must be a positive integer"),
+            },
+            "--drain" => match value.parse::<f64>() {
+                Ok(s) if s >= 0.0 => {
+                    serve_cfg.drain_timeout = std::time::Duration::from_secs_f64(s)
+                }
+                _ => return bad("drain must be non-negative seconds"),
+            },
+            "--overload" => match value.to_ascii_lowercase().as_str() {
+                "on" => {
+                    serve_cfg.experiment = serve_cfg.experiment.with_overload(OverloadConfig {
+                        enabled: true,
+                        resilience: true,
+                        ..OverloadConfig::disabled()
+                    })
+                }
+                "off" => {
+                    serve_cfg.experiment =
+                        serve_cfg.experiment.with_overload(OverloadConfig::disabled())
+                }
+                _ => return bad("overload must be on or off"),
+            },
+            "--auditor" => match value.to_ascii_lowercase().as_str() {
+                "on" => serve_cfg.experiment = serve_cfg.experiment.with_auditor(true),
+                "off" => serve_cfg.experiment = serve_cfg.experiment.with_auditor(false),
+                _ => return bad("auditor must be on or off"),
+            },
+            "--audit" => audit_out = Some(PathBuf::from(value)),
+            _ => return bad(&format!("unknown flag '{key}'")),
+        }
+    }
+    if audit_out.is_some() {
+        serve_cfg.experiment = serve_cfg.experiment.with_audit(true).with_auditor(true);
+    }
+
+    engine::shutdown::install_signal_handler();
+    let server = match mlp_serve::Server::start(serve_cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server on {}: {e}", serve_cfg.addr);
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
+    eprintln!(
+        "serving {} on {} machines at {} ({} workers, queue {}, auditor {}) — ctrl-c drains",
+        serve_cfg.experiment.scheme.display_name(),
+        serve_cfg.experiment.machines,
+        server.local_addr(),
+        serve_cfg.workers,
+        serve_cfg.queue_cap,
+        if serve_cfg.experiment.auditor { "on" } else { "off" },
+    );
+
+    // Park until a signal arrives, surfacing counters as a heartbeat.
+    let mut last_report = std::time::Instant::now();
+    while !engine::shutdown::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if last_report.elapsed() >= std::time::Duration::from_secs(15) {
+            let s = server.stats();
+            eprintln!(
+                "live: {} conns, {} reqs, {} completed, {} shed, {} busy, mean {:.0} us",
+                s.connections,
+                s.requests,
+                s.completed,
+                s.shed,
+                s.busy,
+                if s.completed > 0 { s.latency_us_sum as f64 / s.completed as f64 } else { 0.0 },
+            );
+            last_report = std::time::Instant::now();
+        }
+    }
+    eprintln!("shutdown requested — draining …");
+    let stats = server.stats();
+    let out = server.stop();
+
+    println!("requests served:       {}", stats.requests);
+    println!("arrived / completed:   {} / {}", out.arrived, stats.completed);
+    println!("shed / busy / errors:  {} / {} / {}", stats.shed, stats.busy, stats.errors);
+    println!(
+        "mean latency:          {:.1} us",
+        if stats.completed > 0 {
+            stats.latency_us_sum as f64 / stats.completed as f64
+        } else {
+            0.0
+        }
+    );
+    if let Some(path) = audit_out {
+        if let Err(e) = out.audit.write_jsonl(&path) {
+            eprintln!("error: cannot save audit trail: {e}");
+            return ExitCode::from(4);
+        }
+        eprintln!("audit: {} decisions saved to {}", out.audit.len(), path.display());
+    }
+    match &out.invariant_report {
+        None if serve_cfg.experiment.auditor => {
+            eprintln!("auditor: no invariant violations");
+            ExitCode::SUCCESS
+        }
+        None => ExitCode::SUCCESS,
+        Some(report) => {
+            eprintln!("auditor: VIOLATIONS DETECTED\n{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
+    }
+
     let mut config = ExperimentConfig {
         machines: 20,
         max_rate: 140.0,

@@ -117,6 +117,56 @@ fn bad_specs_are_typed_config_errors() {
     assert!(err.to_string().contains("healing"), "{err}");
 }
 
+/// Malformed spec strings fail at parse with a message naming the spec —
+/// empty names, empty tokens, empty keys, and duplicate keys are all
+/// rejected rather than silently normalized (a duplicate key used to
+/// last-writer-win through the params map).
+#[test]
+fn malformed_spec_shapes_are_parse_errors() {
+    for spec in ["", "  ", ":iters=4", "vmlp:", "vmlp:a=1,,b=2", "vmlp:=3", "vmlp: =3"] {
+        let err = SchemeSpec::parse(spec).expect_err(spec);
+        assert!(err.contains(&format!("`{spec}`")), "error should name the spec: {err}");
+    }
+    let err = SchemeSpec::parse("vmlp:healing=off,healing=on").unwrap_err();
+    assert!(err.contains("twice") && err.contains("healing"), "{err}");
+    // Same key through different value forms is still a duplicate.
+    let err = SchemeSpec::parse("searchsched:iters,iters=4").unwrap_err();
+    assert!(err.contains("twice"), "{err}");
+}
+
+/// Unknown params surface as `InvalidConfig` (exit 2) listing the
+/// scheduler's known params, through the Experiment builder.
+#[test]
+fn unknown_params_are_typed_config_errors() {
+    let err = match Experiment::from_config(ExperimentConfig::smoke(Scheme::VMlp))
+        .scheme_spec("vmlp:warpdrive=9")
+    {
+        Ok(_) => panic!("unknown param must be rejected"),
+        Err(e) => e,
+    };
+    assert_eq!(err.exit_code(), 2);
+    let msg = err.to_string();
+    assert!(msg.contains("warpdrive") && msg.contains("known params"), "{msg}");
+}
+
+/// Empty and truncated sweep files are `InvalidConfig` (exit 2), never a
+/// panic and never a silently empty sweep: a 0-byte file, a no-scheme
+/// document, and a half-written document all fail loudly.
+#[test]
+fn empty_sweep_files_are_typed_config_errors() {
+    let dir = std::env::temp_dir().join(format!("vmlp-sweep-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, contents) in
+        [("zero.json", ""), ("none.json", r#"{"schemes": []}"#), ("torn.json", r#"{"schem"#)]
+    {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let err = SweepConfig::load(&path).and_then(|s| s.validate().map(|()| s)).expect_err(name);
+        assert_eq!(err.exit_code(), 2, "{name}: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The committed sweep files reproduce the figure binaries' historically
 /// hardcoded scheme lists exactly — the config-driven path defaults to
 /// today's figures.
